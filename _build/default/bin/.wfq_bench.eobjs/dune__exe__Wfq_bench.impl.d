@@ -1,0 +1,1 @@
+bin/wfq_bench.ml: Arg Cmd Cmdliner List Option String Term Wfq_harness

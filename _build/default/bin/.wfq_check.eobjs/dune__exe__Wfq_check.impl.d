@@ -1,0 +1,1 @@
+bin/wfq_check.ml: Arg Array Cmd Cmdliner Format List Printf String Term Wfq_core Wfq_lincheck Wfq_sim

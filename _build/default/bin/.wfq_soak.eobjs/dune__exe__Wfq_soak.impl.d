@@ -1,0 +1,1 @@
+bin/wfq_soak.ml: Arg Array Atomic Cmd Cmdliner Domain List Printf Term Unix Wfq_harness Wfq_primitives

@@ -1,0 +1,1 @@
+bin/wfq_soak.mli:

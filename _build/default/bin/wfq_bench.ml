@@ -1,0 +1,114 @@
+(* Parameterized benchmark CLI: regenerate individual paper figures with
+   custom thread counts, iteration counts and repetitions.
+
+     wfq_bench fig7 --threads 1,2,4,8 --iters 100000 --runs 5
+     wfq_bench fig10 --sizes 1,100,10000
+     wfq_bench all --paper --csv
+*)
+
+open Cmdliner
+module F = Wfq_harness.Figures
+module R = Wfq_harness.Report
+
+let ints_of_string s =
+  String.split_on_char ',' s
+  |> List.filter (fun x -> x <> "")
+  |> List.map int_of_string
+
+let threads_arg =
+  let doc = "Comma-separated thread counts (x axis of figs. 7-9)." in
+  Arg.(value & opt (some string) None & info [ "threads" ] ~docv:"LIST" ~doc)
+
+let iters_arg =
+  let doc = "Iterations per thread." in
+  Arg.(value & opt (some int) None & info [ "iters" ] ~docv:"N" ~doc)
+
+let runs_arg =
+  let doc = "Repetitions averaged per data point (paper: 10)." in
+  Arg.(value & opt (some int) None & info [ "runs" ] ~docv:"N" ~doc)
+
+let sizes_arg =
+  let doc = "Comma-separated initial queue sizes (fig. 10)." in
+  Arg.(value & opt (some string) None & info [ "sizes" ] ~docv:"LIST" ~doc)
+
+let paper_arg =
+  let doc = "Use the paper's full parameters (1..16 threads, 1M iters, 10 runs)." in
+  Arg.(value & flag & info [ "paper" ] ~doc)
+
+let csv_arg =
+  let doc = "Also print machine-readable CSV blocks." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let build_scale paper threads iters runs sizes : F.scale =
+  let base = if paper then F.paper else F.quick in
+  {
+    threads =
+      (match threads with Some t -> ints_of_string t | None -> base.threads);
+    iters = Option.value iters ~default:base.iters;
+    runs = Option.value runs ~default:base.runs;
+    sizes =
+      (match sizes with Some s -> ints_of_string s | None -> base.sizes);
+  }
+
+let emit ~csv ~title ~y_label series =
+  R.print_table ~title ~x_label:"threads" ~y_label series;
+  if csv then R.print_csv ~title series
+
+let run_figure which paper threads iters runs sizes csv =
+  let scale = build_scale paper threads iters runs sizes in
+  (match which with
+  | `Fig7 | `All ->
+      emit ~csv ~title:"Figure 7: enqueue-dequeue pairs" ~y_label:"seconds"
+        (F.fig7 ~scale ())
+  | _ -> ());
+  (match which with
+  | `Fig8 | `All ->
+      emit ~csv ~title:"Figure 8: 50% enqueues" ~y_label:"seconds"
+        (F.fig8 ~scale ())
+  | _ -> ());
+  (match which with
+  | `Fig9 | `All ->
+      emit ~csv ~title:"Figure 9: impact of the optimizations"
+        ~y_label:"seconds" (F.fig9 ~scale ())
+  | _ -> ());
+  (match which with
+  | `Fig10 | `All ->
+      let series = F.fig10 ~scale () in
+      R.print_table ~title:"Figure 10: live space overhead (WF / LF)"
+        ~x_label:"queue size" ~y_label:"live-words ratio" series;
+      if csv then R.print_csv ~title:"fig10" series
+  | _ -> ());
+  match which with
+  | `Extended | `All ->
+      emit ~csv ~title:"Extension: all implementations (pairs)"
+        ~y_label:"seconds"
+        (F.extended_pairs ~scale ())
+  | _ -> ()
+
+let figure_cmd which name doc =
+  let term =
+    Term.(
+      const (run_figure which)
+      $ paper_arg $ threads_arg $ iters_arg $ runs_arg $ sizes_arg $ csv_arg)
+  in
+  Cmd.v (Cmd.info name ~doc) term
+
+let cmds =
+  [
+    figure_cmd `Fig7 "fig7" "Enqueue-dequeue pairs benchmark (paper Fig. 7).";
+    figure_cmd `Fig8 "fig8" "50% enqueues benchmark (paper Fig. 8).";
+    figure_cmd `Fig9 "fig9" "Optimization ablation (paper Fig. 9).";
+    figure_cmd `Fig10 "fig10" "Live-space overhead (paper Fig. 10).";
+    figure_cmd `Extended "extended"
+      "All implementations on the pairs benchmark (extension).";
+    figure_cmd `All "all" "Every figure in sequence.";
+  ]
+
+let () =
+  let info =
+    Cmd.info "wfq_bench" ~version:"1.0"
+      ~doc:
+        "Benchmarks for the Kogan-Petrank wait-free queue reproduction \
+         (PPoPP 2011)."
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,1 @@
+examples/dynamic_threads.ml: Atomic Domain List Printf Wfq_core Wfq_primitives Wfq_registry

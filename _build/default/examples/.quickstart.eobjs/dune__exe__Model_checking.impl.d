@@ -1,0 +1,1 @@
+examples/model_checking.ml: List Printf String Wfq_primitives Wfq_sim

@@ -1,0 +1,1 @@
+examples/pipeline.ml: Domain Hashtbl List Printf Unix Wfq_core Wfq_primitives

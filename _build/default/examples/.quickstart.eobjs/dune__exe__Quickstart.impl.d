@@ -1,0 +1,1 @@
+examples/quickstart.ml: Atomic Domain List Printf String Wfq_core Wfq_primitives

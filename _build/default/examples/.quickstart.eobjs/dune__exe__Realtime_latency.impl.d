@@ -1,0 +1,1 @@
+examples/realtime_latency.ml: Domain List Printf Wfq_harness

@@ -1,0 +1,1 @@
+examples/task_scheduler.ml: Atomic Domain List Printf Unix Wfq_core Wfq_primitives

@@ -1,0 +1,52 @@
+(* Dynamic thread management (§3.3): the queue needs thread IDs in a
+   fixed range, but real applications create and destroy threads freely.
+   The registry hands out IDs from a small namespace (long-lived
+   renaming), letting a churning population of short-lived workers share
+   one wait-free queue.
+
+     dune exec examples/dynamic_threads.exe
+*)
+
+module Kp = Wfq_core.Kp_queue.Make (Wfq_primitives.Real_atomic)
+module Registry = Wfq_registry.Registry
+
+let id_slots = 4 (* queue-visible thread IDs *)
+let worker_waves = 6 (* generations of short-lived workers *)
+let workers_per_wave = 4
+let jobs_per_worker = 2_000
+
+let () =
+  let registry = Registry.create ~capacity:id_slots in
+  let queue = Kp.create ~num_threads:id_slots () in
+  let produced = Atomic.make 0 and consumed = Atomic.make 0 in
+
+  (* Each worker domain acquires a virtual ID for its lifetime, does some
+     queue work, and releases the ID for the next generation. *)
+  let worker wave w () =
+    Registry.with_tid registry (fun tid ->
+        for job = 1 to jobs_per_worker do
+          Kp.enqueue queue ~tid ((wave * 1_000_000) + (w * 10_000) + job);
+          Atomic.incr produced;
+          match Kp.dequeue queue ~tid with
+          | Some _ -> Atomic.incr consumed
+          | None -> failwith "impossible: pairs pattern"
+        done)
+  in
+
+  for wave = 1 to worker_waves do
+    let ds =
+      List.init workers_per_wave (fun w -> Domain.spawn (worker wave w))
+    in
+    List.iter Domain.join ds;
+    Printf.printf "wave %d done: %d IDs in use after join (expected 0)\n"
+      wave
+      (Registry.held registry)
+  done;
+
+  Printf.printf
+    "\n%d workers across %d waves shared %d IDs: produced=%d consumed=%d\n"
+    (worker_waves * workers_per_wave)
+    worker_waves id_slots (Atomic.get produced) (Atomic.get consumed);
+  Printf.printf "total ID acquisitions: %d; queue empty: %b\n"
+    (Registry.total_acquisitions registry)
+    (Kp.is_empty queue)

@@ -1,0 +1,48 @@
+(* Quickstart: create a wait-free queue, share it between domains, and
+   observe FIFO delivery.
+
+     dune exec examples/quickstart.exe
+*)
+
+module Kp = Wfq_core.Kp_queue.Make (Wfq_primitives.Real_atomic)
+
+let () =
+  (* A queue for up to 4 threads; thread IDs are small integers that each
+     participating thread must own exclusively (see examples/
+     dynamic_threads.ml for dynamic ID management). *)
+  let queue = Kp.create ~num_threads:4 () in
+
+  (* Single-threaded use. *)
+  Kp.enqueue queue ~tid:0 "hello";
+  Kp.enqueue queue ~tid:0 "wait-free";
+  Kp.enqueue queue ~tid:0 "world";
+  assert (Kp.dequeue queue ~tid:0 = Some "hello");
+  Printf.printf "front after one dequeue: %s\n"
+    (String.concat ", " (Kp.to_list queue));
+
+  (* Concurrent use: two producers, one consumer, all wait-free — every
+     operation completes in a bounded number of steps regardless of what
+     the other domains are doing. *)
+  let n = 10_000 in
+  let producer tid () =
+    for i = 1 to n do
+      Kp.enqueue queue ~tid (Printf.sprintf "p%d-%d" tid i)
+    done
+  in
+  let consumed = Atomic.make 0 in
+  let consumer () =
+    (* Everything already in the queue plus 2n new items. *)
+    let target = 2 + (2 * n) in
+    while Atomic.get consumed < target do
+      match Kp.dequeue queue ~tid:3 with
+      | Some _ -> Atomic.incr consumed
+      | None -> Domain.cpu_relax ()
+    done
+  in
+  let domains =
+    [ Domain.spawn (producer 1); Domain.spawn (producer 2);
+      Domain.spawn consumer ]
+  in
+  List.iter Domain.join domains;
+  Printf.printf "consumed %d items; queue empty: %b\n"
+    (Atomic.get consumed) (Kp.is_empty queue)

@@ -1,0 +1,1 @@
+lib/core/fc_queue.ml: Array Fun List Queue Wfq_primitives

@@ -1,0 +1,1 @@
+lib/core/fc_queue.mli: Wfq_primitives

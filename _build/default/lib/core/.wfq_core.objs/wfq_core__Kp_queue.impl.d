@@ -1,0 +1,1 @@
+lib/core/kp_queue.ml: Array List Printf Wfq_primitives

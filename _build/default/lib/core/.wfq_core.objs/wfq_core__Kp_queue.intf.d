@@ -1,0 +1,1 @@
+lib/core/kp_queue.mli: Wfq_primitives

@@ -1,0 +1,1 @@
+lib/core/kp_queue_hp.ml: Array List Wfq_hazard Wfq_primitives

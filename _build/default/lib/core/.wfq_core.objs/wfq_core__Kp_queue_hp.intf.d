@@ -1,0 +1,1 @@
+lib/core/kp_queue_hp.mli: Wfq_hazard Wfq_primitives

@@ -1,0 +1,1 @@
+lib/core/lms_queue.ml: List Queue_intf Wfq_primitives

@@ -1,0 +1,1 @@
+lib/core/mutex_queue.ml: Fun List Mutex Queue

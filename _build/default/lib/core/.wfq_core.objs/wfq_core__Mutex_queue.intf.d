@@ -1,0 +1,1 @@
+lib/core/mutex_queue.mli: Queue_intf

@@ -1,0 +1,1 @@
+lib/core/spsc_queue.ml: Array List Wfq_primitives

@@ -1,0 +1,1 @@
+lib/core/spsc_queue.mli: Wfq_primitives

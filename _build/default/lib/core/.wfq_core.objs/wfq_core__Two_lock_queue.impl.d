@@ -1,0 +1,1 @@
+lib/core/two_lock_queue.ml: Fun List Mutex

@@ -1,0 +1,1 @@
+lib/core/two_lock_queue.mli: Queue_intf

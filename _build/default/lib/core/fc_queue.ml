@@ -1,0 +1,100 @@
+(** Flat-combining queue (Hendler, Incze, Shavit & Tzafrir, SPAA 2010) —
+    a contemporary of the paper representing the opposite design
+    philosophy: instead of making every thread able to finish every
+    operation (helping), {e one} thread at a time (the combiner) grabs a
+    lock and applies everybody's published operations to a plain
+    sequential queue in a single cache-friendly sweep.
+
+    Threads publish requests in per-thread slots; whoever acquires the
+    test-and-set combiner lock services all pending slots. Waiting
+    threads spin on their own slot and opportunistically try to become
+    the combiner themselves when the lock looks free.
+
+    Progress: blocking — a preempted combiner stalls every pending
+    operation (contrast class for the wait-free queue, like
+    [Two_lock_queue], but with much better cache behaviour under
+    contention on real multicores). Built over the [ATOMIC] functor so
+    it can run under the simulator with {e fair} strategies
+    (round-robin/random); systematic non-preemptive exploration would
+    spin on the lock by design. *)
+
+module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
+  type 'a request =
+    | Idle
+    | Do_enq of 'a
+    | Do_deq
+    | Done_enq
+    | Done_deq of 'a option
+
+  type 'a t = {
+    lock : bool A.t; (* test-and-set combiner lock *)
+    slots : 'a request A.t array; (* per-thread publication records *)
+    queue : 'a Queue.t; (* sequential queue; combiner-only access *)
+    num_threads : int;
+  }
+
+  let name = "flat-combining"
+
+  let create ~num_threads () =
+    if num_threads <= 0 then invalid_arg "Fc_queue.create: num_threads";
+    {
+      lock = A.make false;
+      slots = Array.init num_threads (fun _ -> A.make Idle);
+      queue = Queue.create ();
+      num_threads;
+    }
+
+  let try_lock t = A.compare_and_set t.lock false true
+  let unlock t = A.set t.lock false
+
+  (* Serve every published request. Only the lock holder runs this, so
+     the sequential queue needs no further protection. *)
+  let combine t =
+    for i = 0 to t.num_threads - 1 do
+      match A.get t.slots.(i) with
+      | Do_enq v ->
+          Queue.push v t.queue;
+          A.set t.slots.(i) Done_enq
+      | Do_deq -> A.set t.slots.(i) (Done_deq (Queue.take_opt t.queue))
+      | Idle | Done_enq | Done_deq _ -> ()
+    done
+
+  (* Publish [req] in the caller's slot, then spin until it is served —
+     becoming the combiner whenever the lock is free. *)
+  let operate t ~tid req =
+    A.set t.slots.(tid) req;
+    let rec wait () =
+      match A.get t.slots.(tid) with
+      | Done_enq ->
+          A.set t.slots.(tid) Idle;
+          None
+      | Done_deq r ->
+          A.set t.slots.(tid) Idle;
+          r
+      | Idle -> assert false
+      | Do_enq _ | Do_deq ->
+          if try_lock t then begin
+            combine t;
+            unlock t
+          end;
+          wait ()
+    in
+    wait ()
+
+  let enqueue t ~tid v = ignore (operate t ~tid (Do_enq v))
+  let dequeue t ~tid = operate t ~tid Do_deq
+
+  (* Quiescent observers: grab the combiner lock so a concurrent sweep
+     cannot race the traversal (exact at quiescence, best-effort
+     otherwise, like the other queues). *)
+  let with_combiner_lock t f =
+    let rec acquire () = if not (try_lock t) then acquire () in
+    acquire ();
+    Fun.protect ~finally:(fun () -> unlock t) f
+
+  let to_list t =
+    with_combiner_lock t (fun () -> List.of_seq (Queue.to_seq t.queue))
+
+  let length t = with_combiner_lock t (fun () -> Queue.length t.queue)
+  let is_empty t = with_combiner_lock t (fun () -> Queue.is_empty t.queue)
+end

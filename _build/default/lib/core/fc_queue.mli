@@ -1,0 +1,24 @@
+(** Flat-combining queue (Hendler et al., SPAA 2010): per-thread request
+    publication plus a test-and-set combiner lock whose holder applies
+    all pending operations to a sequential queue in one sweep. The
+    combining counterpoint to the paper's helping: high throughput under
+    contention, but blocking — a preempted combiner stalls everyone.
+
+    Under the simulator use fair strategies (round-robin / seeded
+    random); non-preemptive exploration spins on the combiner lock by
+    design. *)
+
+module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
+  type 'a t
+
+  val name : string
+  val create : num_threads:int -> unit -> 'a t
+  val enqueue : 'a t -> tid:int -> 'a -> unit
+  val dequeue : 'a t -> tid:int -> 'a option
+
+  (** Quiescent observers (they briefly hold the combiner lock). *)
+
+  val to_list : 'a t -> 'a list
+  val length : 'a t -> int
+  val is_empty : 'a t -> bool
+end

@@ -1,0 +1,448 @@
+(** The Kogan-Petrank wait-free MPMC queue (PPoPP 2011) — the paper's
+    contribution.
+
+    Faithful port of the Java pseudocode in the paper's Figures 1, 2, 4
+    and 6; comments of the form "L74" refer to the paper's line numbers.
+
+    The queue extends Michael & Scott's lock-free queue with a phase-based
+    helping scheme. Every thread owns a slot in the [state] array holding
+    its current {e operation descriptor} (phase, pending flag, operation
+    type, node). An operation (paper §3.1):
+
+    + picks a phase strictly larger than every phase chosen before it
+      (Lamport-bakery-style doorway),
+    + publishes its descriptor, and
+    + helps every pending operation whose phase is ≤ its own, its own
+      included, before returning.
+
+    Each operation type is split into three atomic steps so helpers apply
+    it exactly once: (1) mutate the list — the linearization point, (2)
+    flip [pending] to false in the owner's descriptor, (3) fix [tail]
+    (enqueue) or [head] (dequeue). Step (1) is a CAS on [last.next]
+    (enqueue, L74) or on the first node's [deq_tid] field (dequeue, L135).
+
+    Both §3.3 optimizations are provided as construction-time policies:
+    {!help_policy} [Help_one_cyclic] (help at most one other thread per
+    operation, scanning [state] cyclically — preserves wait-freedom
+    because a thread can bypass a given peer at most [num_threads]
+    consecutive times) and {!phase_policy} [Phase_counter] (derive the
+    phase from a shared counter bumped with a result-ignored CAS — the
+    paper's footnote 3 — instead of scanning [state]).
+
+    Progress: wait-free with the [Phase_scan]/[Help_all] and
+    [Phase_counter]/[Help_one_cyclic] combinations alike; population-
+    oblivious in no case (the bound depends on [num_threads], §3.3). *)
+
+type help_policy =
+  | Help_all  (** base algorithm: scan the whole [state] array (L36-47) *)
+  | Help_one_cyclic
+      (** optimization 1: help at most one other pending operation per call,
+          choosing candidates cyclically *)
+  | Help_chunk of int
+      (** §3.3 generalization of optimization 1: traverse a cyclic chunk of
+          [k] candidates per operation ("indexes 0 through k-1 mod n ...
+          in the second invocation k mod n through 2k-1 mod n, and so
+          on"). [Help_chunk 1] behaves like {!Help_one_cyclic};
+          [Help_chunk (n-1)] approaches {!Help_all}. Wait-freedom is
+          preserved: a thread bypasses a given peer at most [ceil (n/k)]
+          consecutive times. *)
+
+type phase_policy =
+  | Phase_scan  (** base algorithm: [maxPhase()] scan (L48-57) *)
+  | Phase_counter
+      (** optimization 2: atomic counter bumped by a CAS whose result is
+          deliberately ignored (footnote 3) *)
+
+(** The further enhancements sketched in §3.3, off by default (the paper
+    evaluates the base and optimized variants without them). *)
+type tuning = {
+  gc_friendly : bool;
+      (** enhancement 2: before returning from an operation, overwrite
+          the thread's descriptor with a dummy holding no node reference,
+          so a long-dequeued node cannot be kept live by a stale
+          descriptor (the paper's "considered by the garbage collector as
+          a live object" leak) *)
+  validate_before_cas : bool;
+      (** enhancement 3: read the pending flag before the descriptor
+          CASes of L93/L149 and skip the allocation + CAS when the flag
+          is already off *)
+}
+
+let default_tuning = { gc_friendly = false; validate_before_cas = false }
+
+module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
+  (* Paper Figure 1, lines 1-12. [value] is [None] only for the initial
+     sentinel; [enq_tid] is written once at node creation while [deq_tid]
+     is contended, hence atomic (L5). *)
+  type 'a node = {
+    value : 'a option;
+    next : 'a node option A.t;
+    enq_tid : int;
+    deq_tid : int A.t;
+  }
+
+  (* Paper Figure 1, lines 13-24. Descriptors are immutable; state slots
+     advance by physical-equality CAS exactly like Java reference CAS. *)
+  type 'a op_desc = {
+    phase : int;
+    pending : bool;
+    enqueue : bool;
+    node : 'a node option;
+  }
+
+  type 'a t = {
+    head : 'a node A.t; (* L25 *)
+    tail : 'a node A.t; (* L25 *)
+    state : 'a op_desc A.t array; (* L26 *)
+    phase_counter : int A.t; (* optimization 2 (§3.3) *)
+    help_policy : help_policy;
+    phase_policy : phase_policy;
+    tuning : tuning;
+    help_cursor : int array;
+        (* per-tid cyclic cursor for the cyclic helping policies;
+           single-writer *)
+    num_threads : int;
+  }
+
+  let name = "kp-wait-free"
+
+  let make_sentinel () =
+    { value = None; next = A.make None; enq_tid = -1; deq_tid = A.make (-1) }
+
+  let create_with ?(tuning = default_tuning) ~help ~phase ~num_threads () =
+    if num_threads <= 0 then invalid_arg "Kp_queue.create: num_threads";
+    (match help with
+    | Help_chunk k when k <= 0 ->
+        invalid_arg "Kp_queue.create: chunk size must be positive"
+    | Help_all | Help_one_cyclic | Help_chunk _ -> ());
+    let sentinel = make_sentinel () in
+    let idle = { phase = -1; pending = false; enqueue = true; node = None } in
+    {
+      head = A.make sentinel;
+      tail = A.make sentinel;
+      state = Array.init num_threads (fun _ -> A.make idle);
+      phase_counter = A.make (-1);
+      help_policy = help;
+      phase_policy = phase;
+      tuning;
+      help_cursor = Array.make num_threads 0;
+      num_threads;
+    }
+
+  let create ~num_threads () =
+    create_with ~help:Help_all ~phase:Phase_scan ~num_threads ()
+
+  (* L48-57 *)
+  let max_phase t =
+    Array.fold_left
+      (fun acc slot -> max acc (A.get slot).phase)
+      (-1) t.state
+
+  let next_phase t =
+    match t.phase_policy with
+    | Phase_scan -> max_phase t + 1
+    | Phase_counter ->
+        (* Footnote 3: a failed CAS just means another thread picked the
+           same phase, which is harmless, so the result is ignored. *)
+        let cur = A.get t.phase_counter in
+        ignore (A.compare_and_set t.phase_counter cur (cur + 1));
+        cur + 1
+
+  (* L58-60 *)
+  let is_still_pending t tid phase =
+    let desc = A.get t.state.(tid) in
+    desc.pending && desc.phase <= phase
+
+  (* ------------------------------------------------------------------ *)
+  (* Enqueue (paper Figure 4)                                           *)
+  (* ------------------------------------------------------------------ *)
+
+  (* L85-97: finish the in-progress enqueue, if any. Steps (2) and (3) of
+     the scheme: flip the owner's pending flag, then advance [tail]. The
+     descriptor CAS (L93) can succeed more than once per node — benign,
+     because the replacement descriptor is identical each time. *)
+  let help_finish_enq t =
+    let last = A.get t.tail in
+    let next_o = A.get last.next in
+    match next_o with
+    | None -> ()
+    | Some next ->
+        let tid = next.enq_tid in
+        (* L89: only real enqueued nodes ever follow [tail]. *)
+        assert (tid >= 0 && tid < t.num_threads);
+        let cur_desc = A.get t.state.(tid) in
+        (* L91: verify the slot still refers to the node just appended;
+           guards against racing [help_finish_enq] calls. *)
+        if last == A.get t.tail && (A.get t.state.(tid)).node == next_o
+        then begin
+          (* Enhancement 3 (§3.3): if helpers already flipped the flag,
+             skip the descriptor allocation and CAS — it would fail or be
+             a no-op — and go straight to fixing the tail. *)
+          if (not t.tuning.validate_before_cas) || cur_desc.pending then begin
+            let new_desc =
+              { phase = cur_desc.phase; pending = false; enqueue = true;
+                node = next_o }
+            in
+            ignore (A.compare_and_set t.state.(tid) cur_desc new_desc)
+          end;
+          ignore (A.compare_and_set t.tail last next)
+        end
+
+  (* L67-84: drive thread [tid]'s pending enqueue to completion. The outer
+     [is_still_pending] check (L68) is what bounds the loop: it fails as
+     soon as any helper completes the operation. *)
+  let rec help_enq t tid phase =
+    if is_still_pending t tid phase then begin
+      let last = A.get t.tail in
+      let next = A.get last.next in
+      if last == A.get t.tail then
+        match next with
+        | None ->
+            (* L72: tail is accurate, an enqueue can be applied. The inner
+               re-check (L73) preserves linearizability: without it a
+               stale helper could append a node for an operation that
+               already completed. *)
+            if is_still_pending t tid phase then begin
+              let node = (A.get t.state.(tid)).node in
+              if A.compare_and_set last.next None node then begin
+                (* L74 succeeded: the operation is linearized. *)
+                help_finish_enq t
+              end
+              else help_enq t tid phase
+            end
+            else help_enq t tid phase
+        | Some _ ->
+            (* L79-81: some enqueue is mid-flight; finish it, then retry. *)
+            help_finish_enq t;
+            help_enq t tid phase
+      else help_enq t tid phase
+    end
+
+  (* ------------------------------------------------------------------ *)
+  (* Dequeue (paper Figure 6)                                           *)
+  (* ------------------------------------------------------------------ *)
+
+  (* L141-153: finish the dequeue of whichever thread locked the sentinel
+     (wrote its tid into [head]'s [deq_tid], L135). *)
+  let help_finish_deq t =
+    let first = A.get t.head in
+    let next = A.get first.next in
+    let tid = A.get first.deq_tid in (* L144 *)
+    if tid <> -1 then begin
+      let cur_desc = A.get t.state.(tid) in
+      match next with
+      | Some next_node when first == A.get t.head ->
+          if (not t.tuning.validate_before_cas) || cur_desc.pending
+          then begin
+            let new_desc =
+              { phase = cur_desc.phase; pending = false; enqueue = false;
+                node = cur_desc.node }
+            in
+            ignore (A.compare_and_set t.state.(tid) cur_desc new_desc)
+          end;
+          (* L150: step (3) — physically remove the old sentinel. *)
+          ignore (A.compare_and_set t.head first next_node)
+      | Some _ | None -> ()
+    end
+
+  (* L109-140. Stage (1) — pointing the owner's descriptor at the current
+     sentinel — exists to make the empty case race-free: a helper that
+     sees an empty queue (L116-121) CASes the owner's descriptor from one
+     that does NOT point at the sentinel, so it cannot race with a helper
+     that saw a non-empty queue and already performed stage (1). *)
+  let rec help_deq t tid phase =
+    if is_still_pending t tid phase then begin
+      let first = A.get t.head in
+      let last = A.get t.tail in
+      let next = A.get first.next in
+      if first == A.get t.head then
+        if first == last then begin
+          (* L115: queue might be empty *)
+          match next with
+          | None ->
+              (* L116-121: certainly empty — record the empty outcome in
+                 the owner's descriptor (it cannot raise here: this code
+                 may run in a helper's context, §3.1). *)
+              let cur_desc = A.get t.state.(tid) in
+              if last == A.get t.tail && is_still_pending t tid phase
+              then begin
+                let new_desc =
+                  { phase = cur_desc.phase; pending = false;
+                    enqueue = false; node = None }
+                in
+                ignore (A.compare_and_set t.state.(tid) cur_desc new_desc)
+              end;
+              help_deq t tid phase
+          | Some _ ->
+              (* L122-123: an enqueue is in progress; help it first. *)
+              help_finish_enq t;
+              help_deq t tid phase
+        end
+        else begin
+          (* L125-137: queue is not empty *)
+          let cur_desc = A.get t.state.(tid) in
+          let node = cur_desc.node in
+          (* L128: break — required for linearizability. *)
+          if is_still_pending t tid phase then begin
+            let points_to_first =
+              match node with Some n -> n == first | None -> false
+            in
+            if first == A.get t.head && not points_to_first then begin
+              (* L129-133: stage (1) — record the current sentinel. *)
+              let new_desc =
+                { phase = cur_desc.phase; pending = true; enqueue = false;
+                  node = Some first }
+              in
+              if not (A.compare_and_set t.state.(tid) cur_desc new_desc)
+              then help_deq t tid phase (* L132: continue *)
+              else begin
+                (* L135: stage (2) — lock the sentinel; the successful CAS
+                   is the linearization point of the dequeue. *)
+                ignore (A.compare_and_set first.deq_tid (-1) tid);
+                help_finish_deq t;
+                help_deq t tid phase
+              end
+            end
+            else begin
+              ignore (A.compare_and_set first.deq_tid (-1) tid);
+              help_finish_deq t;
+              help_deq t tid phase
+            end
+          end
+        end
+      else help_deq t tid phase
+    end
+
+  (* ------------------------------------------------------------------ *)
+  (* Helping policies                                                   *)
+  (* ------------------------------------------------------------------ *)
+
+  let help_slot t i phase =
+    let desc = A.get t.state.(i) in
+    if desc.pending && desc.phase <= phase then
+      if desc.enqueue then help_enq t i phase else help_deq t i phase
+
+  (* L36-47, or the §3.3 cyclic variant. Either way the caller's own
+     operation is completed before returning. *)
+  let run_help t ~tid ~phase =
+    match t.help_policy with
+    | Help_all ->
+        for i = 0 to Array.length t.state - 1 do
+          help_slot t i phase
+        done
+    | Help_one_cyclic ->
+        let c = t.help_cursor.(tid) in
+        t.help_cursor.(tid) <- (c + 1) mod t.num_threads;
+        if c <> tid then help_slot t c phase;
+        help_slot t tid phase
+    | Help_chunk k ->
+        let c = t.help_cursor.(tid) in
+        t.help_cursor.(tid) <- (c + k) mod t.num_threads;
+        for j = 0 to min k t.num_threads - 1 do
+          let i = (c + j) mod t.num_threads in
+          if i <> tid then help_slot t i phase
+        done;
+        help_slot t tid phase
+
+  (* ------------------------------------------------------------------ *)
+  (* Public operations                                                  *)
+  (* ------------------------------------------------------------------ *)
+
+  (* L61-66 *)
+  let enqueue t ~tid value =
+    let phase = next_phase t in
+    let node =
+      { value = Some value; next = A.make None; enq_tid = tid;
+        deq_tid = A.make (-1) }
+    in
+    A.set t.state.(tid)
+      { phase; pending = true; enqueue = true; node = Some node };
+    run_help t ~tid ~phase;
+    (* L65: required for wait-freedom — without it a completed-but-
+       unfinalized enqueue would block all future enqueues until the
+       suspended helper resumes (§3.2). *)
+    help_finish_enq t;
+    if t.tuning.gc_friendly then
+      (* Enhancement 2 (§3.3): drop the node reference so the descriptor
+         cannot keep the node alive once it is dequeued. Safe: the
+         operation is finalized (tail advanced past our node), so any
+         stale helper's guards fail before it uses this slot. *)
+      A.set t.state.(tid)
+        { phase; pending = false; enqueue = true; node = None }
+
+  (* L98-108 *)
+  let dequeue t ~tid =
+    let phase = next_phase t in
+    A.set t.state.(tid)
+      { phase; pending = true; enqueue = false; node = None };
+    run_help t ~tid ~phase;
+    (* L102: symmetric to the enqueue case — ensure [head] no longer
+       refers to a node whose [deq_tid] is ours before returning. *)
+    help_finish_deq t;
+    let result =
+      match (A.get t.state.(tid)).node with
+      | None -> None (* L104-105: linearized on an empty queue *)
+      | Some node -> (
+          (* L107: the descriptor points at the sentinel that preceded
+             our element at the linearization point. *)
+          match A.get node.next with
+          | Some next ->
+              assert (next.value <> None);
+              next.value
+          | None -> assert false)
+    in
+    if t.tuning.gc_friendly then
+      A.set t.state.(tid)
+        { phase; pending = false; enqueue = false; node = None };
+    result
+
+  (* ------------------------------------------------------------------ *)
+  (* Observers (quiescent use)                                          *)
+  (* ------------------------------------------------------------------ *)
+
+  let to_list t =
+    let rec collect acc node =
+      match A.get node.next with
+      | None -> List.rev acc
+      | Some n ->
+          let v = match n.value with Some v -> v | None -> assert false in
+          collect (v :: acc) n
+    in
+    collect [] (A.get t.head)
+
+  let length t =
+    let rec count acc node =
+      match A.get node.next with None -> acc | Some n -> count (acc + 1) n
+    in
+    count 0 (A.get t.head)
+
+  let is_empty t = A.get (A.get t.head).next = None
+
+  let check_quiescent_invariants t =
+    let head = A.get t.head in
+    let tail = A.get t.tail in
+    let rec reaches node =
+      if node == tail then true
+      else match A.get node.next with None -> false | Some n -> reaches n
+    in
+    let pending_slots =
+      Array.to_list t.state
+      |> List.filteri (fun _ slot -> (A.get slot).pending)
+    in
+    if not (reaches head) then Error "tail not reachable from head"
+    else if A.get tail.next <> None then Error "dangling node after tail"
+    else if pending_slots <> [] then
+      Error
+        (Printf.sprintf "%d state slots still pending at quiescence"
+           (List.length pending_slots))
+    else Ok ()
+
+  (* Exposed for white-box tests: the number of helping rounds a slot has
+     recorded, i.e. the phase of thread [tid]'s latest operation. *)
+  let phase_of t ~tid = (A.get t.state.(tid)).phase
+  let pending_of t ~tid = (A.get t.state.(tid)).pending
+
+  (* True while the thread's descriptor still references a list node;
+     with [gc_friendly] tuning it is false between operations. *)
+  let holds_node_reference t ~tid = (A.get t.state.(tid)).node <> None
+end

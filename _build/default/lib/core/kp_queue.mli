@@ -1,0 +1,105 @@
+(** The Kogan-Petrank wait-free MPMC queue (PPoPP 2011) — this
+    repository's core contribution.
+
+    A linearizable FIFO queue supporting any number of concurrent
+    enqueuers and dequeuers, in which {e every} operation completes in a
+    bounded number of steps regardless of the scheduling of other
+    threads (bounded wait-freedom). Built over Michael & Scott's
+    lock-free queue plus a phase-based helping scheme: each thread
+    publishes an operation descriptor stamped with a monotonically
+    growing phase, and threads help all pending operations with phase ≤
+    their own before returning.
+
+    Construction-time policies select the paper's §3.3 optimizations;
+    {!tuning} enables the further enhancements the paper sketches.
+
+    Thread identity: every participating thread must own a distinct
+    [tid] in [0, num_threads) for the duration of its operations (use
+    [Wfq_registry] for dynamic thread populations). All operations are
+    safe to call concurrently from any number of domains. *)
+
+type help_policy =
+  | Help_all  (** base algorithm: help every pending operation with a
+                  smaller-or-equal phase (paper L36-47) *)
+  | Help_one_cyclic
+      (** optimization 1: help at most one other pending operation per
+          call, choosing candidates cyclically *)
+  | Help_chunk of int
+      (** generalization of optimization 1 (§3.3): traverse a cyclic
+          chunk of [k] candidates per operation. [Help_chunk 1] ≈
+          {!Help_one_cyclic}; larger chunks approach {!Help_all}.
+          Wait-freedom is preserved for any [k >= 1]. *)
+
+type phase_policy =
+  | Phase_scan  (** base algorithm: scan the state array ([maxPhase]) *)
+  | Phase_counter
+      (** optimization 2: shared counter bumped by a result-ignored CAS
+          (paper footnote 3); duplicate phases are harmless *)
+
+(** The further §3.3 enhancements, off by default. *)
+type tuning = {
+  gc_friendly : bool;
+      (** reset the thread's descriptor to a node-free dummy before
+          returning, so a dequeued node (and its value) cannot be kept
+          live by a stale descriptor *)
+  validate_before_cas : bool;
+      (** skip the descriptor-completion CAS (and its allocation) when
+          the pending flag is observed already off *)
+}
+
+val default_tuning : tuning
+
+module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
+  type 'a t
+
+  val name : string
+
+  val create : num_threads:int -> unit -> 'a t
+  (** The paper's base configuration: [Help_all] + [Phase_scan], no
+      tuning. [num_threads] may be a non-strict upper bound on the
+      number of participating threads. *)
+
+  val create_with :
+    ?tuning:tuning ->
+    help:help_policy ->
+    phase:phase_policy ->
+    num_threads:int ->
+    unit ->
+    'a t
+  (** Full control over the §3.3 policy space. Raises [Invalid_argument]
+      for [num_threads <= 0] or a non-positive chunk size. *)
+
+  val enqueue : 'a t -> tid:int -> 'a -> unit
+  (** Wait-free linearizable FIFO insert, linearized at the successful
+      CAS appending the node (paper Definition 1). *)
+
+  val dequeue : 'a t -> tid:int -> 'a option
+  (** Wait-free linearizable FIFO remove. [None] iff the queue was empty
+      at the linearization point (the paper throws [EmptyException]). *)
+
+  (** {2 Quiescent observers}
+
+      Exact only when no operation is in flight; under concurrency they
+      are best-effort snapshots (tests and diagnostics). *)
+
+  val is_empty : 'a t -> bool
+  val length : 'a t -> int
+  val to_list : 'a t -> 'a list
+
+  val check_quiescent_invariants : 'a t -> (unit, string) result
+  (** Verify the internal invariants that must hold at quiescence:
+      [tail] reachable from [head], no dangling node, no pending
+      descriptor. *)
+
+  (** {2 White-box probes (tests)} *)
+
+  val phase_of : 'a t -> tid:int -> int
+  (** Phase of the thread's latest operation. *)
+
+  val pending_of : 'a t -> tid:int -> bool
+  (** Whether the thread's descriptor is still pending. *)
+
+  val holds_node_reference : 'a t -> tid:int -> bool
+  (** Whether the thread's descriptor still references a list node;
+      always false between operations under [gc_friendly] tuning. *)
+end

@@ -1,0 +1,53 @@
+(** Kogan-Petrank queue with hazard-pointer memory reclamation and node
+    pooling — the paper's §3.4, fully integrated.
+
+    Functionally identical to [Kp_queue] (wait-free linearizable MPMC
+    FIFO), but dequeued nodes are retired through hazard pointers and
+    recycled via per-thread pools instead of being left to the GC: the
+    deployment story for non-GC runtimes, exercised here under OCaml so
+    the protocol is testable (a recycled node's fields are mutated, so
+    any protocol race corrupts data observably).
+
+    Differences from the GC variant, per §3.4: the operation descriptor
+    carries the dequeued {e value}, so callers never touch retired
+    nodes; descriptor node references count as hazard roots; every
+    traversal pointer is slot-protected and re-validated. Helping policy
+    is the optimized §3.3 configuration (atomic phase counter, cyclic
+    single-thread helping). *)
+
+module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
+  module Hp : module type of Wfq_hazard.Hazard.Make (A)
+
+  type 'a t
+
+  val name : string
+
+  val create :
+    ?pool_capacity:int ->
+    ?scan_threshold:int ->
+    num_threads:int ->
+    unit ->
+    'a t
+  (** [pool_capacity] bounds each thread's recycling pool (default
+      4096); [scan_threshold] overrides the hazard-pointer scan trigger
+      (tests use 1-8 to force recycling pressure). *)
+
+  val enqueue : 'a t -> tid:int -> 'a -> unit
+  val dequeue : 'a t -> tid:int -> 'a option
+
+  (** {2 Quiescent observers} *)
+
+  val is_empty : 'a t -> bool
+  val length : 'a t -> int
+  val to_list : 'a t -> 'a list
+
+  (** {2 Reclamation introspection} *)
+
+  val flush_reclamation : 'a t -> unit
+  (** Force all deferred scans; quiescent use. *)
+
+  val reclamation_stats : 'a t -> Hp.stats
+
+  val pool_stats : 'a t -> int * int * int
+  (** (fresh allocations, pool reuses, currently pooled). *)
+end

@@ -1,0 +1,135 @@
+(** Ladan-Mozes & Shavit's optimistic lock-free queue (DISC 2004) — the
+    other leading baseline the paper's related work cites ([14]: "several
+    recent works propose various optimizations over [Michael-Scott]").
+
+    The queue is a doubly-linked list. [next] pointers run from the tail
+    (newest) toward the head (oldest) and are written while the node is
+    still private, so an enqueue needs a {e single} CAS (on [tail]) —
+    versus two in Michael-Scott. The opposite-direction [prev] pointers,
+    which dequeue follows, are written {e optimistically} after the CAS;
+    when a dequeuer finds a missing [prev] (the enqueuer was preempted
+    between its CAS and the store) it rebuilds the chain by walking
+    [next] from the tail ([fix_list]).
+
+    A dummy node sits at the head side; [head == tail] with a dummy head
+    means empty. Progress: lock-free. ABA safety comes from GC, as in
+    the original (which relies on tagged pointers or GC). *)
+
+module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) :
+  Queue_intf.CHECKABLE_QUEUE = struct
+  type 'a node = {
+    value : 'a option; (* None marks a dummy *)
+    next : 'a node option A.t; (* toward the head / older nodes *)
+    prev : 'a node option A.t; (* toward the tail / newer nodes; lazy *)
+  }
+
+  type 'a t = { head : 'a node A.t; tail : 'a node A.t }
+
+  let name = "lms-optimistic"
+
+  let make_node value next =
+    { value; next = A.make next; prev = A.make None }
+
+  let create ~num_threads:_ () =
+    let dummy = make_node None None in
+    { head = A.make dummy; tail = A.make dummy }
+
+  let enqueue t ~tid:_ value =
+    let node = make_node (Some value) None in
+    let rec loop () =
+      let tail = A.get t.tail in
+      (* Written while [node] is private: the single-CAS optimism. *)
+      A.set node.next (Some tail);
+      if A.compare_and_set t.tail tail node then
+        (* The optimistic prev store; a preemption right here is what
+           [fix_list] repairs. *)
+        A.set tail.prev (Some node)
+      else loop ()
+    in
+    loop ()
+
+  (* Rebuild prev pointers by walking next-wards from the tail, stopping
+     if the head moves (someone dequeued meanwhile). *)
+  let fix_list t tail head =
+    let rec go cur =
+      if head == A.get t.head && not (cur == head) then
+        match A.get cur.next with
+        | Some older ->
+            A.set older.prev (Some cur);
+            go older
+        | None -> ()
+    in
+    go tail
+
+  let dequeue t ~tid:_ =
+    let rec loop () =
+      let head = A.get t.head in
+      let tail = A.get t.tail in
+      let prev = A.get head.prev in
+      if head == A.get t.head then
+        match head.value with
+        | Some v ->
+            if not (head == tail) then (
+              match prev with
+              | None ->
+                  fix_list t tail head;
+                  loop ()
+              | Some newer ->
+                  if A.compare_and_set t.head head newer then Some v
+                  else loop ())
+            else begin
+              (* Single real node: park a fresh dummy behind it so the
+                 head can advance past the value. *)
+              let dummy = make_node None (Some tail) in
+              if A.compare_and_set t.tail tail dummy then
+                A.set head.prev (Some dummy);
+              loop ()
+            end
+        | None ->
+            (* Head is a dummy. *)
+            if head == tail then None
+            else (
+              match prev with
+              | None ->
+                  fix_list t tail head;
+                  loop ()
+              | Some newer ->
+                  (* Skip the dummy and retry. *)
+                  ignore (A.compare_and_set t.head head newer);
+                  loop ())
+      else loop ()
+    in
+    loop ()
+
+  (* Quiescent traversal along the next chain from tail to head. *)
+  let to_list t =
+    let rec collect acc node =
+      let acc =
+        match node.value with Some v -> v :: acc | None -> acc
+      in
+      if node == A.get t.head then acc
+      else
+        match A.get node.next with
+        | Some older -> collect acc older
+        | None -> acc
+    in
+    (* Walking newest→oldest while prepending yields oldest-first, which
+       is exactly front-to-back. *)
+    collect [] (A.get t.tail)
+
+  let length t = List.length (to_list t)
+  let is_empty t = to_list t = []
+
+  let check_quiescent_invariants t =
+    let head = A.get t.head in
+    let tail = A.get t.tail in
+    let rec reaches node =
+      if node == head then true
+      else
+        match A.get node.next with
+        | Some older -> reaches older
+        | None -> false
+    in
+    if not (reaches tail) then Error "head not reachable from tail"
+    else Ok ()
+end

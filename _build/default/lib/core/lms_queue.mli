@@ -1,0 +1,9 @@
+(** Ladan-Mozes & Shavit's optimistic lock-free queue (DISC 2004) — an
+    additional baseline from the paper's related work ([14]): a
+    doubly-linked list where enqueue needs a single CAS and dequeue
+    follows lazily-maintained [prev] pointers, rebuilding them
+    ([fix_list]) when an enqueuer was preempted before its optimistic
+    store. Lock-free; [tid] is ignored. *)
+
+module Make (_ : Wfq_primitives.Atomic_intf.ATOMIC) :
+  Queue_intf.CHECKABLE_QUEUE

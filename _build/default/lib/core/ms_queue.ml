@@ -1,0 +1,99 @@
+(** Michael & Scott's lock-free queue (PODC 1996) — the paper's baseline.
+
+    Port of the Java version in Herlihy & Shavit, "The Art of Multiprocessor
+    Programming", which is exactly the implementation the paper benchmarks
+    against ("LF" in Figures 7-9). The queue is a singly-linked list with a
+    sentinel; [tail] is lazy — it may lag at most one node behind the true
+    last node (the "dangling" node), and every operation that observes the
+    lag first helps advance [tail].
+
+    Progress: lock-free, not wait-free — an enqueuer whose CAS on
+    [last.next] keeps losing can be starved forever (demonstrated by a
+    simulator test in [test/test_sim_queues.ml]). *)
+
+module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) :
+  Queue_intf.CHECKABLE_QUEUE = struct
+  type 'a node = { value : 'a option; next : 'a node option A.t }
+
+  type 'a t = { head : 'a node A.t; tail : 'a node A.t }
+
+  let name = "ms-lock-free"
+
+  let create ~num_threads:_ () =
+    let sentinel = { value = None; next = A.make None } in
+    { head = A.make sentinel; tail = A.make sentinel }
+
+  let enqueue t ~tid:_ value =
+    let node = { value = Some value; next = A.make None } in
+    let rec loop () =
+      let last = A.get t.tail in
+      let next = A.get last.next in
+      if last == A.get t.tail then
+        match next with
+        | None ->
+            if A.compare_and_set last.next None (Some node) then
+              (* Lazily fix tail; failure means someone helped us. *)
+              ignore (A.compare_and_set t.tail last node)
+            else loop ()
+        | Some n ->
+            (* Tail is lagging: help the in-progress enqueue, then retry. *)
+            ignore (A.compare_and_set t.tail last n);
+            loop ()
+      else loop ()
+    in
+    loop ()
+
+  let dequeue t ~tid:_ =
+    let rec loop () =
+      let first = A.get t.head in
+      let last = A.get t.tail in
+      let next = A.get first.next in
+      if first == A.get t.head then
+        if first == last then
+          match next with
+          | None -> None
+          | Some n ->
+              ignore (A.compare_and_set t.tail last n);
+              loop ()
+        else
+          match next with
+          | None ->
+              (* head trails tail yet has no successor: transient view,
+                 retry. *)
+              loop ()
+          | Some n ->
+              let v = n.value in
+              if A.compare_and_set t.head first n then v else loop ()
+      else loop ()
+    in
+    loop ()
+
+  let to_list t =
+    let rec collect acc node =
+      match A.get node.next with
+      | None -> List.rev acc
+      | Some n ->
+          let v = match n.value with Some v -> v | None -> assert false in
+          collect (v :: acc) n
+    in
+    collect [] (A.get t.head)
+
+  let length t =
+    let rec count acc node =
+      match A.get node.next with None -> acc | Some n -> count (acc + 1) n
+    in
+    count 0 (A.get t.head)
+
+  let is_empty t = A.get (A.get t.head).next = None
+
+  let check_quiescent_invariants t =
+    let head = A.get t.head in
+    let tail = A.get t.tail in
+    let rec reaches node =
+      if node == tail then true
+      else match A.get node.next with None -> false | Some n -> reaches n
+    in
+    if not (reaches head) then Error "tail not reachable from head"
+    else if A.get tail.next <> None then Error "dangling node after tail"
+    else Ok ()
+end

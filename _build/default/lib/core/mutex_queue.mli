@@ -1,0 +1,5 @@
+(** Coarse-grained baseline: [Stdlib.Queue] under a single mutex. The
+    simplest correct concurrent queue; reference implementation for
+    differential tests and a sanity baseline in benchmarks. *)
+
+include Queue_intf.QUEUE

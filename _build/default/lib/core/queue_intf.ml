@@ -1,0 +1,46 @@
+(** Common signature implemented by every queue in this library.
+
+    All operations take the caller's thread ID [tid], a small integer in
+    [0, num_threads). The wait-free algorithms index their per-thread
+    [state] slots by [tid]; baselines that do not need thread identity
+    simply ignore it. Dynamic threads can obtain a [tid] from
+    [Wfq_registry]. *)
+
+module type QUEUE = sig
+  type 'a t
+
+  val name : string
+  (** Short algorithm name used in benchmark output. *)
+
+  val create : num_threads:int -> unit -> 'a t
+  (** [create ~num_threads ()] makes an empty queue usable by threads with
+      IDs [0 .. num_threads - 1]. [num_threads] may be a non-strict upper
+      bound, as in the paper. *)
+
+  val enqueue : 'a t -> tid:int -> 'a -> unit
+  (** Linearizable FIFO insert. *)
+
+  val dequeue : 'a t -> tid:int -> 'a option
+  (** Linearizable FIFO remove; [None] iff the queue was observed empty at
+      the linearization point (the paper throws [EmptyException]). *)
+
+  val is_empty : 'a t -> bool
+  (** Snapshot emptiness test. Only meaningful at quiescence (it is exact
+      then); under concurrency it is a best-effort hint. *)
+
+  val length : 'a t -> int
+  (** Number of elements, by traversal. Quiescent use only. *)
+
+  val to_list : 'a t -> 'a list
+  (** Front-to-back contents. Quiescent use only. *)
+end
+
+(** Queues that expose internal-structure invariant checks for tests. *)
+module type CHECKABLE_QUEUE = sig
+  include QUEUE
+
+  val check_quiescent_invariants : 'a t -> (unit, string) result
+  (** Verify the internal linked-list invariants that must hold once all
+      operations have returned (e.g. [tail] points at the last node, no
+      dangling node, [head] reaches [tail]). *)
+end

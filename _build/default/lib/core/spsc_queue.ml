@@ -1,0 +1,70 @@
+(** Lamport's single-producer / single-consumer wait-free ring buffer.
+
+    The paper's related work (ref [16]) cites this as the first wait-free
+    queue — with concurrency limited to one enqueuer and one dequeuer, and
+    capacity fixed at construction. We include it to reproduce that design
+    point: it is wait-free *because* the producer owns [tail] and the
+    consumer owns [head], so neither ever retries.
+
+    Safety on OCaml 5: indices are [Atomic.t]; the cell array is written
+    before the index publish ([Atomic.set] is a release store, [Atomic.get]
+    an acquire load), so the consumer always observes the cell contents
+    written by the producer. *)
+
+module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
+  type 'a t = {
+    cells : 'a option array;
+    capacity : int;
+    head : int A.t; (* next slot to read; advanced only by the consumer *)
+    tail : int A.t; (* next slot to write; advanced only by the producer *)
+  }
+
+  let name = "lamport-spsc"
+
+  let create ?(capacity = 1024) ~num_threads:_ () =
+    if capacity <= 0 then invalid_arg "Spsc_queue.create: capacity";
+    (* One slot is sacrificed to distinguish full from empty. *)
+    {
+      cells = Array.make (capacity + 1) None;
+      capacity = capacity + 1;
+      head = A.make 0;
+      tail = A.make 0;
+    }
+
+  let try_enqueue t value =
+    let tail = A.get t.tail in
+    let next = (tail + 1) mod t.capacity in
+    if next = A.get t.head then false (* full *)
+    else begin
+      t.cells.(tail) <- Some value;
+      A.set t.tail next;
+      true
+    end
+
+  let dequeue t ~tid:_ =
+    let head = A.get t.head in
+    if head = A.get t.tail then None (* empty *)
+    else begin
+      let v = t.cells.(head) in
+      t.cells.(head) <- None;
+      A.set t.head ((head + 1) mod t.capacity);
+      v
+    end
+
+  let enqueue t ~tid value =
+    ignore tid;
+    if not (try_enqueue t value) then failwith "Spsc_queue.enqueue: full"
+
+  let length t =
+    let h = A.get t.head and tl = A.get t.tail in
+    (tl - h + t.capacity) mod t.capacity
+
+  let is_empty t = length t = 0
+
+  let to_list t =
+    let h = A.get t.head and n = length t in
+    List.init n (fun i ->
+        match t.cells.((h + i) mod t.capacity) with
+        | Some v -> v
+        | None -> assert false)
+end

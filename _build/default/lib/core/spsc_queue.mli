@@ -1,0 +1,32 @@
+(** Lamport's single-producer / single-consumer wait-free ring buffer —
+    the paper's related-work design point (ref [16]): wait-free, but
+    with concurrency limited to one enqueuer and one dequeuer and
+    capacity fixed at construction.
+
+    Exactly one thread may enqueue and exactly one (other) thread may
+    dequeue; the [tid] arguments are ignored. *)
+
+module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
+  type 'a t
+
+  val name : string
+
+  val create : ?capacity:int -> num_threads:int -> unit -> 'a t
+  (** [capacity] (default 1024) bounds the number of buffered elements.
+      Raises [Invalid_argument] for a non-positive capacity. *)
+
+  val try_enqueue : 'a t -> 'a -> bool
+  (** Producer only. [false] when the ring is full. Wait-free: a bounded
+      straight-line sequence of steps. *)
+
+  val enqueue : 'a t -> tid:int -> 'a -> unit
+  (** Producer only; raises [Failure] when full (prefer
+      {!try_enqueue}). *)
+
+  val dequeue : 'a t -> tid:int -> 'a option
+  (** Consumer only. [None] when empty. Wait-free. *)
+
+  val is_empty : 'a t -> bool
+  val length : 'a t -> int
+  val to_list : 'a t -> 'a list
+end

@@ -1,0 +1,65 @@
+(** Michael & Scott's two-lock blocking queue (PODC 1996).
+
+    Extra baseline: a head lock serializes dequeuers and a tail lock
+    serializes enqueuers, so one enqueue and one dequeue can proceed in
+    parallel. Blocking — a descheduled lock holder stalls every peer — so
+    it contrasts with the non-blocking algorithms in the stall-injection
+    tests and latency benchmarks.
+
+    Not a functor: locks have no meaning under the deterministic
+    simulator's ATOMIC interface, so this queue only exists on real
+    domains. *)
+
+type 'a node = { value : 'a option; mutable next : 'a node option }
+
+type 'a t = {
+  mutable head : 'a node;
+  mutable tail : 'a node;
+  head_lock : Mutex.t;
+  tail_lock : Mutex.t;
+}
+
+let name = "two-lock"
+
+let create ~num_threads:_ () =
+  let sentinel = { value = None; next = None } in
+  {
+    head = sentinel;
+    tail = sentinel;
+    head_lock = Mutex.create ();
+    tail_lock = Mutex.create ();
+  }
+
+let with_lock lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let enqueue t ~tid:_ value =
+  let node = { value = Some value; next = None } in
+  with_lock t.tail_lock (fun () ->
+      t.tail.next <- Some node;
+      t.tail <- node)
+
+let dequeue t ~tid:_ =
+  with_lock t.head_lock (fun () ->
+      match t.head.next with
+      | None -> None
+      | Some n ->
+          (* The old sentinel is dropped; [n] becomes the new sentinel but
+             its value is returned now, matching Michael & Scott. *)
+          t.head <- n;
+          n.value)
+
+let to_list t =
+  with_lock t.head_lock (fun () ->
+      let rec collect acc node =
+        match node.next with
+        | None -> List.rev acc
+        | Some n ->
+            let v = match n.value with Some v -> v | None -> assert false in
+            collect (v :: acc) n
+      in
+      collect [] t.head)
+
+let length t = List.length (to_list t)
+let is_empty t = with_lock t.head_lock (fun () -> t.head.next = None)

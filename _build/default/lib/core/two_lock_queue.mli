@@ -1,0 +1,7 @@
+(** Michael & Scott's two-lock blocking queue (PODC 1996): one lock
+    serializes enqueuers, another serializes dequeuers, so one operation
+    of each kind proceeds in parallel. Blocking — a descheduled lock
+    holder stalls all peers of its kind — which is the contrast class
+    for the non-blocking algorithms in this repository. *)
+
+include Queue_intf.QUEUE

@@ -1,0 +1,1 @@
+lib/harness/chart.ml: Array Buffer List Printf Report String

@@ -1,0 +1,1 @@
+lib/harness/chart.mli: Report

@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Impls List Report Space Wfq_primitives Workload

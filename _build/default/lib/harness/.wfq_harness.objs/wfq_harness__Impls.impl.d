@@ -1,0 +1,1 @@
+lib/harness/impls.ml: List Printf String Wfq_core Wfq_primitives Wfq_universal

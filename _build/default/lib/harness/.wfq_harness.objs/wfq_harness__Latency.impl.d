@@ -1,0 +1,1 @@
+lib/harness/latency.ml: Array Barrier Domain Gc Impls List Unix Wfq_primitives

@@ -1,0 +1,1 @@
+lib/harness/workload.ml: Array Barrier Domain Gc Impls List Printf Unix Wfq_primitives

@@ -1,0 +1,16 @@
+(** One-shot spin barrier used to release all benchmark domains at once,
+    so completion-time measurements start from a common instant. *)
+
+type t = { arrived : int Atomic.t; total : int; go : bool Atomic.t }
+
+let create total =
+  if total <= 0 then invalid_arg "Barrier.create: total";
+  { arrived = Atomic.make 0; total; go = Atomic.make false }
+
+let wait t =
+  let n = 1 + Atomic.fetch_and_add t.arrived 1 in
+  if n = t.total then Atomic.set t.go true
+  else
+    while not (Atomic.get t.go) do
+      Domain.cpu_relax ()
+    done

@@ -1,0 +1,12 @@
+(** One-shot spin barrier: releases all benchmark domains at a common
+    instant so completion-time measurements share a start line. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes a barrier for [n] participants. Raises
+    [Invalid_argument] for [n <= 0]. *)
+
+val wait : t -> unit
+(** Block (spinning) until all [n] participants have arrived. Each
+    participant may wait at most once. *)

@@ -1,0 +1,63 @@
+(* ASCII line charts for benchmark series. *)
+
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+
+let render ?(width = 64) ?(height = 16) (series : Report.series list) =
+  let points = List.concat_map (fun (s : Report.series) -> s.points) series in
+  if points = [] then "(no data)\n"
+  else begin
+    let xs = List.map fst points and ys = List.map snd points in
+    let x_min = List.fold_left min (List.hd xs) xs in
+    let x_max = List.fold_left max (List.hd xs) xs in
+    let y_min = 0.0 in
+    let y_max = List.fold_left max (List.hd ys) ys in
+    let y_max = if y_max <= y_min then y_min +. 1.0 else y_max in
+    let x_span = if x_max > x_min then x_max -. x_min else 1.0 in
+    let grid = Array.make_matrix height width ' ' in
+    let col x =
+      int_of_float ((x -. x_min) /. x_span *. float_of_int (width - 1))
+    in
+    let row y =
+      (height - 1)
+      - int_of_float ((y -. y_min) /. (y_max -. y_min)
+                      *. float_of_int (height - 1))
+    in
+    List.iteri
+      (fun i (s : Report.series) ->
+        let g = glyphs.(i mod Array.length glyphs) in
+        List.iter
+          (fun (x, y) ->
+            let c = max 0 (min (width - 1) (col x)) in
+            let r = max 0 (min (height - 1) (row y)) in
+            grid.(r).(c) <- g)
+          s.points)
+      series;
+    let buf = Buffer.create (width * height) in
+    Array.iteri
+      (fun r line ->
+        let label =
+          if r = 0 then Printf.sprintf "%10.4g |" y_max
+          else if r = height - 1 then Printf.sprintf "%10.4g |" y_min
+          else Printf.sprintf "%10s |" ""
+        in
+        Buffer.add_string buf label;
+        Buffer.add_string buf (String.init width (fun c -> line.(c)));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (Printf.sprintf "%10s +%s\n" "" (String.make width '-'));
+    Buffer.add_string buf
+      (Printf.sprintf "%10s  %-10.4g%*s%10.4g\n" "" x_min (width - 20) ""
+         x_max);
+    List.iteri
+      (fun i (s : Report.series) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%12s = %s\n"
+             (String.make 1 glyphs.(i mod Array.length glyphs))
+             s.label))
+      series;
+    Buffer.contents buf
+  end
+
+let print ?width ?height ~title series =
+  Printf.printf "\n-- %s --\n%s" title (render ?width ?height series);
+  flush stdout

@@ -1,0 +1,8 @@
+(** Dependency-free ASCII line charts, so the benchmark output can show
+    the *shape* of each paper figure directly in the terminal. *)
+
+val render : ?width:int -> ?height:int -> Report.series list -> string
+(** Plot all series on one grid (y from 0 to the data maximum, x spanning
+    the data range), one glyph per series, with a legend. *)
+
+val print : ?width:int -> ?height:int -> title:string -> Report.series list -> unit

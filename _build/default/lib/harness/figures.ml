@@ -1,0 +1,128 @@
+(** Regeneration of every figure in the paper's evaluation section (§4).
+
+    Each function returns {!Report.series} data — the numbers behind the
+    corresponding line plot — and is shared between [bench/main.exe]
+    (one-shot regeneration of everything) and [bin/wfq_bench.exe]
+    (parameterized CLI).
+
+    Scaling: the paper runs 1,000,000 iterations per thread over 1..16
+    threads on 8-core machines, ten repetitions per point. The default
+    {!quick} scale keeps the same shape at container-friendly cost;
+    {!paper} restores the paper's parameters. *)
+
+type scale = {
+  threads : int list;  (** x axis of figs. 7-9 *)
+  iters : int;  (** iterations per thread *)
+  runs : int;  (** repetitions averaged per data point *)
+  sizes : int list;  (** x axis of fig. 10 (initial queue size) *)
+}
+
+let quick =
+  {
+    threads = [ 1; 2; 4; 8; 16 ];
+    iters = 10_000;
+    runs = 3;
+    sizes = [ 1; 10; 100; 1_000; 10_000; 100_000 ];
+  }
+
+let paper =
+  {
+    threads = List.init 16 (fun i -> i + 1);
+    iters = 1_000_000;
+    runs = 10;
+    sizes = [ 1; 10; 100; 1_000; 10_000; 100_000; 1_000_000; 10_000_000 ];
+  }
+
+let mean_time ~runs f = Wfq_primitives.Stats.mean (Workload.repeat ~runs f)
+
+let completion_series ~scale ~workload impls =
+  List.map
+    (fun impl ->
+      {
+        Report.label = Impls.name impl;
+        points =
+          List.map
+            (fun threads ->
+              let seconds =
+                mean_time ~runs:scale.runs (fun () ->
+                    workload impl ~threads ~iters:scale.iters ())
+              in
+              (float_of_int threads, seconds))
+            scale.threads;
+      })
+    impls
+
+(** Figure 7: enqueue-dequeue pairs — completion time vs thread count for
+    the lock-free baseline, the base wait-free queue and the fully
+    optimized wait-free queue. *)
+let fig7 ?(scale = quick) () =
+  completion_series ~scale
+    ~workload:(fun impl ~threads ~iters () ->
+      Workload.pairs impl ~threads ~iters ())
+    [ Impls.lf; Impls.wf_base; Impls.wf_opt12 ]
+
+(** Figure 8: 50% enqueues — same series over the randomized workload
+    with a 1000-element prefill. *)
+let fig8 ?(scale = quick) () =
+  completion_series ~scale
+    ~workload:(fun impl ~threads ~iters () ->
+      Workload.p_enq impl ~threads ~iters ())
+    [ Impls.lf; Impls.wf_base; Impls.wf_opt12 ]
+
+(** Figure 9: the impact of each §3.3 optimization in isolation, on the
+    enqueue-dequeue benchmark. *)
+let fig9 ?(scale = quick) () =
+  completion_series ~scale
+    ~workload:(fun impl ~threads ~iters () ->
+      Workload.pairs impl ~threads ~iters ())
+    [ Impls.wf_base; Impls.wf_opt12; Impls.wf_opt1; Impls.wf_opt2 ]
+
+(** Figure 10: live-space overhead of the wait-free queues relative to
+    the lock-free one, as a function of the initial queue size. *)
+let fig10 ?(scale = quick) () =
+  let ratio impl size =
+    let wf = Space.footprint impl ~size in
+    let lf = Space.footprint Impls.lf ~size in
+    float_of_int wf /. float_of_int lf
+  in
+  [
+    {
+      Report.label = "base WF / LF";
+      points =
+        List.map
+          (fun s -> (float_of_int s, ratio Impls.wf_base s))
+          scale.sizes;
+    };
+    {
+      Report.label = "opt WF (1+2) / LF";
+      points =
+        List.map
+          (fun s -> (float_of_int s, ratio Impls.wf_opt12 s))
+          scale.sizes;
+    };
+  ]
+
+(** Extension (not in the paper): the full baseline field on the pairs
+    benchmark, including the blocking queues, the HP-reclaiming wait-free
+    queue, and both partial optimizations. *)
+let extended_pairs ?(scale = quick) () =
+  completion_series ~scale
+    ~workload:(fun impl ~threads ~iters () ->
+      Workload.pairs impl ~threads ~iters ())
+    Impls.all
+
+(** Ablation of the §3.3 design knobs the paper describes but does not
+    evaluate: helping-chunk size (1 = the paper's optimization 1) and the
+    tuning enhancements (descriptor reset + pre-CAS validation). *)
+let ablation ?(scale = quick) () =
+  completion_series ~scale
+    ~workload:(fun impl ~threads ~iters () ->
+      Workload.pairs impl ~threads ~iters ())
+    Impls.ablation
+
+let print_fig ~title ~y_label series =
+  Report.print_table ~title ~x_label:"threads" ~y_label series
+
+let print_fig10 series =
+  Report.print_table ~title:"Figure 10: live space overhead (WF / LF)"
+    ~x_label:"queue size" ~y_label:"live-words ratio" series

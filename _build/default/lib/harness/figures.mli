@@ -1,0 +1,41 @@
+(** Regeneration of every figure in the paper's evaluation section (§4),
+    shared between [bench/main.exe] and [bin/wfq_bench.exe]. See
+    EXPERIMENTS.md for paper-vs-measured commentary. *)
+
+type scale = {
+  threads : int list;  (** x axis of figs. 7-9 *)
+  iters : int;  (** iterations per thread *)
+  runs : int;  (** repetitions averaged per data point *)
+  sizes : int list;  (** x axis of fig. 10 (initial queue size) *)
+}
+
+val quick : scale
+(** Container-friendly default preserving the paper's shapes. *)
+
+val paper : scale
+(** The paper's parameters: 1..16 threads, 1M iterations, 10 runs,
+    queue sizes 10^0..10^7. *)
+
+val fig7 : ?scale:scale -> unit -> Report.series list
+(** Enqueue-dequeue pairs: completion time vs threads for LF, base WF,
+    opt WF (1+2). *)
+
+val fig8 : ?scale:scale -> unit -> Report.series list
+(** 50% enqueues: same series over the randomized workload. *)
+
+val fig9 : ?scale:scale -> unit -> Report.series list
+(** Optimization ablation: base WF vs opt (1), opt (2), opt (1+2). *)
+
+val fig10 : ?scale:scale -> unit -> Report.series list
+(** Live-space ratio (wait-free / lock-free) vs initial queue size. *)
+
+val extended_pairs : ?scale:scale -> unit -> Report.series list
+(** Extension: every implementation in {!Impls.all} on the pairs
+    benchmark. *)
+
+val ablation : ?scale:scale -> unit -> Report.series list
+(** Extension: helping-chunk size and tuning enhancements (§3.3 design
+    knobs the paper describes but does not evaluate). *)
+
+val print_fig : title:string -> y_label:string -> Report.series list -> unit
+val print_fig10 : Report.series list -> unit

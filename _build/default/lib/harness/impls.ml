@@ -1,0 +1,159 @@
+(** First-class-module registry of the benchmarked queue algorithms,
+    specialized to [int] payloads as in the paper ("we assume the queue
+    stores integer values").
+
+    Series names match the paper's figure legends. *)
+
+module A = Wfq_primitives.Real_atomic
+module Ms = Wfq_core.Ms_queue.Make (A)
+module Lms = Wfq_core.Lms_queue.Make (A)
+module Uq = Wfq_universal.Universal.Queue (A)
+module Fc = Wfq_core.Fc_queue.Make (A)
+module Kp = Wfq_core.Kp_queue.Make (A)
+module Kp_hp = Wfq_core.Kp_queue_hp.Make (A)
+
+module type BENCH_QUEUE = sig
+  type t
+
+  val name : string
+  val create : num_threads:int -> t
+  val enqueue : t -> tid:int -> int -> unit
+  val dequeue : t -> tid:int -> int option
+end
+
+type impl = (module BENCH_QUEUE)
+
+let lf : impl =
+  (module struct
+    type t = int Ms.t
+
+    let name = "LF"
+    let create ~num_threads = Ms.create ~num_threads ()
+    let enqueue = Ms.enqueue
+    let dequeue = Ms.dequeue
+  end)
+
+let lms : impl =
+  (module struct
+    type t = int Lms.t
+
+    let name = "LF optimistic"
+    let create ~num_threads = Lms.create ~num_threads ()
+    let enqueue = Lms.enqueue
+    let dequeue = Lms.dequeue
+  end)
+
+let kp_variant variant_name help phase : impl =
+  (module struct
+    type t = int Kp.t
+
+    let name = variant_name
+    let create ~num_threads = Kp.create_with ~help ~phase ~num_threads ()
+    let enqueue = Kp.enqueue
+    let dequeue = Kp.dequeue
+  end)
+
+let wf_base = kp_variant "base WF" Wfq_core.Kp_queue.Help_all
+    Wfq_core.Kp_queue.Phase_scan
+
+let wf_opt1 = kp_variant "opt WF (1)" Wfq_core.Kp_queue.Help_one_cyclic
+    Wfq_core.Kp_queue.Phase_scan
+
+let wf_opt2 = kp_variant "opt WF (2)" Wfq_core.Kp_queue.Help_all
+    Wfq_core.Kp_queue.Phase_counter
+
+let wf_opt12 = kp_variant "opt WF (1+2)" Wfq_core.Kp_queue.Help_one_cyclic
+    Wfq_core.Kp_queue.Phase_counter
+
+(* §3.3 extension variants (not in the paper's evaluation): chunked
+   cyclic helping and the further tuning enhancements. *)
+let kp_variant_full variant_name ~help ~phase ~tuning : impl =
+  (module struct
+    type t = int Kp.t
+
+    let name = variant_name
+    let create ~num_threads = Kp.create_with ~tuning ~help ~phase ~num_threads ()
+    let enqueue = Kp.enqueue
+    let dequeue = Kp.dequeue
+  end)
+
+let wf_chunk k =
+  kp_variant_full
+    (Printf.sprintf "WF chunk-%d" k)
+    ~help:(Wfq_core.Kp_queue.Help_chunk k)
+    ~phase:Wfq_core.Kp_queue.Phase_counter
+    ~tuning:Wfq_core.Kp_queue.default_tuning
+
+let wf_tuned =
+  kp_variant_full "WF tuned"
+    ~help:Wfq_core.Kp_queue.Help_one_cyclic
+    ~phase:Wfq_core.Kp_queue.Phase_counter
+    ~tuning:{ Wfq_core.Kp_queue.gc_friendly = true; validate_before_cas = true }
+
+let wf_hp : impl =
+  (module struct
+    type t = int Kp_hp.t
+
+    let name = "WF hazard-ptr"
+    let create ~num_threads = Kp_hp.create ~num_threads ()
+    let enqueue = Kp_hp.enqueue
+    let dequeue = Kp_hp.dequeue
+  end)
+
+let wf_universal : impl =
+  (module struct
+    type t = Uq.t
+
+    let name = "WF universal"
+    let create ~num_threads = Uq.create ~num_threads ()
+    let enqueue = Uq.enqueue
+    let dequeue = Uq.dequeue
+  end)
+
+let flat_combining : impl =
+  (module struct
+    type t = int Fc.t
+
+    let name = "flat-combining"
+    let create ~num_threads = Fc.create ~num_threads ()
+    let enqueue = Fc.enqueue
+    let dequeue = Fc.dequeue
+  end)
+
+let two_lock : impl =
+  (module struct
+    type t = int Wfq_core.Two_lock_queue.t
+
+    let name = "two-lock"
+    let create ~num_threads = Wfq_core.Two_lock_queue.create ~num_threads ()
+    let enqueue = Wfq_core.Two_lock_queue.enqueue
+    let dequeue = Wfq_core.Two_lock_queue.dequeue
+  end)
+
+let mutex : impl =
+  (module struct
+    type t = int Wfq_core.Mutex_queue.t
+
+    let name = "mutex"
+    let create ~num_threads = Wfq_core.Mutex_queue.create ~num_threads ()
+    let enqueue = Wfq_core.Mutex_queue.enqueue
+    let dequeue = Wfq_core.Mutex_queue.dequeue
+  end)
+
+let all =
+  [ lf; lms; wf_base; wf_opt1; wf_opt2; wf_opt12; wf_hp; wf_universal;
+    flat_combining; two_lock; mutex ]
+
+(* Variants for the ablation bench: helping-chunk size sweep plus the
+   tuning enhancements. *)
+let ablation = [ wf_opt12; wf_chunk 2; wf_chunk 4; wf_tuned ]
+
+let name (module Q : BENCH_QUEUE) = Q.name
+
+let by_name n =
+  match List.find_opt (fun i -> name i = n) all with
+  | Some i -> i
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Impls.by_name: unknown %S (known: %s)" n
+           (String.concat ", " (List.map name all)))

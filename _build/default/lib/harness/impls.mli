@@ -1,0 +1,70 @@
+(** Registry of benchmarked queue algorithms as first-class modules,
+    specialized to [int] payloads (the paper's setting). Series names
+    match the paper's figure legends. *)
+
+module type BENCH_QUEUE = sig
+  type t
+
+  val name : string
+  val create : num_threads:int -> t
+  val enqueue : t -> tid:int -> int -> unit
+  val dequeue : t -> tid:int -> int option
+end
+
+type impl = (module BENCH_QUEUE)
+
+val lf : impl
+(** Michael-Scott lock-free queue — the paper's baseline ("LF"). *)
+
+val lms : impl
+(** Ladan-Mozes & Shavit optimistic lock-free queue (related work
+    [14]). *)
+
+val wf_base : impl
+(** Base Kogan-Petrank wait-free queue ("base WF"). *)
+
+val wf_opt1 : impl
+(** Optimization 1 only: cyclic single-thread helping ("opt WF (1)"). *)
+
+val wf_opt2 : impl
+(** Optimization 2 only: atomic phase counter ("opt WF (2)"). *)
+
+val wf_opt12 : impl
+(** Both optimizations ("opt WF (1+2)"). *)
+
+val wf_chunk : int -> impl
+(** §3.3 extension: cyclic chunk helping of the given size. *)
+
+val wf_tuned : impl
+(** §3.3 extension: opt (1+2) plus gc-friendly descriptor reset and
+    pre-CAS validation. *)
+
+val wf_hp : impl
+(** Wait-free queue with hazard-pointer reclamation (§3.4). *)
+
+val wf_universal : impl
+(** Wait-free queue via Herlihy's universal construction — the generic
+    alternative the paper's §2 argues is impractical; benchmarked to
+    measure that argument. *)
+
+val flat_combining : impl
+(** Flat-combining queue (Hendler et al., SPAA 2010): blocking,
+    combiner-based — the combining counterpoint to helping. *)
+
+val two_lock : impl
+(** Michael-Scott two-lock blocking queue (extra baseline). *)
+
+val mutex : impl
+(** Coarse single-mutex queue (extra baseline). *)
+
+val all : impl list
+(** The paper's series plus the extra baselines and the HP variant. *)
+
+val ablation : impl list
+(** Variants for the helping-chunk / tuning ablation bench. *)
+
+val name : impl -> string
+
+val by_name : string -> impl
+(** Look up a member of {!all} by its display name; raises
+    [Invalid_argument] with the known names otherwise. *)

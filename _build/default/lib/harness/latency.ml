@@ -1,0 +1,37 @@
+(* Per-operation latency measurement across domains. *)
+
+type summary = {
+  p50 : float;
+  p99 : float;
+  p999 : float;
+  max : float;
+  samples : int;
+}
+
+let measure ?(threads = 4) ?(iters = 10_000) (module Q : Impls.BENCH_QUEUE) =
+  if threads <= 0 || iters <= 0 then invalid_arg "Latency.measure";
+  Gc.full_major ();
+  let q = Q.create ~num_threads:threads in
+  let barrier = Barrier.create (threads + 1) in
+  let latencies = Array.make (threads * iters) 0.0 in
+  let worker tid () =
+    Barrier.wait barrier;
+    for i = 0 to iters - 1 do
+      let t0 = Unix.gettimeofday () in
+      Q.enqueue q ~tid i;
+      ignore (Q.dequeue q ~tid);
+      let t1 = Unix.gettimeofday () in
+      latencies.((tid * iters) + i) <- (t1 -. t0) *. 1e6
+    done
+  in
+  let domains = List.init threads (fun tid -> Domain.spawn (worker tid)) in
+  Barrier.wait barrier;
+  List.iter Domain.join domains;
+  let xs = Array.to_list latencies in
+  {
+    p50 = Wfq_primitives.Stats.median xs;
+    p99 = Wfq_primitives.Stats.percentile xs 99.0;
+    p999 = Wfq_primitives.Stats.percentile xs 99.9;
+    max = Wfq_primitives.Stats.maximum xs;
+    samples = threads * iters;
+  }

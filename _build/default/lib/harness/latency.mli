@@ -1,0 +1,16 @@
+(** Per-operation-pair latency distributions across domains — the
+    measurement behind the real-time motivation of the paper's §1
+    (deadline-bound systems care about tails, not means). *)
+
+type summary = {
+  p50 : float;  (** microseconds *)
+  p99 : float;
+  p999 : float;
+  max : float;
+  samples : int;
+}
+
+val measure : ?threads:int -> ?iters:int -> Impls.impl -> summary
+(** Run the enqueue-dequeue pairs workload on [threads] domains,
+    recording the wall-clock latency of every pair. Raises
+    [Invalid_argument] on non-positive parameters. *)

@@ -1,0 +1,48 @@
+(** Live-space measurement (paper Figure 10).
+
+    The paper samples the GC's live-object statistics while the
+    enqueue-dequeue benchmark runs over queues of growing initial size,
+    and reports the wait-free/lock-free footprint ratio. Our equivalent
+    of Java's [-verbose:gc] sampling is [Gc.full_major] followed by
+    [Gc.stat ()].live_words, which counts exactly the live heap. *)
+
+let live_words () =
+  Gc.full_major ();
+  (Gc.stat ()).Gc.live_words
+
+(** Heap words attributable to a queue of [size] elements: live words
+    after building it minus live words before. The queue is kept alive
+    across the second measurement via [Sys.opaque_identity]. *)
+let footprint (module Q : Impls.BENCH_QUEUE) ~size =
+  let before = live_words () in
+  let q = Q.create ~num_threads:8 in
+  for i = 1 to size do
+    Q.enqueue q ~tid:0 i
+  done;
+  let after = live_words () in
+  ignore (Sys.opaque_identity q);
+  after - before
+
+(** Footprint sampled during activity, closer to the paper's methodology:
+    fill to [size], then run one thread of enqueue-dequeue pairs and
+    sample live words mid-run. Single-domain sampling (the sampler is the
+    worker), which keeps the measurement deterministic. *)
+let footprint_active (module Q : Impls.BENCH_QUEUE) ~size ~iters ~samples =
+  let before = live_words () in
+  let q = Q.create ~num_threads:8 in
+  for i = 1 to size do
+    Q.enqueue q ~tid:0 i
+  done;
+  let acc = ref 0 in
+  let sample_every = max 1 (iters / samples) in
+  let taken = ref 0 in
+  for i = 1 to iters do
+    Q.enqueue q ~tid:0 (size + i);
+    ignore (Q.dequeue q ~tid:0);
+    if i mod sample_every = 0 && !taken < samples then begin
+      acc := !acc + (live_words () - before);
+      incr taken
+    end
+  done;
+  ignore (Sys.opaque_identity q);
+  if !taken = 0 then live_words () - before else !acc / !taken

@@ -1,0 +1,15 @@
+(** Live-space measurement for Figure 10: the OCaml equivalent of the
+    paper's [-verbose:gc] sampling is [Gc.full_major] followed by
+    [Gc.stat ()].live_words. *)
+
+val live_words : unit -> int
+(** Live heap words after a full major collection. *)
+
+val footprint : Impls.impl -> size:int -> int
+(** Heap words attributable to a queue holding [size] elements (live
+    words after building it minus live words before). *)
+
+val footprint_active : Impls.impl -> size:int -> iters:int -> samples:int -> int
+(** Like {!footprint} but averaged over samples taken while an
+    enqueue-dequeue workload runs over the filled queue — closer to the
+    paper's mid-benchmark sampling. *)

@@ -1,0 +1,129 @@
+(** The paper's two benchmarks (§4), generalized.
+
+    - {!pairs}: "enqueue-dequeue pairs" — the queue starts empty and each
+      thread iteratively performs an enqueue followed by a dequeue.
+    - {!p_enq}: "50% enqueues" — the queue starts with [prefill]
+      elements and each thread flips a private fair coin per iteration.
+
+    Every run validates element conservation: the numbers of successful
+    operations must balance with the final queue length, and in [pairs]
+    no dequeue may observe an empty queue (each thread's dequeue is
+    preceded by its own enqueue, so the queue is provably non-empty at
+    every dequeue linearization point). A violation raises, failing the
+    benchmark loudly — performance numbers from a broken queue are
+    worthless. *)
+
+type counters = {
+  mutable enqs : int;
+  mutable deq_hits : int;
+  mutable deq_empties : int;
+}
+
+type run_result = {
+  seconds : float;
+  total_ops : int;
+  per_thread : counters array;
+}
+
+let now = Unix.gettimeofday
+
+let spawn_and_time ~threads worker =
+  (* Settle the GC first: garbage left by earlier benchmarks would
+     otherwise be collected during this measurement, inflating it by an
+     amount that depends on run order rather than on the queue. *)
+  Gc.full_major ();
+  (* The main domain is barrier participant [threads]: it records t0 the
+     instant all workers are released and t1 when the last one joins. *)
+  let barrier = Barrier.create (threads + 1) in
+  let domains =
+    Array.init threads (fun tid ->
+        Domain.spawn (fun () ->
+            Barrier.wait barrier;
+            worker tid))
+  in
+  Barrier.wait barrier;
+  let t0 = now () in
+  Array.iter Domain.join domains;
+  let t1 = now () in
+  t1 -. t0
+
+let fresh_counters threads =
+  Array.init threads (fun _ -> { enqs = 0; deq_hits = 0; deq_empties = 0 })
+
+let sum_by counters f = Array.fold_left (fun acc c -> acc + f c) 0 counters
+
+(** Count elements left by draining with [dequeue] (observers like
+    [to_list] are not part of {!Impls.BENCH_QUEUE}). *)
+let drain (type a) (module Q : Impls.BENCH_QUEUE with type t = a) (q : a) =
+  let rec go n =
+    match Q.dequeue q ~tid:0 with Some _ -> go (n + 1) | None -> n
+  in
+  go 0
+
+let pairs ?(check = true) (module Q : Impls.BENCH_QUEUE) ~threads ~iters () =
+  if threads <= 0 || iters <= 0 then invalid_arg "Workload.pairs";
+  let q = Q.create ~num_threads:(threads + 1) in
+  let counters = fresh_counters threads in
+  let worker tid =
+    let c = counters.(tid) in
+    for i = 1 to iters do
+      Q.enqueue q ~tid ((tid * iters) + i);
+      c.enqs <- c.enqs + 1;
+      match Q.dequeue q ~tid with
+      | Some _ -> c.deq_hits <- c.deq_hits + 1
+      | None -> c.deq_empties <- c.deq_empties + 1
+    done
+  in
+  let seconds = spawn_and_time ~threads worker in
+  if check then begin
+    let empties = sum_by counters (fun c -> c.deq_empties) in
+    if empties > 0 then
+      failwith
+        (Printf.sprintf "%s: %d impossible empty dequeues in pairs workload"
+           Q.name empties);
+    let leftover = drain (module Q) q in
+    if leftover <> 0 then
+      failwith
+        (Printf.sprintf "%s: %d elements left after balanced pairs workload"
+           Q.name leftover)
+  end;
+  { seconds; total_ops = 2 * threads * iters; per_thread = counters }
+
+let p_enq ?(check = true) ?(prefill = 1000) ?(seed = 42)
+    (module Q : Impls.BENCH_QUEUE) ~threads ~iters () =
+  if threads <= 0 || iters <= 0 then invalid_arg "Workload.p_enq";
+  let q = Q.create ~num_threads:(threads + 1) in
+  for i = 1 to prefill do
+    Q.enqueue q ~tid:0 i
+  done;
+  let counters = fresh_counters threads in
+  let worker tid =
+    let rng = Wfq_primitives.Rng.split_for ~seed ~tid in
+    let c = counters.(tid) in
+    for i = 1 to iters do
+      if Wfq_primitives.Rng.bool rng then begin
+        Q.enqueue q ~tid ((tid * iters) + i);
+        c.enqs <- c.enqs + 1
+      end
+      else
+        match Q.dequeue q ~tid with
+        | Some _ -> c.deq_hits <- c.deq_hits + 1
+        | None -> c.deq_empties <- c.deq_empties + 1
+    done
+  in
+  let seconds = spawn_and_time ~threads worker in
+  if check then begin
+    let enqs = sum_by counters (fun c -> c.enqs) in
+    let hits = sum_by counters (fun c -> c.deq_hits) in
+    let leftover = drain (module Q) q in
+    if prefill + enqs - hits <> leftover then
+      failwith
+        (Printf.sprintf
+           "%s: conservation violated (prefill %d + enq %d - deq %d <> left %d)"
+           Q.name prefill enqs hits leftover)
+  end;
+  { seconds; total_ops = threads * iters; per_thread = counters }
+
+(** Repeat a measurement [runs] times (paper: ten) and return the list of
+    completion times in seconds. *)
+let repeat ~runs f = List.init runs (fun _ -> (f ()).seconds)

@@ -1,0 +1,44 @@
+(** The paper's two benchmarks (§4) as multi-domain workloads with
+    built-in correctness validation — a run that violates element
+    conservation (or observes an impossible empty dequeue) raises
+    [Failure] rather than reporting a meaningless time. *)
+
+type counters = {
+  mutable enqs : int;
+  mutable deq_hits : int;
+  mutable deq_empties : int;
+}
+
+type run_result = {
+  seconds : float;  (** wall-clock completion time of all threads *)
+  total_ops : int;
+  per_thread : counters array;
+}
+
+val pairs :
+  ?check:bool ->
+  Impls.impl ->
+  threads:int ->
+  iters:int ->
+  unit ->
+  run_result
+(** "enqueue-dequeue pairs": empty queue; each thread runs [iters] ×
+    (enqueue; dequeue). Validation: no dequeue may observe empty (each
+    thread's dequeue is preceded by its own enqueue) and the queue must
+    end empty. *)
+
+val p_enq :
+  ?check:bool ->
+  ?prefill:int ->
+  ?seed:int ->
+  Impls.impl ->
+  threads:int ->
+  iters:int ->
+  unit ->
+  run_result
+(** "50% enqueues": queue prefilled with [prefill] (default 1000)
+    elements; each thread flips a private fair coin per iteration.
+    Validation: prefill + enqueues - successful dequeues = leftovers. *)
+
+val repeat : runs:int -> (unit -> run_result) -> float list
+(** Completion times of [runs] repetitions (the paper averages ten). *)

@@ -1,0 +1,1 @@
+lib/hazard/hazard.ml: Array List Wfq_primitives

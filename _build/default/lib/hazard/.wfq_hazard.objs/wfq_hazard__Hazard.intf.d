@@ -1,0 +1,1 @@
+lib/hazard/hazard.mli: Wfq_primitives

@@ -1,0 +1,1 @@
+lib/hazard/pool.mli:

@@ -1,0 +1,58 @@
+(** Per-thread object pools.
+
+    Freed nodes (as determined by {!Hazard.Make.scan}) go back to the
+    freeing thread's private pool and are handed out again on allocation.
+    Pools are strictly thread-local — no synchronization — so a node may
+    be recycled by a different thread than the one that allocated it,
+    which is exactly the cross-thread reuse pattern that exposes hazard
+    protocol bugs. [capacity] bounds each pool so tests can force high
+    reuse pressure with a tiny capacity.
+
+    All counters are per-thread (single writer) and only aggregated at
+    quiescence, so the pool contains no shared mutable state at all. *)
+
+type 'a t = {
+  stacks : 'a list array; (* per tid; single-writer *)
+  counts : int array;
+  fresh_counts : int array;
+  reuse_counts : int array;
+  capacity : int;
+}
+
+let create ?(capacity = 4096) ~num_threads () =
+  if capacity <= 0 then invalid_arg "Pool.create: capacity";
+  if num_threads <= 0 then invalid_arg "Pool.create: num_threads";
+  {
+    stacks = Array.make num_threads [];
+    counts = Array.make num_threads 0;
+    fresh_counts = Array.make num_threads 0;
+    reuse_counts = Array.make num_threads 0;
+    capacity;
+  }
+
+(** [alloc t ~tid ~fresh ~reset] returns a recycled object (after calling
+    [reset] on it) when the thread-local pool is non-empty, otherwise a
+    fresh one from [fresh ()]. *)
+let alloc t ~tid ~fresh ~reset =
+  match t.stacks.(tid) with
+  | [] ->
+      t.fresh_counts.(tid) <- t.fresh_counts.(tid) + 1;
+      fresh ()
+  | node :: rest ->
+      t.stacks.(tid) <- rest;
+      t.counts.(tid) <- t.counts.(tid) - 1;
+      t.reuse_counts.(tid) <- t.reuse_counts.(tid) + 1;
+      reset node;
+      node
+
+(** Return an object to [tid]'s pool; dropped if the pool is full. *)
+let release t ~tid node =
+  if t.counts.(tid) < t.capacity then begin
+    t.stacks.(tid) <- node :: t.stacks.(tid);
+    t.counts.(tid) <- t.counts.(tid) + 1
+  end
+
+let sum = Array.fold_left ( + ) 0
+let reused t = sum t.reuse_counts
+let allocated_fresh t = sum t.fresh_counts
+let pooled t = sum t.counts

@@ -1,0 +1,27 @@
+(** Per-thread object pools for node recycling.
+
+    Strictly thread-local (no synchronization): a pool slot is only
+    touched by its owning thread — except [flush]-style quiescent
+    aggregation. Bounded by [capacity] so tests can force high reuse
+    pressure with tiny pools. *)
+
+type 'a t
+
+val create : ?capacity:int -> num_threads:int -> unit -> 'a t
+
+val alloc : 'a t -> tid:int -> fresh:(unit -> 'a) -> reset:('a -> unit) -> 'a
+(** A recycled object from [tid]'s pool (after [reset]), or [fresh ()]
+    when the pool is empty. *)
+
+val release : 'a t -> tid:int -> 'a -> unit
+(** Return an object to [tid]'s pool; silently dropped when full (the GC
+    reclaims it). *)
+
+val reused : 'a t -> int
+(** Total allocations served from pools (quiescent aggregation). *)
+
+val allocated_fresh : 'a t -> int
+(** Total allocations that fell through to [fresh]. *)
+
+val pooled : 'a t -> int
+(** Objects currently pooled across all threads. *)

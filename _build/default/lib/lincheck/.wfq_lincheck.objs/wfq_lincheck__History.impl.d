@@ -1,0 +1,1 @@
+lib/lincheck/history.ml: Format Fun List Mutex

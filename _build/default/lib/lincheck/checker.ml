@@ -1,0 +1,100 @@
+(** Linearizability checker for FIFO-queue histories.
+
+    Wing & Gong's algorithm with Lowe-style memoization: depth-first
+    search over candidate linearization orders of a complete history,
+    validating each prefix against the sequential queue specification.
+
+    An operation [o] may be linearized next iff no unlinearized operation
+    returned strictly before [o] was invoked (otherwise real-time order
+    would be violated). Visited configurations are memoized by the pair
+    (set of linearized operations, abstract queue state) — the state is
+    not a function of the set alone, because different enqueue orders
+    yield different queues, so both components are needed.
+
+    Worst case exponential (the problem is NP-complete), but with
+    memoization queue histories of a few hundred operations check in
+    milliseconds. *)
+
+(* Functional FIFO: (front, back) with back reversed. *)
+module Model = struct
+  type t = { front : int list; back : int list }
+
+  let empty = { front = []; back = [] }
+  let push q v = { q with back = v :: q.back }
+
+  let pop q =
+    match q.front with
+    | v :: front -> Some (v, { q with front })
+    | [] -> (
+        match List.rev q.back with
+        | [] -> None
+        | v :: front -> Some (v, { front; back = [] }))
+
+  (* Canonical form so that structurally equal queues hash equally. *)
+  let canonical q = q.front @ List.rev q.back
+end
+
+type verdict = Linearizable of History.completed list | Not_linearizable
+
+let check (ops : History.completed list) : verdict =
+  let ops = Array.of_list ops in
+  let n = Array.length ops in
+  if n > 62 then
+    invalid_arg "Checker.check: histories over 62 operations not supported";
+  let visited : (int * int list, unit) Hashtbl.t = Hashtbl.create 1024 in
+  (* mask has bit i set iff ops.(i) is already linearized *)
+  let rec search mask model order =
+    if mask = (1 lsl n) - 1 then Some (List.rev order)
+    else begin
+      let key = (mask, Model.canonical model) in
+      if Hashtbl.mem visited key then None
+      else begin
+        Hashtbl.add visited key ();
+        (* Earliest return among unlinearized ops bounds what may come
+           next in real time. *)
+        let min_return = ref max_int in
+        for i = 0 to n - 1 do
+          if mask land (1 lsl i) = 0 then
+            min_return := min !min_return ops.(i).return
+        done;
+        let rec try_ops i =
+          if i >= n then None
+          else if mask land (1 lsl i) <> 0 then try_ops (i + 1)
+          else if ops.(i).call > !min_return then try_ops (i + 1)
+          else begin
+            let continue_with model' =
+              search (mask lor (1 lsl i)) model' (ops.(i) :: order)
+            in
+            let attempt =
+              match (ops.(i).op, ops.(i).response) with
+              | History.Enq v, History.Done ->
+                  continue_with (Model.push model v)
+              | History.Enq _, (History.Got _ | History.Empty) ->
+                  None (* malformed history *)
+              | History.Deq, History.Got v -> (
+                  match Model.pop model with
+                  | Some (v', model') when v = v' -> continue_with model'
+                  | Some _ | None -> None)
+              | History.Deq, History.Empty -> (
+                  match Model.pop model with
+                  | None -> continue_with model
+                  | Some _ -> None)
+              | History.Deq, History.Done -> None (* malformed history *)
+            in
+            match attempt with Some _ as r -> r | None -> try_ops (i + 1)
+          end
+        in
+        try_ops 0
+      end
+    end
+  in
+  match search 0 Model.empty [] with
+  | Some order -> Linearizable order
+  | None -> Not_linearizable
+
+let is_linearizable ops =
+  match check ops with Linearizable _ -> true | Not_linearizable -> false
+
+(** Render a non-linearizable history for diagnostics. *)
+let pp_history fmt ops =
+  List.iter (fun c -> Format.fprintf fmt "%a@." History.pp_completed c) ops

@@ -1,0 +1,82 @@
+(** Operation histories for linearizability checking.
+
+    A history is the sequence of invocation and response events observed
+    while threads operate on a queue. Under the simulator the recorder is
+    exact: runs are single-domain, so appending an event at the moment the
+    fiber executes gives a total order consistent with real time. On real
+    domains the recorder can still be used with a lock (the lock only
+    coarsens intervals, which keeps the check sound: any linearization of
+    the coarsened history is one of the true history). *)
+
+type op = Enq of int | Deq
+
+type response =
+  | Done  (** enqueue returned *)
+  | Got of int  (** dequeue returned a value *)
+  | Empty  (** dequeue observed an empty queue *)
+
+type completed = {
+  thread : int;
+  op : op;
+  response : response;
+  call : int;  (** sequence number of the invocation event *)
+  return : int;  (** sequence number of the response event *)
+}
+
+type t = {
+  mutable clock : int;
+  mutable pending : (int * op * int) list; (* thread, op, call time *)
+  mutable completed_rev : completed list;
+  mutable lock : Mutex.t option;
+}
+
+let create ?(thread_safe = false) () =
+  {
+    clock = 0;
+    pending = [];
+    completed_rev = [];
+    lock = (if thread_safe then Some (Mutex.create ()) else None);
+  }
+
+let locked t f =
+  match t.lock with
+  | None -> f ()
+  | Some m ->
+      Mutex.lock m;
+      Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let tick t =
+  let c = t.clock in
+  t.clock <- c + 1;
+  c
+
+let call t ~thread op =
+  locked t (fun () -> t.pending <- (thread, op, tick t) :: t.pending)
+
+let return t ~thread response =
+  locked t (fun () ->
+      match List.partition (fun (th, _, _) -> th = thread) t.pending with
+      | [ (_, op, call) ], rest ->
+          t.pending <- rest;
+          t.completed_rev <-
+            { thread; op; response; call; return = tick t }
+            :: t.completed_rev
+      | [], _ -> invalid_arg "History.return: no pending call for thread"
+      | _ :: _ :: _, _ ->
+          invalid_arg "History.return: multiple pending calls for thread")
+
+let completed t = locked t (fun () -> List.rev t.completed_rev)
+let has_pending t = locked t (fun () -> t.pending <> [])
+
+let pp_op fmt = function
+  | Enq v -> Format.fprintf fmt "enq(%d)" v
+  | Deq -> Format.fprintf fmt "deq()"
+
+let pp_response fmt = function
+  | Done -> Format.fprintf fmt "ok"
+  | Got v -> Format.fprintf fmt "-> %d" v
+  | Empty -> Format.fprintf fmt "-> empty"
+
+let pp_completed fmt c =
+  Format.fprintf fmt "[%d..%d] t%d: %a %a" c.call c.return c.thread pp_op
+    c.op pp_response c.response

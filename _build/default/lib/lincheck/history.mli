@@ -1,0 +1,41 @@
+(** Operation histories for linearizability checking.
+
+    Records invocation/response events with sequence-number timestamps.
+    Under the simulator the recording is exact (runs are single-domain);
+    on real domains pass [~thread_safe:true] — the recorder's lock only
+    coarsens intervals, which keeps the check sound. *)
+
+type op = Enq of int | Deq
+
+type response =
+  | Done  (** enqueue returned *)
+  | Got of int  (** dequeue returned a value *)
+  | Empty  (** dequeue observed an empty queue *)
+
+type completed = {
+  thread : int;
+  op : op;
+  response : response;
+  call : int;  (** sequence number of the invocation event *)
+  return : int;  (** sequence number of the response event *)
+}
+
+type t
+
+val create : ?thread_safe:bool -> unit -> t
+
+val call : t -> thread:int -> op -> unit
+(** Record an invocation; at most one call may be pending per thread. *)
+
+val return : t -> thread:int -> response -> unit
+(** Record the response to the thread's pending call. Raises
+    [Invalid_argument] when no call is pending for that thread. *)
+
+val completed : t -> completed list
+(** All completed operations, oldest first. *)
+
+val has_pending : t -> bool
+
+val pp_op : Format.formatter -> op -> unit
+val pp_response : Format.formatter -> response -> unit
+val pp_completed : Format.formatter -> completed -> unit

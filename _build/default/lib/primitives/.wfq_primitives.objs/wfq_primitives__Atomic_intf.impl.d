@@ -1,0 +1,1 @@
+lib/primitives/atomic_intf.ml:

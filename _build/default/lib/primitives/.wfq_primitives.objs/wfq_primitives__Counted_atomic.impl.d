@@ -1,0 +1,1 @@
+lib/primitives/counted_atomic.ml: Atomic_intf Format

@@ -1,0 +1,1 @@
+lib/primitives/counted_atomic.mli: Atomic_intf Format

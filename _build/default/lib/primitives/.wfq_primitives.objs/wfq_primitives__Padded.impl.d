@@ -1,0 +1,1 @@
+lib/primitives/padded.ml: Atomic

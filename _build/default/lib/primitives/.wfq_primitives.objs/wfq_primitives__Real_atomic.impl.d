@@ -1,0 +1,1 @@
+lib/primitives/real_atomic.ml: Atomic

@@ -1,0 +1,1 @@
+lib/primitives/real_atomic.mli: Atomic Atomic_intf

@@ -1,0 +1,1 @@
+lib/primitives/rng.ml: Int64

@@ -1,0 +1,1 @@
+lib/primitives/stats.ml: Array List

@@ -1,0 +1,33 @@
+(** Truncated exponential backoff for CAS retry loops.
+
+    Used by the lock-free baselines to reduce contention on CAS failure.
+    Backoff never affects correctness, only throughput; the wait-free queue
+    does not need it for progress but may use it as a performance tuning
+    knob (cf. paper §3.3 on validation checks and tuning). *)
+
+type t = {
+  min_spins : int;
+  max_spins : int;
+  mutable spins : int;
+}
+
+let default_min = 1 lsl 4
+let default_max = 1 lsl 12
+
+let create ?(min_spins = default_min) ?(max_spins = default_max) () =
+  if min_spins <= 0 then invalid_arg "Backoff.create: min_spins must be > 0";
+  if max_spins < min_spins then
+    invalid_arg "Backoff.create: max_spins must be >= min_spins";
+  { min_spins; max_spins; spins = min_spins }
+
+(* A data dependency the compiler cannot remove, so the loop really spins. *)
+let spin_sink = ref 0
+
+let once t =
+  for i = 1 to t.spins do
+    spin_sink := !spin_sink + i
+  done;
+  if t.spins < t.max_spins then t.spins <- t.spins * 2
+
+let reset t = t.spins <- t.min_spins
+let current_spins t = t.spins

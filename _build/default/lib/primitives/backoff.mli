@@ -1,0 +1,22 @@
+(** Truncated exponential backoff for CAS retry loops.
+
+    Purely a throughput knob for lock-free retry loops — never needed for
+    correctness, and the wait-free queue does not need it for progress. *)
+
+type t
+
+val create : ?min_spins:int -> ?max_spins:int -> unit -> t
+(** [create ()] makes a backoff starting at [min_spins] (default 16)
+    and doubling up to [max_spins] (default 4096) busy-work iterations.
+    Raises [Invalid_argument] if [min_spins <= 0] or
+    [max_spins < min_spins]. *)
+
+val once : t -> unit
+(** Spin for the current duration, then double it (up to the cap). Call
+    after a failed CAS. *)
+
+val reset : t -> unit
+(** Return to [min_spins]. Call after a successful operation. *)
+
+val current_spins : t -> int
+(** Current spin count (for tests and diagnostics). *)

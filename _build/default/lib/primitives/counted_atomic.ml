@@ -1,0 +1,88 @@
+(** Instrumented [ATOMIC] wrapper that counts shared-memory operations.
+
+    Instantiating a queue functor with [Counted_atomic.Make (Real_atomic)]
+    yields the same queue plus a per-module operation profile: how many
+    atomic reads, writes, successful and failed CASes an operation
+    performs. This is the executable form of the cost model behind the
+    paper's §3.3 discussion (the [maxPhase] scan, helping overhead, and
+    the "costly CAS" the validation enhancement avoids).
+
+    Counters are plain module-level ints: exact in single-domain use
+    (the simulator or single-threaded profiling); for multi-domain runs
+    they are indicative only. Each functor application owns independent
+    counters. *)
+
+type counters = {
+  reads : int;
+  writes : int;
+  cas_success : int;
+  cas_failure : int;
+  exchanges : int;
+  fetch_adds : int;
+}
+
+let zero =
+  { reads = 0; writes = 0; cas_success = 0; cas_failure = 0; exchanges = 0;
+    fetch_adds = 0 }
+
+let total c =
+  c.reads + c.writes + c.cas_success + c.cas_failure + c.exchanges
+  + c.fetch_adds
+
+let pp fmt c =
+  Format.fprintf fmt
+    "reads=%d writes=%d cas_ok=%d cas_fail=%d xchg=%d faa=%d (total %d)"
+    c.reads c.writes c.cas_success c.cas_failure c.exchanges c.fetch_adds
+    (total c)
+
+module Make (Base : Atomic_intf.ATOMIC) = struct
+  type 'a t = 'a Base.t
+
+  let reads = ref 0
+  let writes = ref 0
+  let cas_success = ref 0
+  let cas_failure = ref 0
+  let exchanges = ref 0
+  let fetch_adds = ref 0
+
+  let reset () =
+    reads := 0;
+    writes := 0;
+    cas_success := 0;
+    cas_failure := 0;
+    exchanges := 0;
+    fetch_adds := 0
+
+  let snapshot () =
+    {
+      reads = !reads;
+      writes = !writes;
+      cas_success = !cas_success;
+      cas_failure = !cas_failure;
+      exchanges = !exchanges;
+      fetch_adds = !fetch_adds;
+    }
+
+  let make = Base.make
+
+  let get c =
+    incr reads;
+    Base.get c
+
+  let set c v =
+    incr writes;
+    Base.set c v
+
+  let compare_and_set c expected desired =
+    let ok = Base.compare_and_set c expected desired in
+    if ok then incr cas_success else incr cas_failure;
+    ok
+
+  let exchange c v =
+    incr exchanges;
+    Base.exchange c v
+
+  let fetch_and_add c d =
+    incr fetch_adds;
+    Base.fetch_and_add c d
+end

@@ -1,0 +1,24 @@
+(** Instrumented [ATOMIC] wrapper counting shared-memory operations —
+    the executable cost model behind the paper's §3.3 discussion. Exact
+    in single-domain use; each functor application owns independent
+    counters. *)
+
+type counters = {
+  reads : int;
+  writes : int;
+  cas_success : int;
+  cas_failure : int;
+  exchanges : int;
+  fetch_adds : int;
+}
+
+val zero : counters
+val total : counters -> int
+val pp : Format.formatter -> counters -> unit
+
+module Make (Base : Atomic_intf.ATOMIC) : sig
+  include Atomic_intf.ATOMIC
+
+  val reset : unit -> unit
+  val snapshot : unit -> counters
+end

@@ -1,0 +1,31 @@
+(** Cache-line padded atomic cells.
+
+    Per-thread slots that live in adjacent heap words (e.g. the entries of
+    the paper's [state] array) can suffer false sharing: two threads CASing
+    logically-independent slots invalidate each other's cache line. A
+    [Padded.t] embeds the atomic in a record padded to at least one cache
+    line (64 bytes = 8 words on x86-64), so distinct slots never share a
+    line regardless of allocation order. *)
+
+type 'a t = {
+  cell : 'a Atomic.t;
+  (* Seven immutable filler words push the next heap object past the
+     cache line that holds [cell]'s pointer and header. *)
+  _p0 : int;
+  _p1 : int;
+  _p2 : int;
+  _p3 : int;
+  _p4 : int;
+  _p5 : int;
+  _p6 : int;
+}
+
+let make v =
+  { cell = Atomic.make v; _p0 = 0; _p1 = 0; _p2 = 0; _p3 = 0; _p4 = 0;
+    _p5 = 0; _p6 = 0 }
+
+let get t = Atomic.get t.cell
+let set t v = Atomic.set t.cell v
+let compare_and_set t expected desired =
+  Atomic.compare_and_set t.cell expected desired
+let fetch_and_add t d = Atomic.fetch_and_add t.cell d

@@ -1,0 +1,14 @@
+(** Cache-line padded atomic cells.
+
+    Per-thread slots allocated back-to-back (like the entries of the
+    paper's [state] array) can false-share a cache line; a [Padded.t]
+    embeds its atomic in a record padded past 64 bytes so two distinct
+    cells never share a line. *)
+
+type 'a t
+
+val make : 'a -> 'a t
+val get : 'a t -> 'a
+val set : 'a t -> 'a -> unit
+val compare_and_set : 'a t -> 'a -> 'a -> bool
+val fetch_and_add : int t -> int -> int

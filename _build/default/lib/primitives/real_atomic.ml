@@ -1,0 +1,11 @@
+(** The production implementation of {!Atomic_intf.ATOMIC}: a zero-cost
+    wrapper over [Stdlib.Atomic]. *)
+
+type 'a t = 'a Atomic.t
+
+let make = Atomic.make
+let get = Atomic.get
+let set = Atomic.set
+let compare_and_set = Atomic.compare_and_set
+let exchange = Atomic.exchange
+let fetch_and_add = Atomic.fetch_and_add

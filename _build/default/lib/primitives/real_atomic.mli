@@ -1,0 +1,7 @@
+(** Production implementation of {!Atomic_intf.ATOMIC}: a zero-cost
+    wrapper over [Stdlib.Atomic]. Queues instantiated with this module
+    run on real domains; the simulator instantiation
+    ([Wfq_sim.Sim_atomic]) runs the same functor bodies under a
+    controlled scheduler. *)
+
+include Atomic_intf.ATOMIC with type 'a t = 'a Atomic.t

@@ -1,0 +1,34 @@
+(** SplitMix64 pseudo-random number generator.
+
+    Each benchmark thread owns a private generator, so random workloads
+    (the paper's "50% enqueues" benchmark) need no synchronization and are
+    reproducible from a seed. The constants are Steele et al.'s SplitMix64;
+    arithmetic is on OCaml's 63-bit native [int], which is sufficient for
+    workload generation (we only consume the high-quality low bits). *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let split_for ~seed ~tid = create ~seed:(seed + (tid * 0x9E3779B9) + 1)
+
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let next_int t = Int64.to_int (next_int64 t) land max_int
+
+let below t n =
+  if n <= 0 then invalid_arg "Rng.below: bound must be positive";
+  next_int t mod n
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let float t =
+  (* 53 random bits mapped into [0, 1). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int bits /. 9007199254740992.0

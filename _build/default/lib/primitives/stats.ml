@@ -1,0 +1,44 @@
+(** Small descriptive-statistics helpers for the benchmark harness.
+
+    The paper reports averages over ten runs and notes that standard
+    deviations were negligible; we report both. *)
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty list"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let n = float_of_int (List.length xs) in
+      let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+      sqrt (ss /. (n -. 1.0))
+
+let minimum xs =
+  match xs with
+  | [] -> invalid_arg "Stats.minimum: empty list"
+  | x :: rest -> List.fold_left min x rest
+
+let maximum xs =
+  match xs with
+  | [] -> invalid_arg "Stats.maximum: empty list"
+  | x :: rest -> List.fold_left max x rest
+
+(* Nearest-rank percentile on a sorted copy. *)
+let percentile xs p =
+  match xs with
+  | [] -> invalid_arg "Stats.percentile: empty list"
+  | _ ->
+      if p < 0.0 || p > 100.0 then
+        invalid_arg "Stats.percentile: p out of range";
+      let sorted = List.sort compare xs in
+      let arr = Array.of_list sorted in
+      let n = Array.length arr in
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+      let idx = max 0 (min (n - 1) (rank - 1)) in
+      arr.(idx)
+
+let median xs = percentile xs 50.0

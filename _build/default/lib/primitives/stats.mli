@@ -1,0 +1,17 @@
+(** Descriptive statistics for benchmark results. The paper reports
+    ten-run averages and notes negligible standard deviations; these
+    helpers compute both, plus the percentiles used by the latency
+    example. All functions raise [Invalid_argument] on an empty list. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+(** Sample standard deviation; [0.] for fewer than two samples. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+val percentile : float list -> float -> float
+(** Nearest-rank percentile; the percentile argument must be within
+    [0, 100]. *)
+
+val median : float list -> float

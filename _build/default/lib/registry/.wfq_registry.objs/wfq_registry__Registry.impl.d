@@ -1,0 +1,1 @@
+lib/registry/registry.ml: Array Atomic Fun

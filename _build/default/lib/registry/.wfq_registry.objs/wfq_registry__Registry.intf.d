@@ -1,0 +1,1 @@
+lib/registry/registry.mli:

@@ -1,0 +1,70 @@
+(** Long-lived thread-ID registry (§3.3 "relaxing the tid assumption").
+
+    The queue algorithms assume threads carry IDs in [0, num_threads).
+    The paper notes that dynamically created threads with arbitrary IDs
+    can obtain and release virtual IDs from a small name space through a
+    long-lived renaming algorithm. This registry provides that name
+    space: a fixed array of slots acquired by test-and-set CAS.
+
+    Progress: an [acquire] scan fails on a slot only when another thread
+    concurrently took it, and a full pass over [capacity] slots fails
+    only if [capacity] distinct acquisitions happened during the pass, so
+    with at most [capacity] concurrent holders the loop terminates; the
+    retry count is bounded by the release/re-acquire churn, which makes
+    it wait-free under bounded churn (the adaptive algorithms the paper
+    cites, e.g. Afek-Merritt renaming, remove that caveat at considerable
+    complexity). *)
+
+type t = {
+  slots : bool Atomic.t array;
+  (* Diagnostic counters, per-slot single-writer after acquisition. *)
+  acquisitions : int array;
+}
+
+exception Exhausted
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Registry.create: capacity";
+  {
+    slots = Array.init capacity (fun _ -> Atomic.make false);
+    acquisitions = Array.make capacity 0;
+  }
+
+let capacity t = Array.length t.slots
+
+(** Acquire a free ID; raises {!Exhausted} if [capacity] holders already
+    exist (checked over a full clean pass). *)
+let acquire t =
+  let n = Array.length t.slots in
+  let rec scan i failures =
+    if i >= n then
+      (* Every slot was observed taken. Concurrent churn may have freed
+         one since; retry a bounded number of passes, then report. *)
+      if failures >= n then raise Exhausted else scan 0 (failures + 1)
+    else if
+      (not (Atomic.get t.slots.(i)))
+      && Atomic.compare_and_set t.slots.(i) false true
+    then begin
+      t.acquisitions.(i) <- t.acquisitions.(i) + 1;
+      i
+    end
+    else scan (i + 1) failures
+  in
+  scan 0 0
+
+let release t tid =
+  if tid < 0 || tid >= Array.length t.slots then
+    invalid_arg "Registry.release: bad tid";
+  if not (Atomic.get t.slots.(tid)) then
+    invalid_arg "Registry.release: tid not held";
+  Atomic.set t.slots.(tid) false
+
+(** Run [f tid] with an acquired ID, releasing it afterwards. *)
+let with_tid t f =
+  let tid = acquire t in
+  Fun.protect ~finally:(fun () -> release t tid) (fun () -> f tid)
+
+let held t =
+  Array.fold_left (fun acc s -> if Atomic.get s then acc + 1 else acc) 0 t.slots
+
+let total_acquisitions t = Array.fold_left ( + ) 0 t.acquisitions

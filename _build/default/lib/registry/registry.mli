@@ -1,0 +1,37 @@
+(** Long-lived thread-ID registry (paper §3.3, "relaxing the tid
+    assumption").
+
+    The queue algorithms need thread IDs in [0, num_threads); this
+    registry is the small renaming name space the paper points to for
+    applications that create and destroy threads dynamically: a fixed
+    array of slots acquired by test-and-set CAS and released by their
+    holder. With at most [capacity] concurrent holders an acquisition
+    scan terminates; the retry count is bounded by release/re-acquire
+    churn during the scan. *)
+
+type t
+
+exception Exhausted
+(** Raised by {!acquire} when all slots stayed taken across a full bound
+    of scan passes. *)
+
+val create : capacity:int -> t
+val capacity : t -> int
+
+val acquire : t -> int
+(** Acquire a free ID in [0, capacity). Raises {!Exhausted} when
+    [capacity] holders already exist. *)
+
+val release : t -> int -> unit
+(** Release a held ID. Raises [Invalid_argument] if the ID is out of
+    range or not currently held. *)
+
+val with_tid : t -> (int -> 'a) -> 'a
+(** [with_tid t f] runs [f tid] with an acquired ID, releasing it
+    afterwards (also on exception). *)
+
+val held : t -> int
+(** Number of currently held IDs (snapshot). *)
+
+val total_acquisitions : t -> int
+(** Total successful acquisitions since creation (diagnostics). *)

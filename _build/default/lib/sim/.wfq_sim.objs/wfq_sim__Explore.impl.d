@@ -1,0 +1,1 @@
+lib/sim/explore.ml: Array Fun List Printexc Printf Scheduler

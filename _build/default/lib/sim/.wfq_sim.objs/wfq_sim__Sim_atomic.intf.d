@@ -1,0 +1,1 @@
+lib/sim/sim_atomic.mli: Wfq_primitives

@@ -1,0 +1,79 @@
+(** Deterministic concurrency simulator.
+
+    Runs N {e fibers} (effect-handler coroutines) in one domain,
+    context-switching at every shared-memory access performed through
+    {!Sim_atomic}. Because the queue algorithms are functors over
+    [ATOMIC], the exact code benchmarked on real domains is the code
+    explored here — under scheduling strategies, replayable traces and
+    stall injection that a real machine cannot provide on demand.
+
+    A run is single-domain and not reentrant. *)
+
+type _ Effect.t += Yield : unit Effect.t
+
+val yield : unit -> unit
+(** Hand control back to the scheduler. Performed by {!Sim_atomic} before
+    every shared access; test fibers may also call it directly to insert
+    extra schedule points. *)
+
+type strategy =
+  | First_enabled  (** always pick the lowest-id enabled fiber *)
+  | Round_robin  (** rotate over enabled fibers *)
+  | Random_seeded of int  (** uniform choice from a SplitMix64 stream *)
+  | Nonpreemptive
+      (** keep running the current fiber while it stays enabled; switch
+          only when it finishes or stalls — the zero-preemption baseline
+          of CHESS-style exploration (see {!Explore}) *)
+  | Pct of { seed : int; change_points : int; expected_length : int }
+      (** probabilistic concurrency testing (Burckhardt et al.): random
+          distinct priorities, highest-priority enabled fiber runs; at
+          [change_points] random step indices the running fiber's
+          priority drops below everyone's. Hits any bug of preemption
+          depth [change_points + 1] with probability at least
+          1/(n * expected_length^change_points). *)
+
+type outcome =
+  | All_finished
+  | Step_limit_hit
+      (** the run exceeded its step budget: starvation/deadlock signal *)
+  | Only_stalled_left
+      (** every non-stalled fiber finished while stalled ones remain *)
+
+type result = {
+  outcome : outcome;
+  steps : int array;  (** per-fiber step counts *)
+  total_steps : int;
+  trace : (int * int * int) list;
+      (** per scheduling decision, in execution order: (number of enabled
+          fibers, index of the chosen one within the enabled list, index
+          of the previously-running fiber within the enabled list, or -1
+          if it is not enabled). Replaying the chosen indices through
+          [forced] reproduces the run. *)
+  error : exn option;  (** first exception raised inside a fiber *)
+}
+
+exception Fiber_aborted
+(** Raised inside fibers abandoned at the end of a run (stalled or over
+    the step limit) to unwind their stacks. *)
+
+val run :
+  ?strategy:strategy ->
+  ?step_limit:int ->
+  ?stalls:(int * int) list ->
+  ?resume_stalled:bool ->
+  ?forced:int list ->
+  (unit -> unit) array ->
+  result
+(** [run fibers] executes all fibers to completion (or until only
+    stalled fibers remain, or [step_limit] — default 1,000,000 — is
+    hit).
+
+    [stalls] freezes fiber [id] once it has taken [n] steps, modelling a
+    thread preempted for arbitrarily long; with [resume_stalled:true]
+    the frozen fibers wake up once every other fiber has finished.
+    [forced] replays a prefix of scheduling choices (enabled-list
+    indices) before the strategy takes over. *)
+
+val ignore_yields : (unit -> 'a) -> 'a
+(** Run [f] with {!Yield} handled as a no-op, so simulator-instantiated
+    observers (e.g. [to_list]) can be called outside a scheduled run. *)

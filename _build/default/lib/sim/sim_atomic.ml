@@ -1,0 +1,47 @@
+(** Simulator implementation of {!Wfq_primitives.Atomic_intf.ATOMIC}.
+
+    Cells are plain references — the simulator is single-domain — but
+    every access first performs {!Scheduler.Yield}, making each shared
+    read/write/CAS an individual scheduling point. Instantiating a queue
+    functor with this module therefore exposes every interleaving of its
+    shared-memory accesses to the scheduler, which is exactly the
+    granularity of the paper's atomic-step model (§5.1).
+
+    [compare_and_set] uses physical equality, like [Stdlib.Atomic] (and
+    like Java reference CAS); for immediates such as [int], physical and
+    structural equality coincide. *)
+
+type 'a t = { mutable contents : 'a }
+
+let make v = { contents = v }
+
+let get r =
+  Scheduler.yield ();
+  r.contents
+
+(* Non-yielding read for assertions outside a scheduled run. *)
+let peek r = r.contents
+
+let set r v =
+  Scheduler.yield ();
+  r.contents <- v
+
+let compare_and_set r expected desired =
+  Scheduler.yield ();
+  if r.contents == expected then begin
+    r.contents <- desired;
+    true
+  end
+  else false
+
+let exchange r v =
+  Scheduler.yield ();
+  let old = r.contents in
+  r.contents <- v;
+  old
+
+let fetch_and_add r d =
+  Scheduler.yield ();
+  let old = r.contents in
+  r.contents <- old + d;
+  old

@@ -1,0 +1,9 @@
+(** Simulator implementation of [Wfq_primitives.Atomic_intf.ATOMIC]:
+    plain cells whose every access first performs {!Scheduler.Yield},
+    making each shared read/write/CAS an individual scheduling point —
+    the paper's atomic-step execution model (§5.1), made executable. *)
+
+include Wfq_primitives.Atomic_intf.ATOMIC
+
+val peek : 'a t -> 'a
+(** Non-yielding read for assertions outside a scheduled run. *)

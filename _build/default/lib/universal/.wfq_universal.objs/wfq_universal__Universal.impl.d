@@ -1,0 +1,1 @@
+lib/universal/universal.ml: Array Buffer List Printf Wfq_primitives

@@ -1,0 +1,1 @@
+lib/universal/universal.mli: Wfq_primitives

@@ -1,0 +1,225 @@
+(** Herlihy's wait-free universal construction (ACM TOPLAS 1993; the
+    lock-free/wait-free transformation of any sequential object), as
+    presented in Herlihy & Shavit's AMP book.
+
+    The paper's related work (§2) discusses this construction at length:
+    it {e can} produce a wait-free queue, but (1) it serializes all
+    operations through agreement on a single log — no disjoint-access
+    parallelism, enqueuers and dequeuers always contend — and (2) each
+    node carries a snapshot of (or a path to) the object state. We build
+    it to measure that argument rather than take it on faith: the
+    extended benchmark runs this queue next to Kogan-Petrank's.
+
+    Mechanics: operations are agreed into a single totally-ordered log.
+    Each thread announces its intended operation in [announce]; threads
+    then repeatedly take the latest known log node ([head]s), and decide
+    the successor through a CAS-based consensus object. Wait-freedom
+    comes from the turn rule: before pushing its own operation, a thread
+    helps the announced operation of the thread whose "turn" it is
+    (thread [(seq + 1) mod n]), so an announced operation is adopted
+    after at most [n] log extensions.
+
+    The object state is stored functionally in each node (the book's
+    variant replays the whole log; storing persistent states is the
+    standard practical tweak — for our queue the state is a two-list
+    functional queue with O(1) amortized operations and full structural
+    sharing, which is as favourable to the construction as possible). *)
+
+(** The sequential object being lifted. *)
+module type SEQ_OBJECT = sig
+  type t
+  type invocation
+  type response
+
+  val initial : t
+  val apply : t -> invocation -> t * response
+end
+
+module Make
+    (A : Wfq_primitives.Atomic_intf.ATOMIC)
+    (Obj : SEQ_OBJECT) =
+struct
+  type node = {
+    invocation : Obj.invocation;
+    owner : int; (* announcing thread *)
+    decide_next : node option A.t; (* CAS-based consensus on successor *)
+    seq : int A.t; (* 0 until the node is threaded into the log *)
+    state : (Obj.t * Obj.response) option A.t;
+        (* object state and this operation's response, set when threaded *)
+  }
+
+  type t = {
+    announce : node A.t array;
+    head : node A.t array; (* per-thread view of the latest log node *)
+    num_threads : int;
+    sentinel : node;
+  }
+
+  let make_node ~owner invocation =
+    {
+      invocation;
+      owner;
+      decide_next = A.make None;
+      seq = A.make 0;
+      state = A.make None;
+    }
+
+  let create ~num_threads ~dummy_invocation () =
+    if num_threads <= 0 then invalid_arg "Universal.create: num_threads";
+    (* The sentinel's "response" is never observed; its cells are
+       initialized directly ([A.make]) rather than stored afterwards, so
+       creation performs no shared-memory operations — required for
+       construction outside a simulator run. *)
+    let _, r0 = Obj.apply Obj.initial dummy_invocation in
+    let sentinel =
+      {
+        invocation = dummy_invocation;
+        owner = -1;
+        decide_next = A.make None;
+        seq = A.make 1;
+        state = A.make (Some (Obj.initial, r0));
+      }
+    in
+    {
+      announce = Array.init num_threads (fun _ -> A.make sentinel);
+      head = Array.init num_threads (fun _ -> A.make sentinel);
+      num_threads;
+      sentinel;
+    }
+
+  (* Latest log node among all per-thread views (max by seq). *)
+  let max_head t =
+    let best = ref (A.get t.head.(0)) in
+    for i = 1 to t.num_threads - 1 do
+      let n = A.get t.head.(i) in
+      if A.get n.seq > A.get !best.seq then best := n
+    done;
+    !best
+
+  let decide (cell : node option A.t) (preferred : node) =
+    if A.compare_and_set cell None (Some preferred) then preferred
+    else match A.get cell with Some n -> n | None -> assert false
+
+  let apply t ~tid invocation =
+    let mine = make_node ~owner:tid invocation in
+    A.set t.announce.(tid) mine;
+    (* Catch up to the latest log position ONCE; from here the thread's
+       view advances strictly node-by-node through its own decide calls.
+       This is load-bearing for safety, not just an optimization: because
+       the walk stamps the [seq] of every node it passes — including
+       [mine] if a helper threaded it — the loop guard is guaranteed to
+       observe [mine.seq <> 0] before this thread could ever re-propose
+       its already-threaded node at a later position (which would create
+       a cycle in the log). Re-reading [max_head] inside the loop breaks
+       exactly that argument: the view could jump over [mine] via another
+       thread's head without stamping it. *)
+    A.set t.head.(tid) (max_head t);
+    while A.get mine.seq = 0 do
+      let before = A.get t.head.(tid) in
+      let before_seq = A.get before.seq in
+      (* Turn rule (the book's "(before.seq + 1) % n"): prefer the
+         announced operation of the thread whose turn the next log slot
+         is, if it is still unthreaded; this bounds any operation's wait
+         by n log extensions. *)
+      let help = A.get t.announce.((before_seq + 1) mod t.num_threads) in
+      let preferred = if A.get help.seq = 0 then help else mine in
+      let after = decide before.decide_next preferred in
+      (* Thread [after]: compute its state from [before]'s. Benign
+         multiple execution: every helper writes identical values. *)
+      (match A.get before.state with
+      | Some (st, _) ->
+          let st', resp = Obj.apply st after.invocation in
+          A.set after.state (Some (st', resp));
+          A.set after.seq (before_seq + 1)
+      | None ->
+          (* before is threaded (seq > 0), so its state is set. *)
+          assert false);
+      A.set t.head.(tid) after
+    done;
+    (* Start the next operation from our own node's position (book:
+       "head[i] = announce[i]"). *)
+    A.set t.head.(tid) mine;
+    match A.get mine.state with
+    | Some (_, resp) -> resp
+    | None -> assert false
+
+  (* Diagnostic chain walk from the sentinel (quiescent/debug use):
+     (seq, owner) per node, with cycle detection. *)
+  let debug_chain t =
+    let buf = Buffer.create 128 in
+    let seen = ref [] in
+    let rec walk node =
+      Buffer.add_string buf
+        (Printf.sprintf "(seq=%d owner=%d) " (A.get node.seq) node.owner);
+      if List.memq node !seen then Buffer.add_string buf "CYCLE!"
+      else begin
+        seen := node :: !seen;
+        match A.get node.decide_next with
+        | Some next -> walk next
+        | None -> Buffer.add_string buf "end"
+      end
+    in
+    walk t.sentinel;
+    Array.iteri
+      (fun i a ->
+        let n = A.get a in
+        Buffer.add_string buf
+          (Printf.sprintf " announce[%d]=(seq=%d owner=%d)" i (A.get n.seq)
+             n.owner))
+      t.announce;
+    Buffer.contents buf
+
+  (* Quiescent read of the abstract state (tests). *)
+  let current_state t =
+    match A.get (max_head t).state with
+    | Some (st, _) -> st
+    | None -> assert false
+end
+
+(** Functional FIFO queue as a {!SEQ_OBJECT} over int payloads, plus the
+    lifted concurrent queue with the repository's common interface. *)
+module Queue_object = struct
+  type t = { front : int list; back : int list }
+  type invocation = Enq of int | Deq
+  type response = Done | Got of int | Empty
+
+  let initial = { front = []; back = [] }
+
+  let apply st = function
+    | Enq v -> ({ st with back = v :: st.back }, Done)
+    | Deq -> (
+        match st.front with
+        | v :: front -> ({ st with front }, Got v)
+        | [] -> (
+            match List.rev st.back with
+            | [] -> (st, Empty)
+            | v :: front -> ({ front; back = [] }, Got v)))
+
+  let to_list st = st.front @ List.rev st.back
+end
+
+module Queue (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
+  module U = Make (A) (Queue_object)
+
+  type t = U.t
+
+  let name = "wf-universal"
+
+  let create ~num_threads () =
+    U.create ~num_threads ~dummy_invocation:Queue_object.Deq ()
+
+  let enqueue t ~tid v =
+    match U.apply t ~tid (Queue_object.Enq v) with
+    | Queue_object.Done -> ()
+    | Queue_object.Got _ | Queue_object.Empty -> assert false
+
+  let dequeue t ~tid =
+    match U.apply t ~tid Queue_object.Deq with
+    | Queue_object.Got v -> Some v
+    | Queue_object.Empty -> None
+    | Queue_object.Done -> assert false
+
+  let to_list t = Queue_object.to_list (U.current_state t)
+  let length t = List.length (to_list t)
+  let is_empty t = to_list t = []
+end

@@ -1,0 +1,65 @@
+(** Herlihy's wait-free universal construction — the generic
+    sequential-to-wait-free transformation the paper's related work (§2)
+    contrasts with purpose-built queues. Operations are agreed into a
+    single totally-ordered log via per-node CAS consensus; an
+    announce-array turn rule makes the construction wait-free. Built
+    here so the paper's practicality argument (total serialization, no
+    disjoint-access parallelism) can be measured, not assumed. *)
+
+module type SEQ_OBJECT = sig
+  type t
+  type invocation
+  type response
+
+  val initial : t
+
+  val apply : t -> invocation -> t * response
+  (** Pure sequential semantics; must not mutate. *)
+end
+
+module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) (Obj : SEQ_OBJECT) : sig
+  type t
+
+  val create :
+    num_threads:int -> dummy_invocation:Obj.invocation -> unit -> t
+  (** [dummy_invocation] seeds the log sentinel and must be a no-op on
+      [Obj.initial] (its response is never observed). *)
+
+  val apply : t -> tid:int -> Obj.invocation -> Obj.response
+  (** Wait-free linearizable application: completes within O(n) log
+      extensions regardless of other threads. *)
+
+  val current_state : t -> Obj.t
+  (** Quiescent snapshot of the abstract state (tests). *)
+
+  val debug_chain : t -> string
+  (** Render the log chain and announce slots (diagnostics; quiescent or
+      [Scheduler.ignore_yields] use). *)
+end
+
+(** The sequential FIFO queue object (int payloads). *)
+module Queue_object : sig
+  type t = { front : int list; back : int list }
+  type invocation = Enq of int | Deq
+  type response = Done | Got of int | Empty
+
+  val initial : t
+  val apply : t -> invocation -> t * response
+  val to_list : t -> int list
+end
+
+(** The universal construction instantiated with {!Queue_object}: a
+    wait-free MPMC queue obtained generically, with the repository's
+    common interface. Expect it to be far slower than Kogan-Petrank's
+    purpose-built queue — that gap is the paper's §2 argument. *)
+module Queue (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
+  type t
+
+  val name : string
+  val create : num_threads:int -> unit -> t
+  val enqueue : t -> tid:int -> int -> unit
+  val dequeue : t -> tid:int -> int option
+  val to_list : t -> int list
+  val length : t -> int
+  val is_empty : t -> bool
+end

@@ -1,0 +1,1 @@
+test/test_fc_queue.ml: Alcotest Array Atomic Domain Hashtbl List Printexc Printf Queue Wfq_core Wfq_lincheck Wfq_primitives Wfq_sim

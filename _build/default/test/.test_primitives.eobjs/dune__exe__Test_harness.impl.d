@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Atomic Domain Float List Printf String Unix Wfq_core Wfq_harness

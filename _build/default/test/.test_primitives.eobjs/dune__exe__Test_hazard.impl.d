@@ -1,0 +1,1 @@
+test/test_hazard.ml: Alcotest Atomic Domain List Wfq_hazard Wfq_primitives

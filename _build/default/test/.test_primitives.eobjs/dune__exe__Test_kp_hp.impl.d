@@ -1,0 +1,1 @@
+test/test_kp_hp.ml: Alcotest Array Domain Hashtbl List Printf Wfq_core Wfq_primitives

@@ -1,0 +1,1 @@
+test/test_kp_hp.mli:

@@ -1,0 +1,1 @@
+test/test_kp_variants.ml: Alcotest Array Atomic Domain Gc List Printf Queue String Sys Wfq_core Wfq_lincheck Wfq_primitives Wfq_sim

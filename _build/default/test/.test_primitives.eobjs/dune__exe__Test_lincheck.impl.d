@@ -1,0 +1,1 @@
+test/test_lincheck.ml: Alcotest Array Domain Format List QCheck2 QCheck_alcotest Queue Wfq_core Wfq_lincheck

@@ -1,0 +1,1 @@
+test/test_op_profile.ml: Alcotest Printf Wfq_core Wfq_primitives

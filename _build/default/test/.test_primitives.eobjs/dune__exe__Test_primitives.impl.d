@@ -1,0 +1,1 @@
+test/test_primitives.ml: Alcotest Domain List Printf QCheck2 QCheck_alcotest Wfq_primitives

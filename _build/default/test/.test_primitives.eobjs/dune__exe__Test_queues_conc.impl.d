@@ -1,0 +1,1 @@
+test/test_queues_conc.ml: Alcotest Array Atomic Domain Hashtbl List Printf Wfq_core Wfq_primitives

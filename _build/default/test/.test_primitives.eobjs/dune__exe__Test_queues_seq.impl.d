@@ -1,0 +1,1 @@
+test/test_queues_seq.ml: Alcotest List Printf QCheck2 QCheck_alcotest Queue String Wfq_core Wfq_primitives

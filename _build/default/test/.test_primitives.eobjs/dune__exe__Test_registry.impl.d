@@ -1,0 +1,1 @@
+test/test_registry.ml: Alcotest Array Atomic Domain Hashtbl List QCheck2 QCheck_alcotest Wfq_core Wfq_primitives Wfq_registry

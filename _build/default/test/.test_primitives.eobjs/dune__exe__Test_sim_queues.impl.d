@@ -1,0 +1,1 @@
+test/test_sim_queues.ml: Alcotest Array Format List Printexc Printf QCheck2 QCheck_alcotest String Wfq_core Wfq_lincheck Wfq_sim

@@ -1,0 +1,1 @@
+test/test_universal.ml: Alcotest Array Atomic Domain Format List Printexc Printf Queue Wfq_lincheck Wfq_primitives Wfq_sim Wfq_universal

@@ -1,0 +1,180 @@
+(* Tests for the flat-combining queue: sequential semantics, fairness of
+   combining (everyone's requests get served), domain stress, and
+   simulator runs under fair strategies with linearizability checking. *)
+
+module A = Wfq_primitives.Real_atomic
+module SA = Wfq_sim.Sim_atomic
+module S = Wfq_sim.Scheduler
+module H = Wfq_lincheck.History
+module C = Wfq_lincheck.Checker
+module Fc = Wfq_core.Fc_queue.Make (A)
+module FcSim = Wfq_core.Fc_queue.Make (SA)
+
+let test_basics () =
+  let q = Fc.create ~num_threads:2 () in
+  Alcotest.(check bool) "empty" true (Fc.is_empty q);
+  Alcotest.(check (option int)) "deq empty" None (Fc.dequeue q ~tid:0);
+  List.iter (Fc.enqueue q ~tid:0) [ 1; 2; 3 ];
+  Alcotest.(check (list int)) "contents" [ 1; 2; 3 ] (Fc.to_list q);
+  Alcotest.(check (option int)) "fifo 1" (Some 1) (Fc.dequeue q ~tid:1);
+  Alcotest.(check (option int)) "fifo 2" (Some 2) (Fc.dequeue q ~tid:0);
+  Alcotest.(check int) "length" 1 (Fc.length q)
+
+let test_sequential_differential () =
+  let q = Fc.create ~num_threads:3 () in
+  let model = Queue.create () in
+  let rng = Wfq_primitives.Rng.create ~seed:17 in
+  for i = 1 to 2_000 do
+    let tid = Wfq_primitives.Rng.below rng 3 in
+    if Wfq_primitives.Rng.bool rng then begin
+      Fc.enqueue q ~tid i;
+      Queue.push i model
+    end
+    else if Fc.dequeue q ~tid <> Queue.take_opt model then
+      Alcotest.fail "diverged from model"
+  done;
+  Alcotest.(check (list int)) "final"
+    (List.of_seq (Queue.to_seq model))
+    (Fc.to_list q)
+
+let test_combiner_serves_peers () =
+  (* Under the simulator with round-robin: publish requests from three
+     fibers; whichever becomes combiner must serve all, and the history
+     must be linearizable. *)
+  let q = FcSim.create ~num_threads:3 () in
+  let hist = H.create () in
+  let fiber tid () =
+    H.call hist ~thread:tid (H.Enq tid);
+    FcSim.enqueue q ~tid tid;
+    H.return hist ~thread:tid H.Done;
+    H.call hist ~thread:tid H.Deq;
+    (match FcSim.dequeue q ~tid with
+    | Some v -> H.return hist ~thread:tid (H.Got v)
+    | None -> H.return hist ~thread:tid H.Empty)
+  in
+  let res =
+    S.run ~strategy:S.Round_robin [| fiber 0; fiber 1; fiber 2 |]
+  in
+  Alcotest.(check bool) "finished" true (res.S.outcome = S.All_finished);
+  Alcotest.(check bool) "linearizable" true
+    (C.is_linearizable (H.completed hist));
+  Alcotest.(check bool) "drained" true
+    (S.ignore_yields (fun () -> FcSim.is_empty q))
+
+let test_sim_random_fuzz () =
+  (* Seeded-random schedules are fair with probability 1; every run's
+     history must linearize. *)
+  for seed = 0 to 199 do
+    let q = FcSim.create ~num_threads:2 () in
+    let hist = H.create () in
+    let script tid ops () =
+      List.iter
+        (function
+          | `Enq v ->
+              H.call hist ~thread:tid (H.Enq v);
+              FcSim.enqueue q ~tid v;
+              H.return hist ~thread:tid H.Done
+          | `Deq -> (
+              H.call hist ~thread:tid H.Deq;
+              match FcSim.dequeue q ~tid with
+              | Some v -> H.return hist ~thread:tid (H.Got v)
+              | None -> H.return hist ~thread:tid H.Empty))
+        ops
+    in
+    let res =
+      S.run
+        ~strategy:(S.Random_seeded seed)
+        [|
+          script 0 [ `Enq 1; `Deq; `Enq 2 ];
+          script 1 [ `Deq; `Enq 3; `Deq ];
+        |]
+    in
+    (match res.S.error with
+    | Some e -> Alcotest.fail (Printexc.to_string e)
+    | None -> ());
+    if not (C.is_linearizable (H.completed hist)) then
+      Alcotest.fail (Printf.sprintf "seed %d: not linearizable" seed)
+  done
+
+let test_domain_stress () =
+  let threads = 4 and per = 4_000 in
+  let q = Fc.create ~num_threads:threads () in
+  let empties = Atomic.make 0 in
+  let ds =
+    List.init threads (fun tid ->
+        Domain.spawn (fun () ->
+            for i = 1 to per do
+              Fc.enqueue q ~tid ((tid * per) + i);
+              match Fc.dequeue q ~tid with
+              | Some _ -> ()
+              | None -> Atomic.incr empties
+            done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no empties in pairs" 0 (Atomic.get empties);
+  Alcotest.(check int) "drained" 0 (Fc.length q)
+
+let test_producer_consumer_conservation () =
+  let q = Fc.create ~num_threads:4 () in
+  let total = 2 * 5_000 in
+  let consumed = Atomic.make 0 in
+  let seen = Array.make 2 [] in
+  let producer p () =
+    for s = 1 to 5_000 do
+      Fc.enqueue q ~tid:p ((p * 1_000_000) + s)
+    done
+  in
+  let consumer c () =
+    let tid = 2 + c in
+    let acc = ref [] in
+    while Atomic.get consumed < total do
+      match Fc.dequeue q ~tid with
+      | Some v ->
+          acc := v :: !acc;
+          Atomic.incr consumed
+      | None -> Domain.cpu_relax ()
+    done;
+    seen.(c) <- !acc
+  in
+  let ds =
+    [ Domain.spawn (producer 0); Domain.spawn (producer 1);
+      Domain.spawn (consumer 0); Domain.spawn (consumer 1) ]
+  in
+  List.iter Domain.join ds;
+  let tbl = Hashtbl.create total in
+  Array.iter
+    (List.iter (fun v ->
+         if Hashtbl.mem tbl v then Alcotest.fail "duplicate delivery"
+         else Hashtbl.add tbl v ()))
+    seen;
+  Alcotest.(check int) "conservation" total (Hashtbl.length tbl)
+
+let test_create_validation () =
+  Alcotest.check_raises "num_threads"
+    (Invalid_argument "Fc_queue.create: num_threads") (fun () ->
+      ignore (Fc.create ~num_threads:0 ()))
+
+let () =
+  Alcotest.run "fc-queue"
+    [
+      ( "sequential",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "≡ model" `Quick test_sequential_differential;
+          Alcotest.test_case "create validation" `Quick
+            test_create_validation;
+        ] );
+      ( "simulator (fair strategies)",
+        [
+          Alcotest.test_case "combiner serves peers" `Quick
+            test_combiner_serves_peers;
+          Alcotest.test_case "random fuzz x200 linearizable" `Quick
+            test_sim_random_fuzz;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "pairs stress" `Quick test_domain_stress;
+          Alcotest.test_case "2p/2c conservation" `Quick
+            test_producer_consumer_conservation;
+        ] );
+    ]

@@ -1,0 +1,356 @@
+(* Tests for the linearizability checker itself: known-good and known-bad
+   histories, the real-time-order rule, and qcheck properties relating
+   sequential histories to linearizability. *)
+
+module H = Wfq_lincheck.History
+module C = Wfq_lincheck.Checker
+
+(* Handy constructor for completed operations. *)
+let op ?(thread = 0) ~call ~return o resp =
+  { H.thread; op = o; response = resp; call; return }
+
+let lin = C.is_linearizable
+
+let test_empty_history () = Alcotest.(check bool) "empty ok" true (lin [])
+
+let test_sequential_good () =
+  let h =
+    [
+      op ~call:0 ~return:1 (H.Enq 1) H.Done;
+      op ~call:2 ~return:3 (H.Enq 2) H.Done;
+      op ~call:4 ~return:5 H.Deq (H.Got 1);
+      op ~call:6 ~return:7 H.Deq (H.Got 2);
+      op ~call:8 ~return:9 H.Deq H.Empty;
+    ]
+  in
+  Alcotest.(check bool) "fifo respected" true (lin h)
+
+let test_sequential_wrong_order () =
+  let h =
+    [
+      op ~call:0 ~return:1 (H.Enq 1) H.Done;
+      op ~call:2 ~return:3 (H.Enq 2) H.Done;
+      op ~call:4 ~return:5 H.Deq (H.Got 2) (* LIFO! *);
+    ]
+  in
+  Alcotest.(check bool) "lifo rejected" false (lin h)
+
+let test_sequential_false_empty () =
+  let h =
+    [
+      op ~call:0 ~return:1 (H.Enq 1) H.Done;
+      op ~call:2 ~return:3 H.Deq H.Empty;
+    ]
+  in
+  Alcotest.(check bool) "empty after enq rejected" false (lin h)
+
+let test_dequeue_of_never_enqueued () =
+  let h = [ op ~call:0 ~return:1 H.Deq (H.Got 99) ] in
+  Alcotest.(check bool) "phantom value rejected" false (lin h)
+
+let test_concurrent_flexibility () =
+  (* Two overlapping enqueues followed by two dequeues that observe them
+     in either order: both response orders must be accepted. *)
+  let base got1 got2 =
+    [
+      op ~thread:0 ~call:0 ~return:3 (H.Enq 1) H.Done;
+      op ~thread:1 ~call:1 ~return:2 (H.Enq 2) H.Done;
+      op ~thread:0 ~call:4 ~return:5 H.Deq (H.Got got1);
+      op ~thread:0 ~call:6 ~return:7 H.Deq (H.Got got2);
+    ]
+  in
+  Alcotest.(check bool) "order 1,2 ok" true (lin (base 1 2));
+  Alcotest.(check bool) "order 2,1 ok" true (lin (base 2 1))
+
+let test_real_time_order_enforced () =
+  (* enq(1) completes strictly before enq(2) begins, so deq order 2,1 is
+     NOT allowed — the same responses as above, minus the overlap. *)
+  let h =
+    [
+      op ~thread:0 ~call:0 ~return:1 (H.Enq 1) H.Done;
+      op ~thread:1 ~call:2 ~return:3 (H.Enq 2) H.Done;
+      op ~thread:0 ~call:4 ~return:5 H.Deq (H.Got 2);
+      op ~thread:0 ~call:6 ~return:7 H.Deq (H.Got 1);
+    ]
+  in
+  Alcotest.(check bool) "real-time order enforced" false (lin h)
+
+let test_concurrent_empty () =
+  (* A dequeue overlapping an enqueue may legitimately report empty. *)
+  let h =
+    [
+      op ~thread:0 ~call:0 ~return:3 (H.Enq 1) H.Done;
+      op ~thread:1 ~call:1 ~return:2 H.Deq H.Empty;
+      op ~thread:1 ~call:4 ~return:5 H.Deq (H.Got 1);
+    ]
+  in
+  Alcotest.(check bool) "overlapping empty ok" true (lin h)
+
+let test_duplicate_delivery_rejected () =
+  let h =
+    [
+      op ~thread:0 ~call:0 ~return:1 (H.Enq 7) H.Done;
+      op ~thread:0 ~call:2 ~return:3 H.Deq (H.Got 7);
+      op ~thread:1 ~call:4 ~return:5 H.Deq (H.Got 7);
+    ]
+  in
+  Alcotest.(check bool) "element delivered twice rejected" false (lin h)
+
+let test_witness_order_is_valid () =
+  let h =
+    [
+      op ~thread:0 ~call:0 ~return:5 (H.Enq 1) H.Done;
+      op ~thread:1 ~call:1 ~return:4 (H.Enq 2) H.Done;
+      op ~thread:2 ~call:2 ~return:3 H.Deq (H.Got 2);
+    ]
+  in
+  match C.check h with
+  | C.Not_linearizable -> Alcotest.fail "expected linearizable"
+  | C.Linearizable order ->
+      Alcotest.(check int) "witness covers all ops" (List.length h)
+        (List.length order);
+      (* Replaying the witness sequentially must satisfy the spec. *)
+      let q = Queue.create () in
+      List.iter
+        (fun (c : H.completed) ->
+          match (c.op, c.response) with
+          | H.Enq v, H.Done -> Queue.push v q
+          | H.Deq, H.Got v ->
+              Alcotest.(check (option int)) "witness deq" (Some v)
+                (Queue.take_opt q)
+          | H.Deq, H.Empty ->
+              Alcotest.(check bool) "witness empty" true (Queue.is_empty q)
+          | _ -> Alcotest.fail "malformed witness op")
+        order
+
+let test_size_guard () =
+  let h =
+    List.init 63 (fun i -> op ~call:(2 * i) ~return:((2 * i) + 1) (H.Enq i) H.Done)
+  in
+  Alcotest.check_raises "over 62 ops rejected"
+    (Invalid_argument "Checker.check: histories over 62 operations not supported")
+    (fun () -> ignore (C.check h))
+
+(* --------------------------- recorder --------------------------- *)
+
+let test_history_recorder () =
+  let h = H.create () in
+  H.call h ~thread:0 (H.Enq 5);
+  Alcotest.(check bool) "pending registered" true (H.has_pending h);
+  H.return h ~thread:0 H.Done;
+  H.call h ~thread:1 H.Deq;
+  H.return h ~thread:1 (H.Got 5);
+  let completed = H.completed h in
+  Alcotest.(check int) "two completed" 2 (List.length completed);
+  Alcotest.(check bool) "no pending left" false (H.has_pending h);
+  Alcotest.(check bool) "recorded history linearizable" true (lin completed);
+  (* intervals are well-formed and ordered *)
+  List.iter
+    (fun (c : H.completed) ->
+      Alcotest.(check bool) "call < return" true (c.call < c.return))
+    completed
+
+let test_history_recorder_errors () =
+  let h = H.create () in
+  Alcotest.check_raises "return without call"
+    (Invalid_argument "History.return: no pending call for thread")
+    (fun () -> H.return h ~thread:3 H.Done)
+
+(* ---------------------- qcheck properties ----------------------- *)
+
+(* Independent oracle: enumerate ALL permutations of the operations
+   (histories are kept tiny), keep those compatible with real-time
+   precedence (if op a returned before op b was invoked, a must precede
+   b), and replay each against the model queue. Shares no code or search
+   strategy with the memoized Wing-Gong checker. *)
+let brute_force (ops : H.completed list) =
+  let rec insert_everywhere x = function
+    | [] -> [ [ x ] ]
+    | y :: rest as l ->
+        (x :: l) :: List.map (fun r -> y :: r) (insert_everywhere x rest)
+  in
+  let rec permutations = function
+    | [] -> [ [] ]
+    | x :: rest -> List.concat_map (insert_everywhere x) (permutations rest)
+  in
+  let respects_precedence order =
+    let arr = Array.of_list order in
+    let ok = ref true in
+    Array.iteri
+      (fun i (a : H.completed) ->
+        Array.iteri
+          (fun j (b : H.completed) ->
+            if i < j && b.return < a.call then ok := false)
+          arr)
+      arr;
+    !ok
+  in
+  let replays order =
+    let q = Queue.create () in
+    List.for_all
+      (fun (c : H.completed) ->
+        match (c.op, c.response) with
+        | H.Enq v, H.Done ->
+            Queue.push v q;
+            true
+        | H.Deq, H.Got v -> Queue.take_opt q = Some v
+        | H.Deq, H.Empty -> Queue.is_empty q
+        | _ -> false)
+      order
+  in
+  List.exists
+    (fun order -> respects_precedence order && replays order)
+    (permutations ops)
+
+(* Random tiny concurrent histories: per-thread sequential intervals with
+   random spacing and arbitrary (often inconsistent) responses. The
+   checker must agree with the brute-force oracle on every one. *)
+let history_gen =
+  QCheck2.Gen.(
+    let* threads = int_range 1 3 in
+    let* ops_per_thread = int_range 1 2 in
+    let* raw =
+      list_size
+        (return (threads * ops_per_thread))
+        (tup3 (int_bound 2) (int_bound 3) (int_bound 4))
+    in
+    (* Assign ops to threads round-robin; give thread t's k-th op the
+       interval [base, base + 1 + gap] with bases spread so intervals
+       overlap across threads but stay sequential within one. *)
+    let ops =
+      List.mapi
+        (fun i (kind, v, gap) ->
+          let thread = i mod threads in
+          let call = (i * 2) + (gap mod 3) in
+          let return = call + 1 + gap in
+          match kind with
+          | 0 -> { H.thread; op = H.Enq v; response = H.Done; call; return }
+          | 1 ->
+              { H.thread; op = H.Deq; response = H.Got v; call; return }
+          | _ -> { H.thread; op = H.Deq; response = H.Empty; call; return })
+        raw
+    in
+    return ops)
+
+let checker_agrees_with_brute_force =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"checker ≡ brute-force oracle" ~count:500
+       ~print:(fun ops -> Format.asprintf "%a" C.pp_history ops)
+       history_gen
+       (fun ops -> lin ops = brute_force ops))
+
+(* Any history generated by running ops sequentially against a real FIFO
+   is linearizable. *)
+let sequential_histories_linearizable =
+  QCheck2.Test.make ~name:"sequential executions are linearizable"
+    ~count:300
+    QCheck2.Gen.(
+      list_size (int_bound 30)
+        (oneof [ map (fun v -> `Enq v) (int_bound 100); return `Deq ]))
+    (fun script ->
+      let h = H.create () in
+      let q = Queue.create () in
+      List.iter
+        (fun cmd ->
+          match cmd with
+          | `Enq v ->
+              H.call h ~thread:0 (H.Enq v);
+              Queue.push v q;
+              H.return h ~thread:0 H.Done
+          | `Deq -> (
+              H.call h ~thread:0 H.Deq;
+              match Queue.take_opt q with
+              | Some v -> H.return h ~thread:0 (H.Got v)
+              | None -> H.return h ~thread:0 H.Empty))
+        script;
+      lin (H.completed h))
+
+(* Corrupting one dequeue response of a valid sequential history with a
+   value that was never enqueued must break linearizability. *)
+let corrupted_histories_rejected =
+  QCheck2.Test.make ~name:"phantom-value corruption is detected" ~count:200
+    QCheck2.Gen.(int_range 1 20)
+    (fun n ->
+      let ops =
+        List.concat
+          (List.init n (fun i ->
+               [
+                 op ~call:(4 * i) ~return:((4 * i) + 1) (H.Enq i) H.Done;
+                 op ~call:((4 * i) + 2) ~return:((4 * i) + 3) H.Deq
+                   (H.Got (if i = n - 1 then 777777 else i));
+               ]))
+      in
+      not (lin ops))
+
+(* Thread-safe recording on real domains: concurrent operations against
+   the mutex queue recorded with the locked recorder must produce a
+   linearizable history (the lock coarsens intervals but keeps the check
+   sound). *)
+let test_thread_safe_recording () =
+  let module Mq = Wfq_core.Mutex_queue in
+  let h = H.create ~thread_safe:true () in
+  let q = Mq.create ~num_threads:3 () in
+  let worker thread () =
+    for i = 1 to 8 do
+      if i mod 2 = 1 then begin
+        H.call h ~thread (H.Enq ((thread * 100) + i));
+        Mq.enqueue q ~tid:thread ((thread * 100) + i);
+        H.return h ~thread H.Done
+      end
+      else begin
+        H.call h ~thread H.Deq;
+        match Mq.dequeue q ~tid:thread with
+        | Some v -> H.return h ~thread (H.Got v)
+        | None -> H.return h ~thread H.Empty
+      end
+    done
+  in
+  let ds = List.init 3 (fun t -> Domain.spawn (worker t)) in
+  List.iter Domain.join ds;
+  let completed = H.completed h in
+  Alcotest.(check int) "all recorded" 24 (List.length completed);
+  Alcotest.(check bool) "real-domain history linearizable" true
+    (lin completed)
+
+let () =
+  Alcotest.run "lincheck"
+    [
+      ( "checker",
+        [
+          Alcotest.test_case "empty history" `Quick test_empty_history;
+          Alcotest.test_case "sequential FIFO accepted" `Quick
+            test_sequential_good;
+          Alcotest.test_case "LIFO rejected" `Quick
+            test_sequential_wrong_order;
+          Alcotest.test_case "false empty rejected" `Quick
+            test_sequential_false_empty;
+          Alcotest.test_case "phantom value rejected" `Quick
+            test_dequeue_of_never_enqueued;
+          Alcotest.test_case "overlap permits both orders" `Quick
+            test_concurrent_flexibility;
+          Alcotest.test_case "real-time order enforced" `Quick
+            test_real_time_order_enforced;
+          Alcotest.test_case "overlapping empty accepted" `Quick
+            test_concurrent_empty;
+          Alcotest.test_case "duplicate delivery rejected" `Quick
+            test_duplicate_delivery_rejected;
+          Alcotest.test_case "witness order replays" `Quick
+            test_witness_order_is_valid;
+          Alcotest.test_case "size guard" `Quick test_size_guard;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "records calls and returns" `Quick
+            test_history_recorder;
+          Alcotest.test_case "rejects unmatched return" `Quick
+            test_history_recorder_errors;
+          Alcotest.test_case "thread-safe recording on domains" `Quick
+            test_thread_safe_recording;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest sequential_histories_linearizable;
+          QCheck_alcotest.to_alcotest corrupted_histories_rejected;
+          checker_agrees_with_brute_force;
+        ] );
+    ]

@@ -1,0 +1,182 @@
+(* Shared-memory operation profiles — the cost model of §3.3, pinned.
+
+   Each queue is instantiated with the counting ATOMIC wrapper; we
+   measure exactly how many atomic reads/writes/CASes one uncontended
+   operation performs and assert the structural facts the paper's
+   optimization discussion rests on:
+
+   - MS enqueue performs exactly 2 successful CASes (append + tail fix),
+     MS dequeue exactly 1 (head swing);
+   - KP operations pay extra CASes for the three-step scheme;
+   - the base KP operation's read count grows linearly with num_threads
+     (the maxPhase scan and the Help_all traversal), while the fully
+     optimized variant's is independent of it — precisely why the paper's
+     optimizations exist;
+   - uncontended operations never fail a CAS. *)
+
+module C = Wfq_primitives.Counted_atomic
+module CA = Wfq_primitives.Counted_atomic.Make (Wfq_primitives.Real_atomic)
+module Ms = Wfq_core.Ms_queue.Make (CA)
+module Kp = Wfq_core.Kp_queue.Make (CA)
+module Lms = Wfq_core.Lms_queue.Make (CA)
+
+let profile f =
+  CA.reset ();
+  f ();
+  CA.snapshot ()
+
+(* --------------------------- MS ---------------------------------- *)
+
+let test_ms_profile () =
+  let q = Ms.create ~num_threads:1 () in
+  let enq = profile (fun () -> Ms.enqueue q ~tid:0 1) in
+  Alcotest.(check int) "enqueue: 2 CAS (append + tail)" 2 enq.C.cas_success;
+  Alcotest.(check int) "enqueue: no failures" 0 enq.C.cas_failure;
+  Ms.enqueue q ~tid:0 2;
+  let deq = profile (fun () -> ignore (Ms.dequeue q ~tid:0)) in
+  Alcotest.(check int) "dequeue: 1 CAS (head)" 1 deq.C.cas_success;
+  Alcotest.(check int) "dequeue: no failures" 0 deq.C.cas_failure;
+  let empty_deq =
+    profile (fun () ->
+        ignore (Ms.dequeue q ~tid:0);
+        ignore (Ms.dequeue q ~tid:0))
+  in
+  (* second dequeue observed empty: head CAS once, then none *)
+  Alcotest.(check int) "empty dequeue adds no CAS" 1 empty_deq.C.cas_success
+
+(* --------------------------- LMS --------------------------------- *)
+
+let test_lms_profile () =
+  let q = Lms.create ~num_threads:1 () in
+  let enq = profile (fun () -> Lms.enqueue q ~tid:0 1) in
+  (* The optimistic queue's selling point: a single CAS per enqueue. *)
+  Alcotest.(check int) "enqueue: exactly 1 CAS" 1 enq.C.cas_success;
+  Alcotest.(check int) "enqueue: no failures" 0 enq.C.cas_failure
+
+(* --------------------------- KP ---------------------------------- *)
+
+let kp_make ~help ~phase ~num_threads =
+  Kp.create_with ~help ~phase ~num_threads ()
+
+let test_kp_base_profile () =
+  let q =
+    kp_make ~help:Wfq_core.Kp_queue.Help_all
+      ~phase:Wfq_core.Kp_queue.Phase_scan ~num_threads:1
+  in
+  let enq = profile (fun () -> Kp.enqueue q ~tid:0 1) in
+  (* Three-step scheme: append CAS + pending-flip CAS + tail CAS. *)
+  Alcotest.(check int) "enqueue: 3 CAS (scheme steps)" 3 enq.C.cas_success;
+  Alcotest.(check int) "enqueue: no failures uncontended" 0
+    enq.C.cas_failure;
+  Kp.enqueue q ~tid:0 2;
+  let deq = profile (fun () -> ignore (Kp.dequeue q ~tid:0)) in
+  (* Stage 1 (descriptor -> sentinel) + stage 2 (deq_tid) + pending flip
+     + head swing. *)
+  Alcotest.(check int) "dequeue: 4 CAS (scheme + stage 1)" 4
+    deq.C.cas_success;
+  Alcotest.(check int) "dequeue: no failures uncontended" 0
+    deq.C.cas_failure
+
+let test_kp_scan_scales_with_threads () =
+  let reads_for num_threads =
+    let q =
+      kp_make ~help:Wfq_core.Kp_queue.Help_all
+        ~phase:Wfq_core.Kp_queue.Phase_scan ~num_threads
+    in
+    (profile (fun () -> Kp.enqueue q ~tid:0 1)).C.reads
+  in
+  let r1 = reads_for 1 and r8 = reads_for 8 and r16 = reads_for 16 in
+  (* maxPhase + Help_all each scan all slots: at least 2 extra reads per
+     extra slot. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "base reads grow with n (1:%d 8:%d 16:%d)" r1 r8 r16)
+    true
+    (r8 >= r1 + (2 * 7) && r16 >= r8 + (2 * 8))
+
+let test_kp_opt12_independent_of_threads () =
+  let reads_for num_threads =
+    let q =
+      kp_make ~help:Wfq_core.Kp_queue.Help_one_cyclic
+        ~phase:Wfq_core.Kp_queue.Phase_counter ~num_threads
+    in
+    (profile (fun () -> Kp.enqueue q ~tid:0 1)).C.reads
+  in
+  let r1 = reads_for 1 and r16 = reads_for 16 in
+  (* The optimized operation touches at most one extra candidate slot
+     regardless of n — the whole point of §3.3. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "opt reads independent of n (1:%d 16:%d)" r1 r16)
+    true
+    (r16 <= r1 + 2)
+
+let test_phase_counter_cas () =
+  let q =
+    kp_make ~help:Wfq_core.Kp_queue.Help_all
+      ~phase:Wfq_core.Kp_queue.Phase_counter ~num_threads:1
+  in
+  let enq = profile (fun () -> Kp.enqueue q ~tid:0 1) in
+  (* Optimization 2 adds exactly one (possibly failing, here winning)
+     CAS on the phase counter. *)
+  Alcotest.(check int) "enqueue: 3 scheme CAS + 1 phase CAS" 4
+    enq.C.cas_success
+
+let test_validate_before_cas_saves_nothing_uncontended () =
+  (* Uncontended, the pending flag is still on when help_finish runs, so
+     enhancement 3 changes nothing — its value is contention-only. *)
+  let profile_with tuning =
+    let q =
+      Kp.create_with ~tuning ~help:Wfq_core.Kp_queue.Help_all
+        ~phase:Wfq_core.Kp_queue.Phase_scan ~num_threads:1 ()
+    in
+    profile (fun () -> Kp.enqueue q ~tid:0 1)
+  in
+  let base = profile_with Wfq_core.Kp_queue.default_tuning in
+  let tuned =
+    profile_with
+      { Wfq_core.Kp_queue.default_tuning with validate_before_cas = true }
+  in
+  Alcotest.(check int) "same CAS count uncontended" base.C.cas_success
+    tuned.C.cas_success
+
+let test_counters_reset_and_total () =
+  CA.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (C.total (CA.snapshot ()));
+  let c = CA.make 1 in
+  ignore (CA.get c);
+  CA.set c 2;
+  ignore (CA.compare_and_set c 2 3);
+  ignore (CA.compare_and_set c 2 4);
+  ignore (CA.exchange c 5);
+  ignore (CA.fetch_and_add c 1);
+  let s = CA.snapshot () in
+  Alcotest.(check int) "reads" 1 s.C.reads;
+  Alcotest.(check int) "writes" 1 s.C.writes;
+  Alcotest.(check int) "cas ok" 1 s.C.cas_success;
+  Alcotest.(check int) "cas fail" 1 s.C.cas_failure;
+  Alcotest.(check int) "exchange" 1 s.C.exchanges;
+  Alcotest.(check int) "faa" 1 s.C.fetch_adds;
+  Alcotest.(check int) "total" 6 (C.total s)
+
+let () =
+  Alcotest.run "op-profile"
+    [
+      ( "wrapper",
+        [ Alcotest.test_case "counters count" `Quick
+            test_counters_reset_and_total ] );
+      ( "profiles",
+        [
+          Alcotest.test_case "MS cost model" `Quick test_ms_profile;
+          Alcotest.test_case "LMS single-CAS enqueue" `Quick
+            test_lms_profile;
+          Alcotest.test_case "KP three-step scheme" `Quick
+            test_kp_base_profile;
+          Alcotest.test_case "base KP scans scale with n" `Quick
+            test_kp_scan_scales_with_threads;
+          Alcotest.test_case "opt KP independent of n" `Quick
+            test_kp_opt12_independent_of_threads;
+          Alcotest.test_case "phase counter adds one CAS" `Quick
+            test_phase_counter_cas;
+          Alcotest.test_case "validation is contention-only" `Quick
+            test_validate_before_cas_saves_nothing_uncontended;
+        ] );
+    ]

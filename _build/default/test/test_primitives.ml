@@ -1,0 +1,204 @@
+(* Unit and property tests for the primitives layer: RNG, backoff,
+   statistics, padded atomics and the Real_atomic wrapper. *)
+
+module Rng = Wfq_primitives.Rng
+module Backoff = Wfq_primitives.Backoff
+module Stats = Wfq_primitives.Stats
+module Padded = Wfq_primitives.Padded
+module A = Wfq_primitives.Real_atomic
+
+(* ---------------------------- Rng ------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:123 and b = Rng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.next_int64 a = Rng.next_int64 b then incr same
+  done;
+  Alcotest.(check int) "independent streams" 0 !same
+
+let test_rng_split_for () =
+  let a = Rng.split_for ~seed:9 ~tid:0 and b = Rng.split_for ~seed:9 ~tid:1 in
+  Alcotest.(check bool) "per-thread streams differ" true
+    (Rng.next_int64 a <> Rng.next_int64 b)
+
+let test_rng_below_range () =
+  let r = Rng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let v = Rng.below r 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_bool_balanced () =
+  let r = Rng.create ~seed:77 in
+  let trues = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    if Rng.bool r then incr trues
+  done;
+  let ratio = float_of_int !trues /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "fair coin (%.3f)" ratio)
+    true
+    (ratio > 0.47 && ratio < 0.53)
+
+let test_rng_float_range () =
+  let r = Rng.create ~seed:31 in
+  for _ = 1 to 1000 do
+    let f = Rng.float r in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_below_invalid () =
+  let r = Rng.create ~seed:1 in
+  Alcotest.check_raises "bound 0 rejected"
+    (Invalid_argument "Rng.below: bound must be positive") (fun () ->
+      ignore (Rng.below r 0))
+
+(* --------------------------- Backoff ---------------------------- *)
+
+let test_backoff_growth () =
+  let b = Backoff.create ~min_spins:4 ~max_spins:64 () in
+  Alcotest.(check int) "starts at min" 4 (Backoff.current_spins b);
+  Backoff.once b;
+  Alcotest.(check int) "doubles" 8 (Backoff.current_spins b);
+  Backoff.once b;
+  Backoff.once b;
+  Backoff.once b;
+  Alcotest.(check int) "caps at max" 64 (Backoff.current_spins b);
+  Backoff.once b;
+  Alcotest.(check int) "stays at max" 64 (Backoff.current_spins b);
+  Backoff.reset b;
+  Alcotest.(check int) "reset to min" 4 (Backoff.current_spins b)
+
+let test_backoff_validation () =
+  Alcotest.check_raises "min must be positive"
+    (Invalid_argument "Backoff.create: min_spins must be > 0") (fun () ->
+      ignore (Backoff.create ~min_spins:0 ~max_spins:8 ()));
+  Alcotest.check_raises "max >= min"
+    (Invalid_argument "Backoff.create: max_spins must be >= min_spins")
+    (fun () -> ignore (Backoff.create ~min_spins:16 ~max_spins:8 ()))
+
+(* ---------------------------- Stats ----------------------------- *)
+
+let feq = Alcotest.float 1e-9
+
+let test_stats_mean_stddev () =
+  Alcotest.check feq "mean" 3.0 (Stats.mean [ 1.0; 2.0; 3.0; 4.0; 5.0 ]);
+  Alcotest.check feq "stddev (sample)"
+    (sqrt 2.5)
+    (Stats.stddev [ 1.0; 2.0; 3.0; 4.0; 5.0 ]);
+  Alcotest.check feq "stddev of singleton" 0.0 (Stats.stddev [ 42.0 ]);
+  Alcotest.check feq "min" 1.0 (Stats.minimum [ 3.0; 1.0; 2.0 ]);
+  Alcotest.check feq "max" 3.0 (Stats.maximum [ 3.0; 1.0; 2.0 ])
+
+let test_stats_percentiles () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.check feq "p50" 50.0 (Stats.percentile xs 50.0);
+  Alcotest.check feq "p99" 99.0 (Stats.percentile xs 99.0);
+  Alcotest.check feq "p100" 100.0 (Stats.percentile xs 100.0);
+  Alcotest.check feq "median alias" (Stats.percentile xs 50.0)
+    (Stats.median xs)
+
+let test_stats_empty () =
+  Alcotest.check_raises "mean of empty"
+    (Invalid_argument "Stats.mean: empty list") (fun () ->
+      ignore (Stats.mean []))
+
+let stats_mean_bounds =
+  QCheck2.Test.make ~name:"mean between min and max" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 50) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let m = Stats.mean xs in
+      m >= Stats.minimum xs -. 1e-9 && m <= Stats.maximum xs +. 1e-9)
+
+(* --------------------------- Padded ----------------------------- *)
+
+let test_padded_ops () =
+  let p = Padded.make 10 in
+  Alcotest.(check int) "get" 10 (Padded.get p);
+  Padded.set p 20;
+  Alcotest.(check int) "set" 20 (Padded.get p);
+  Alcotest.(check bool) "cas ok" true (Padded.compare_and_set p 20 30);
+  Alcotest.(check bool) "cas stale fails" false
+    (Padded.compare_and_set p 20 40);
+  Alcotest.(check int) "faa returns old" 30 (Padded.fetch_and_add p 5);
+  Alcotest.(check int) "faa applied" 35 (Padded.get p)
+
+(* ------------------------- Real_atomic -------------------------- *)
+
+let test_real_atomic_physical_cas () =
+  (* Reference CAS is physical: a structurally equal but distinct record
+     must NOT match — the property the KP descriptors depend on. *)
+  let mk () = ref 1 in
+  let a = mk () and b = mk () in
+  let cell = A.make a in
+  Alcotest.(check bool) "distinct but equal value fails" false
+    (A.compare_and_set cell b a);
+  Alcotest.(check bool) "same box succeeds" true (A.compare_and_set cell a b);
+  Alcotest.(check bool) "now holds b" true (A.get cell == b)
+
+let test_real_atomic_exchange () =
+  let cell = A.make "x" in
+  Alcotest.(check string) "old returned" "x" (A.exchange cell "y");
+  Alcotest.(check string) "new stored" "y" (A.get cell)
+
+let test_real_atomic_parallel_faa () =
+  (* fetch_and_add from several domains: total must be exact. *)
+  let cell = A.make 0 in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 10_000 do
+              ignore (A.fetch_and_add cell 1)
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "no lost increments" 40_000 (A.get cell)
+
+let () =
+  Alcotest.run "primitives"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic per seed" `Quick
+            test_rng_deterministic;
+          Alcotest.test_case "seeds independent" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "split_for per thread" `Quick test_rng_split_for;
+          Alcotest.test_case "below in range" `Quick test_rng_below_range;
+          Alcotest.test_case "bool is fair" `Quick test_rng_bool_balanced;
+          Alcotest.test_case "float in [0,1)" `Quick test_rng_float_range;
+          Alcotest.test_case "below rejects 0" `Quick test_rng_below_invalid;
+        ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "exponential growth and reset" `Quick
+            test_backoff_growth;
+          Alcotest.test_case "argument validation" `Quick
+            test_backoff_validation;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/stddev/min/max" `Quick
+            test_stats_mean_stddev;
+          Alcotest.test_case "percentiles" `Quick test_stats_percentiles;
+          Alcotest.test_case "empty input rejected" `Quick test_stats_empty;
+          QCheck_alcotest.to_alcotest stats_mean_bounds;
+        ] );
+      ( "padded",
+        [ Alcotest.test_case "all operations" `Quick test_padded_ops ] );
+      ( "real_atomic",
+        [
+          Alcotest.test_case "CAS is physical equality" `Quick
+            test_real_atomic_physical_cas;
+          Alcotest.test_case "exchange" `Quick test_real_atomic_exchange;
+          Alcotest.test_case "parallel fetch_and_add" `Quick
+            test_real_atomic_parallel_faa;
+        ] );
+    ]

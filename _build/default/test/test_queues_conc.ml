@@ -1,0 +1,268 @@
+(* Concurrency tests on real OCaml domains.
+
+   One physical core means domains interleave by OS/runtime preemption
+   rather than true parallelism, but safe-points inside allocation make
+   the interleavings plentiful. Each test checks whole-run invariants
+   that any linearizable FIFO must satisfy:
+
+   - conservation: every value enqueued is dequeued exactly once (or
+     still present at the end);
+   - per-producer order: values from one producer are consumed in the
+     order that producer pushed them (FIFO implies it);
+   - the pairs workload never observes an empty queue. *)
+
+module A = Wfq_primitives.Real_atomic
+module Ms = Wfq_core.Ms_queue.Make (A)
+module Kp = Wfq_core.Kp_queue.Make (A)
+module Kp_hp = Wfq_core.Kp_queue_hp.Make (A)
+module Lms = Wfq_core.Lms_queue.Make (A)
+
+type 'q conc_queue = {
+  make : num_threads:int -> 'q;
+  enq : 'q -> tid:int -> int -> unit;
+  deq : 'q -> tid:int -> int option;
+  len : 'q -> int;
+}
+
+type packed = Q : string * 'q conc_queue -> packed
+
+let queues =
+  [
+    Q
+      ( "ms",
+        {
+          make = (fun ~num_threads -> Ms.create ~num_threads ());
+          enq = (fun q ~tid v -> Ms.enqueue q ~tid v);
+          deq = (fun q ~tid -> Ms.dequeue q ~tid);
+          len = Ms.length;
+        } );
+    Q
+      ( "kp-base",
+        {
+          make =
+            (fun ~num_threads ->
+              Kp.create_with ~help:Wfq_core.Kp_queue.Help_all
+                ~phase:Wfq_core.Kp_queue.Phase_scan ~num_threads ());
+          enq = (fun q ~tid v -> Kp.enqueue q ~tid v);
+          deq = (fun q ~tid -> Kp.dequeue q ~tid);
+          len = Kp.length;
+        } );
+    Q
+      ( "kp-opt12",
+        {
+          make =
+            (fun ~num_threads ->
+              Kp.create_with ~help:Wfq_core.Kp_queue.Help_one_cyclic
+                ~phase:Wfq_core.Kp_queue.Phase_counter ~num_threads ());
+          enq = (fun q ~tid v -> Kp.enqueue q ~tid v);
+          deq = (fun q ~tid -> Kp.dequeue q ~tid);
+          len = Kp.length;
+        } );
+    Q
+      ( "kp-hp (tiny pool)",
+        {
+          make =
+            (fun ~num_threads ->
+              Kp_hp.create ~scan_threshold:8 ~pool_capacity:32 ~num_threads
+                ());
+          enq = (fun q ~tid v -> Kp_hp.enqueue q ~tid v);
+          deq = (fun q ~tid -> Kp_hp.dequeue q ~tid);
+          len = Kp_hp.length;
+        } );
+    Q
+      ( "lms",
+        {
+          make = (fun ~num_threads -> Lms.create ~num_threads ());
+          enq = (fun q ~tid v -> Lms.enqueue q ~tid v);
+          deq = (fun q ~tid -> Lms.dequeue q ~tid);
+          len = Lms.length;
+        } );
+    Q
+      ( "two-lock",
+        {
+          make =
+            (fun ~num_threads ->
+              Wfq_core.Two_lock_queue.create ~num_threads ());
+          enq = (fun q ~tid v -> Wfq_core.Two_lock_queue.enqueue q ~tid v);
+          deq = (fun q ~tid -> Wfq_core.Two_lock_queue.dequeue q ~tid);
+          len = Wfq_core.Two_lock_queue.length;
+        } );
+  ]
+
+(* Encode producer and sequence into one int so consumers can check
+   per-producer order: value = producer * 1_000_000 + seq. *)
+let encode ~producer ~seq = (producer * 1_000_000) + seq
+let producer_of v = v / 1_000_000
+let seq_of v = v mod 1_000_000
+
+let test_producers_consumers (Q (name, ops)) ~producers ~consumers ~per_producer
+    () =
+  let num_threads = producers + consumers in
+  let q = ops.make ~num_threads in
+  let total = producers * per_producer in
+  let consumed = Atomic.make 0 in
+  (* Per-consumer logs, inspected after the run. *)
+  let logs = Array.make consumers [] in
+  let producer p () =
+    for seq = 1 to per_producer do
+      ops.enq q ~tid:p (encode ~producer:p ~seq)
+    done
+  in
+  let consumer c () =
+    let tid = producers + c in
+    let got = ref [] in
+    let n = ref 0 in
+    while Atomic.get consumed < total do
+      match ops.deq q ~tid with
+      | Some v ->
+          got := v :: !got;
+          incr n;
+          Atomic.incr consumed
+      | None -> Domain.cpu_relax ()
+    done;
+    logs.(c) <- List.rev !got
+  in
+  let domains =
+    List.init producers (fun p -> Domain.spawn (producer p))
+    @ List.init consumers (fun c -> Domain.spawn (consumer c))
+  in
+  List.iter Domain.join domains;
+  (* Conservation: each value seen exactly once, all values seen. *)
+  let seen = Hashtbl.create total in
+  Array.iter
+    (fun log ->
+      List.iter
+        (fun v ->
+          if Hashtbl.mem seen v then
+            Alcotest.fail (Printf.sprintf "%s: value %d seen twice" name v);
+          Hashtbl.add seen v ())
+        log)
+    logs;
+  Alcotest.(check int) "every value consumed exactly once" total
+    (Hashtbl.length seen);
+  Alcotest.(check int) "queue empty" 0 (ops.len q);
+  (* Per-producer order within each consumer's log: FIFO implies that the
+     subsequence of values from one producer is increasing. *)
+  Array.iter
+    (fun log ->
+      let last_seq = Array.make producers 0 in
+      List.iter
+        (fun v ->
+          let p = producer_of v and s = seq_of v in
+          if s <= last_seq.(p) then
+            Alcotest.fail
+              (Printf.sprintf
+                 "%s: per-producer order violated (p%d: %d after %d)" name p
+                 s last_seq.(p));
+          last_seq.(p) <- s)
+        log)
+    logs
+
+let test_pairs_never_empty (Q (name, ops)) ~threads ~iters () =
+  let q = ops.make ~num_threads:threads in
+  let empties = Atomic.make 0 in
+  let domains =
+    List.init threads (fun tid ->
+        Domain.spawn (fun () ->
+            for i = 1 to iters do
+              ops.enq q ~tid (encode ~producer:tid ~seq:i);
+              match ops.deq q ~tid with
+              | Some _ -> ()
+              | None -> Atomic.incr empties
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int)
+    (name ^ ": no dequeue may observe empty in pairs")
+    0 (Atomic.get empties);
+  Alcotest.(check int) "balanced" 0 (ops.len q)
+
+let test_all_enqueue_then_drain (Q (name, ops)) () =
+  (* Phase 1: everyone enqueues concurrently. Phase 2: sequential drain
+     must deliver exactly the enqueued multiset, per-producer ordered. *)
+  let threads = 4 and per = 2_000 in
+  let q = ops.make ~num_threads:threads in
+  let domains =
+    List.init threads (fun tid ->
+        Domain.spawn (fun () ->
+            for seq = 1 to per do
+              ops.enq q ~tid (encode ~producer:tid ~seq)
+            done))
+  in
+  List.iter Domain.join domains;
+  let last_seq = Array.make threads 0 in
+  let count = ref 0 in
+  let rec drain () =
+    match ops.deq q ~tid:0 with
+    | None -> ()
+    | Some v ->
+        incr count;
+        let p = producer_of v and s = seq_of v in
+        if s <> last_seq.(p) + 1 then
+          Alcotest.fail
+            (Printf.sprintf "%s: producer %d out of order: %d after %d" name
+               p s last_seq.(p));
+        last_seq.(p) <- s;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check int) "all present" (threads * per) !count
+
+let cases =
+  List.concat_map
+    (fun (Q (name, _) as q) ->
+      [
+        Alcotest.test_case (name ^ " 2p/2c") `Quick
+          (test_producers_consumers q ~producers:2 ~consumers:2
+             ~per_producer:3_000);
+        Alcotest.test_case (name ^ " 4p/1c") `Quick
+          (test_producers_consumers q ~producers:4 ~consumers:1
+             ~per_producer:2_000);
+        Alcotest.test_case (name ^ " 1p/4c") `Quick
+          (test_producers_consumers q ~producers:1 ~consumers:4
+             ~per_producer:6_000);
+        Alcotest.test_case (name ^ " pairs x4") `Quick
+          (test_pairs_never_empty q ~threads:4 ~iters:3_000);
+        Alcotest.test_case (name ^ " enqueue burst then drain") `Quick
+          (test_all_enqueue_then_drain q);
+      ])
+    queues
+
+(* SPSC gets its own shape: exactly one producer and one consumer. *)
+let test_spsc_stream () =
+  let module Spsc = Wfq_core.Spsc_queue.Make (A) in
+  let q = Spsc.create ~capacity:64 ~num_threads:2 () in
+  let n = 50_000 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to n do
+          while not (Spsc.try_enqueue q i) do
+            Domain.cpu_relax ()
+          done
+        done)
+  in
+  let consumer =
+    Domain.spawn (fun () ->
+        let expected = ref 1 in
+        while !expected <= n do
+          match Spsc.dequeue q ~tid:1 with
+          | Some v ->
+              if v <> !expected then
+                Alcotest.fail
+                  (Printf.sprintf "spsc order: got %d wanted %d" v !expected);
+              incr expected
+          | None -> Domain.cpu_relax ()
+        done)
+  in
+  Domain.join producer;
+  Domain.join consumer;
+  Alcotest.(check bool) "drained" true (Spsc.is_empty q)
+
+let () =
+  Alcotest.run "queues-concurrent"
+    [
+      ("domains", cases);
+      ( "spsc",
+        [ Alcotest.test_case "ordered stream of 50k" `Quick test_spsc_stream ]
+      );
+    ]

@@ -1,0 +1,340 @@
+(* Sequential (single-thread) semantics of every queue implementation:
+   each must behave exactly like Stdlib.Queue on any operation sequence.
+   Differential testing via qcheck plus targeted unit cases. *)
+
+module A = Wfq_primitives.Real_atomic
+module Ms = Wfq_core.Ms_queue.Make (A)
+module Kp = Wfq_core.Kp_queue.Make (A)
+module Kp_hp = Wfq_core.Kp_queue_hp.Make (A)
+module Spsc = Wfq_core.Spsc_queue.Make (A)
+module Lms = Wfq_core.Lms_queue.Make (A)
+
+(* A uniform view of each queue for the differential tests. *)
+type 'q ops = {
+  qname : string;
+  make : unit -> 'q;
+  enq : 'q -> int -> unit;
+  deq : 'q -> int option;
+  to_list : 'q -> int list;
+  len : 'q -> int;
+  empty : 'q -> bool;
+}
+
+type packed = Ops : 'q ops -> packed
+
+let ms_ops =
+  Ops
+    {
+      qname = "ms";
+      make = (fun () -> Ms.create ~num_threads:1 ());
+      enq = (fun q v -> Ms.enqueue q ~tid:0 v);
+      deq = (fun q -> Ms.dequeue q ~tid:0);
+      to_list = Ms.to_list;
+      len = Ms.length;
+      empty = Ms.is_empty;
+    }
+
+let kp_ops_with name help phase =
+  Ops
+    {
+      qname = name;
+      make = (fun () -> Kp.create_with ~help ~phase ~num_threads:1 ());
+      enq = (fun q v -> Kp.enqueue q ~tid:0 v);
+      deq = (fun q -> Kp.dequeue q ~tid:0);
+      to_list = Kp.to_list;
+      len = Kp.length;
+      empty = Kp.is_empty;
+    }
+
+let kp_base =
+  kp_ops_with "kp-base" Wfq_core.Kp_queue.Help_all Wfq_core.Kp_queue.Phase_scan
+
+let kp_opt1 =
+  kp_ops_with "kp-opt1" Wfq_core.Kp_queue.Help_one_cyclic
+    Wfq_core.Kp_queue.Phase_scan
+
+let kp_opt2 =
+  kp_ops_with "kp-opt2" Wfq_core.Kp_queue.Help_all
+    Wfq_core.Kp_queue.Phase_counter
+
+let kp_opt12 =
+  kp_ops_with "kp-opt12" Wfq_core.Kp_queue.Help_one_cyclic
+    Wfq_core.Kp_queue.Phase_counter
+
+let kp_hp_ops =
+  Ops
+    {
+      qname = "kp-hp";
+      make = (fun () -> Kp_hp.create ~num_threads:1 ());
+      enq = (fun q v -> Kp_hp.enqueue q ~tid:0 v);
+      deq = (fun q -> Kp_hp.dequeue q ~tid:0);
+      to_list = Kp_hp.to_list;
+      len = Kp_hp.length;
+      empty = Kp_hp.is_empty;
+    }
+
+let two_lock_ops =
+  Ops
+    {
+      qname = "two-lock";
+      make = (fun () -> Wfq_core.Two_lock_queue.create ~num_threads:1 ());
+      enq = (fun q v -> Wfq_core.Two_lock_queue.enqueue q ~tid:0 v);
+      deq = (fun q -> Wfq_core.Two_lock_queue.dequeue q ~tid:0);
+      to_list = Wfq_core.Two_lock_queue.to_list;
+      len = Wfq_core.Two_lock_queue.length;
+      empty = Wfq_core.Two_lock_queue.is_empty;
+    }
+
+let mutex_ops =
+  Ops
+    {
+      qname = "mutex";
+      make = (fun () -> Wfq_core.Mutex_queue.create ~num_threads:1 ());
+      enq = (fun q v -> Wfq_core.Mutex_queue.enqueue q ~tid:0 v);
+      deq = (fun q -> Wfq_core.Mutex_queue.dequeue q ~tid:0);
+      to_list = Wfq_core.Mutex_queue.to_list;
+      len = Wfq_core.Mutex_queue.length;
+      empty = Wfq_core.Mutex_queue.is_empty;
+    }
+
+let lms_ops =
+  Ops
+    {
+      qname = "lms";
+      make = (fun () -> Lms.create ~num_threads:1 ());
+      enq = (fun q v -> Lms.enqueue q ~tid:0 v);
+      deq = (fun q -> Lms.dequeue q ~tid:0);
+      to_list = Lms.to_list;
+      len = Lms.length;
+      empty = Lms.is_empty;
+    }
+
+let spsc_ops =
+  Ops
+    {
+      qname = "spsc";
+      make = (fun () -> Spsc.create ~capacity:4096 ~num_threads:2 ());
+      enq = (fun q v -> Spsc.enqueue q ~tid:0 v);
+      deq = (fun q -> Spsc.dequeue q ~tid:1);
+      to_list = Spsc.to_list;
+      len = Spsc.length;
+      empty = Spsc.is_empty;
+    }
+
+let all_queues =
+  [
+    ms_ops; kp_base; kp_opt1; kp_opt2; kp_opt12; kp_hp_ops; two_lock_ops;
+    mutex_ops; spsc_ops; lms_ops;
+  ]
+
+(* Static interface conformance: these bindings compile only if the
+   implementations satisfy the shared signatures. *)
+module _ : Wfq_core.Queue_intf.CHECKABLE_QUEUE = Ms
+module _ : Wfq_core.Queue_intf.CHECKABLE_QUEUE = Kp
+module _ : Wfq_core.Queue_intf.CHECKABLE_QUEUE = Lms
+module _ : Wfq_core.Queue_intf.QUEUE = Wfq_core.Two_lock_queue
+module _ : Wfq_core.Queue_intf.QUEUE = Wfq_core.Mutex_queue
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests *)
+(* ------------------------------------------------------------------ *)
+
+let test_fifo (Ops o) () =
+  let q = o.make () in
+  Alcotest.(check bool) "fresh queue empty" true (o.empty q);
+  Alcotest.(check (option int)) "deq on empty" None (o.deq q);
+  List.iter (o.enq q) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check int) "length 5" 5 (o.len q);
+  Alcotest.(check (list int)) "contents" [ 1; 2; 3; 4; 5 ] (o.to_list q);
+  Alcotest.(check (option int)) "deq 1" (Some 1) (o.deq q);
+  Alcotest.(check (option int)) "deq 2" (Some 2) (o.deq q);
+  o.enq q 6;
+  Alcotest.(check (list int)) "after mixed ops" [ 3; 4; 5; 6 ] (o.to_list q);
+  Alcotest.(check (option int)) "deq 3" (Some 3) (o.deq q);
+  Alcotest.(check (option int)) "deq 4" (Some 4) (o.deq q);
+  Alcotest.(check (option int)) "deq 5" (Some 5) (o.deq q);
+  Alcotest.(check (option int)) "deq 6" (Some 6) (o.deq q);
+  Alcotest.(check (option int)) "empty again" None (o.deq q);
+  Alcotest.(check bool) "is_empty after drain" true (o.empty q)
+
+let test_empty_run (Ops o) () =
+  let q = o.make () in
+  (* Repeated empty dequeues must stay stable (the paper's unsuccessful
+     dequeue leaves the queue unchanged). *)
+  for _ = 1 to 10 do
+    Alcotest.(check (option int)) "still empty" None (o.deq q)
+  done;
+  o.enq q 42;
+  Alcotest.(check (option int)) "enq after empties" (Some 42) (o.deq q)
+
+let test_drain_refill (Ops o) () =
+  let q = o.make () in
+  for round = 1 to 5 do
+    for i = 1 to 100 do
+      o.enq q ((round * 1000) + i)
+    done;
+    for i = 1 to 100 do
+      Alcotest.(check (option int))
+        "fifo across rounds"
+        (Some ((round * 1000) + i))
+        (o.deq q)
+    done;
+    Alcotest.(check (option int)) "drained" None (o.deq q)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* qcheck differential property: any op sequence ≡ Stdlib.Queue *)
+(* ------------------------------------------------------------------ *)
+
+type op = Enq of int | Deq
+
+let op_gen =
+  QCheck2.Gen.(
+    oneof [ map (fun v -> Enq v) (int_bound 1000); return Deq ])
+
+let ops_gen = QCheck2.Gen.(list_size (int_bound 200) op_gen)
+
+let print_ops ops =
+  String.concat ";"
+    (List.map (function Enq v -> Printf.sprintf "E%d" v | Deq -> "D") ops)
+
+let differential_prop (Ops o) ops =
+  let q = o.make () in
+  let model = Queue.create () in
+  List.for_all
+    (function
+      | Enq v ->
+          o.enq q v;
+          Queue.push v model;
+          true
+      | Deq -> o.deq q = Queue.take_opt model)
+    ops
+  && o.to_list q = List.of_seq (Queue.to_seq model)
+  && o.len q = Queue.length model
+
+let differential_tests =
+  List.map
+    (fun (Ops o as packed) ->
+      QCheck_alcotest.to_alcotest
+        (QCheck2.Test.make
+           ~name:(Printf.sprintf "%s ≡ Stdlib.Queue" o.qname)
+           ~count:300 ~print:print_ops ops_gen
+           (differential_prop packed)))
+    all_queues
+
+(* ------------------------------------------------------------------ *)
+(* KP-specific white-box checks *)
+(* ------------------------------------------------------------------ *)
+
+let test_kp_invariants () =
+  let q =
+    Kp.create_with ~help:Wfq_core.Kp_queue.Help_all
+      ~phase:Wfq_core.Kp_queue.Phase_scan ~num_threads:4 ()
+  in
+  for i = 1 to 50 do
+    Kp.enqueue q ~tid:(i mod 4) i
+  done;
+  for _ = 1 to 20 do
+    ignore (Kp.dequeue q ~tid:0)
+  done;
+  (match Kp.check_quiescent_invariants q with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  Alcotest.(check int) "30 left" 30 (Kp.length q)
+
+let test_kp_phases_monotonic () =
+  let q = Kp.create ~num_threads:2 () in
+  let last = ref (-1) in
+  for i = 1 to 20 do
+    Kp.enqueue q ~tid:(i mod 2) i;
+    let ph = Kp.phase_of q ~tid:(i mod 2) in
+    Alcotest.(check bool) "phase grows" true (ph > !last);
+    last := ph;
+    Alcotest.(check bool) "not pending after return" false
+      (Kp.pending_of q ~tid:(i mod 2))
+  done
+
+let test_ms_invariants () =
+  let q = Ms.create ~num_threads:1 () in
+  for i = 1 to 10 do
+    Ms.enqueue q ~tid:0 i
+  done;
+  ignore (Ms.dequeue q ~tid:0);
+  match Ms.check_quiescent_invariants q with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_spsc_capacity () =
+  let q = Spsc.create ~capacity:4 ~num_threads:2 () in
+  for i = 1 to 4 do
+    Alcotest.(check bool) "fits" true (Spsc.try_enqueue q i)
+  done;
+  Alcotest.(check bool) "full" false (Spsc.try_enqueue q 5);
+  Alcotest.(check (option int)) "pop front" (Some 1) (Spsc.dequeue q ~tid:1);
+  Alcotest.(check bool) "space again" true (Spsc.try_enqueue q 5);
+  Alcotest.(check (list int)) "ring order" [ 2; 3; 4; 5 ] (Spsc.to_list q)
+
+(* SPSC bounded-capacity property: against a bounded model, try_enqueue
+   must accept exactly while the model has room. *)
+let spsc_bounded_model =
+  QCheck2.Test.make ~name:"spsc ≡ bounded model" ~count:200
+    QCheck2.Gen.(
+      pair (int_range 1 8) (list_size (int_bound 100) (int_bound 1)))
+    (fun (capacity, cmds) ->
+      let q = Spsc.create ~capacity ~num_threads:2 () in
+      let model = Queue.create () in
+      List.for_all
+        (fun cmd ->
+          if cmd = 0 then begin
+            let accepted = Spsc.try_enqueue q (Queue.length model) in
+            let model_room = Queue.length model < capacity in
+            if accepted <> model_room then false
+            else begin
+              if accepted then Queue.push (Queue.length model) model;
+              true
+            end
+          end
+          else Spsc.dequeue q ~tid:1 = Queue.take_opt model)
+        cmds)
+
+let test_generic_payload () =
+  (* The queues are polymorphic; exercise a non-int payload. *)
+  let q = Kp.create ~num_threads:1 () in
+  Kp.enqueue q ~tid:0 "alpha";
+  Kp.enqueue q ~tid:0 "beta";
+  Alcotest.(check (option string)) "string deq" (Some "alpha")
+    (Kp.dequeue q ~tid:0);
+  Alcotest.(check (option string)) "string deq 2" (Some "beta")
+    (Kp.dequeue q ~tid:0)
+
+let per_queue_cases =
+  List.concat_map
+    (fun (Ops o as packed) ->
+      [
+        Alcotest.test_case (o.qname ^ " fifo basics") `Quick
+          (test_fifo packed);
+        Alcotest.test_case (o.qname ^ " empty dequeues") `Quick
+          (test_empty_run packed);
+        Alcotest.test_case (o.qname ^ " drain/refill cycles") `Quick
+          (test_drain_refill packed);
+      ])
+    all_queues
+
+let () =
+  Alcotest.run "queues-sequential"
+    [
+      ("basics", per_queue_cases);
+      ("differential", differential_tests);
+      ( "white-box",
+        [
+          Alcotest.test_case "kp quiescent invariants" `Quick
+            test_kp_invariants;
+          Alcotest.test_case "kp phases monotonic" `Quick
+            test_kp_phases_monotonic;
+          Alcotest.test_case "ms quiescent invariants" `Quick
+            test_ms_invariants;
+          Alcotest.test_case "spsc capacity bound" `Quick test_spsc_capacity;
+          QCheck_alcotest.to_alcotest spsc_bounded_model;
+          Alcotest.test_case "generic payload" `Quick test_generic_payload;
+        ] );
+    ]

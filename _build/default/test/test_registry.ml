@@ -1,0 +1,150 @@
+(* Tests for the thread-ID registry (long-lived renaming, §3.3). *)
+
+module R = Wfq_registry.Registry
+
+let test_acquire_all () =
+  let r = R.create ~capacity:4 in
+  let ids = List.init 4 (fun _ -> R.acquire r) in
+  Alcotest.(check (list int)) "distinct ids in order" [ 0; 1; 2; 3 ] ids;
+  Alcotest.(check int) "all held" 4 (R.held r);
+  Alcotest.check_raises "fifth acquire exhausted" R.Exhausted (fun () ->
+      ignore (R.acquire r))
+
+let test_release_reacquire () =
+  let r = R.create ~capacity:3 in
+  let a = R.acquire r in
+  let b = R.acquire r in
+  R.release r a;
+  Alcotest.(check int) "one released" 1 (R.held r);
+  let c = R.acquire r in
+  Alcotest.(check int) "released slot reused" a c;
+  R.release r b;
+  R.release r c;
+  Alcotest.(check int) "all free" 0 (R.held r)
+
+let test_release_validation () =
+  let r = R.create ~capacity:2 in
+  Alcotest.check_raises "releasing unheld id"
+    (Invalid_argument "Registry.release: tid not held") (fun () ->
+      R.release r 0);
+  Alcotest.check_raises "bad tid"
+    (Invalid_argument "Registry.release: bad tid") (fun () -> R.release r 9)
+
+let test_with_tid () =
+  let r = R.create ~capacity:1 in
+  let v = R.with_tid r (fun tid -> tid + 100) in
+  Alcotest.(check int) "slot 0 granted" 100 v;
+  Alcotest.(check int) "released after use" 0 (R.held r);
+  (* released even on exception *)
+  (try R.with_tid r (fun _ -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check int) "released on exception" 0 (R.held r)
+
+let test_concurrent_unique_ids () =
+  (* Domains hammer acquire/release; at no point may two domains hold the
+     same id — detected via a per-slot owner array. *)
+  let capacity = 4 and domains = 8 and rounds = 2_000 in
+  let r = R.create ~capacity in
+  let owners = Array.init capacity (fun _ -> Atomic.make (-1)) in
+  let violations = Atomic.make 0 in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for _ = 1 to rounds do
+              match R.acquire r with
+              | tid ->
+                  if not (Atomic.compare_and_set owners.(tid) (-1) d) then
+                    Atomic.incr violations;
+                  Atomic.set owners.(tid) (-1);
+                  R.release r tid
+              | exception R.Exhausted ->
+                  (* More domains than slots: legitimate under load. *)
+                  Domain.cpu_relax ()
+            done))
+  in
+  List.iter Domain.join workers;
+  Alcotest.(check int) "no id ever shared" 0 (Atomic.get violations);
+  Alcotest.(check int) "all released at quiescence" 0 (R.held r)
+
+let test_registry_with_queue () =
+  (* End-to-end: dynamic "threads" borrow tids to use the KP queue. *)
+  let module Kp = Wfq_core.Kp_queue.Make (Wfq_primitives.Real_atomic) in
+  let capacity = 4 in
+  let r = R.create ~capacity in
+  let q = Kp.create ~num_threads:capacity () in
+  let total = Atomic.make 0 in
+  let domains =
+    List.init 8 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to 500 do
+              let did =
+                let rec get () =
+                  match R.acquire r with
+                  | tid -> tid
+                  | exception R.Exhausted ->
+                      Domain.cpu_relax ();
+                      get ()
+                in
+                get ()
+              in
+              Kp.enqueue q ~tid:did ((d * 1000) + i);
+              (match Kp.dequeue q ~tid:did with
+              | Some _ -> Atomic.incr total
+              | None -> failwith "impossible empty in pairs pattern");
+              R.release r did
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "every dequeue succeeded" 4000 (Atomic.get total);
+  Alcotest.(check int) "queue drained" 0 (Kp.length q)
+
+(* Model-based qcheck: random acquire/release sequences tracked against
+   a set model; held counts and slot reuse must agree. *)
+let registry_model =
+  QCheck2.Test.make ~name:"acquire/release matches set model" ~count:300
+    QCheck2.Gen.(list_size (int_bound 60) (int_bound 4))
+    (fun cmds ->
+      let r = R.create ~capacity:3 in
+      let held = Hashtbl.create 8 in
+      List.for_all
+        (fun cmd ->
+          if cmd < 3 then (
+            (* try to acquire *)
+            match R.acquire r with
+            | tid ->
+                if Hashtbl.mem held tid then false (* double grant! *)
+                else (
+                  Hashtbl.add held tid ();
+                  true)
+            | exception R.Exhausted -> Hashtbl.length held = 3)
+          else
+            (* release one held id, if any *)
+            match Hashtbl.fold (fun k () _ -> Some k) held None with
+            | Some tid ->
+                Hashtbl.remove held tid;
+                R.release r tid;
+                true
+            | None -> true)
+        cmds
+      && R.held r = Hashtbl.length held)
+
+let () =
+  Alcotest.run "registry"
+    [
+      ( "sequential",
+        [
+          Alcotest.test_case "acquire to exhaustion" `Quick test_acquire_all;
+          Alcotest.test_case "release and reacquire" `Quick
+            test_release_reacquire;
+          Alcotest.test_case "release validation" `Quick
+            test_release_validation;
+          Alcotest.test_case "with_tid bracket" `Quick test_with_tid;
+        ] );
+      ( "concurrent",
+        [
+          Alcotest.test_case "ids never shared across domains" `Quick
+            test_concurrent_unique_ids;
+          Alcotest.test_case "dynamic threads drive the KP queue" `Quick
+            test_registry_with_queue;
+        ] );
+      ("model", [ QCheck_alcotest.to_alcotest registry_model ]);
+    ]

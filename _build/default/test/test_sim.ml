@@ -1,0 +1,310 @@
+(* Tests of the deterministic simulator itself: scheduling strategies,
+   replay, stall injection, and the two explorers — demonstrated on small
+   programs with known-good and known-racy behaviour. *)
+
+module S = Wfq_sim.Scheduler
+module SA = Wfq_sim.Sim_atomic
+module E = Wfq_sim.Explore
+
+let run = S.run
+
+let test_single_fiber () =
+  let r = SA.make 0 in
+  let result = run [| (fun () -> SA.set r 41; SA.set r (SA.peek r + 1)) |] in
+  Alcotest.(check bool) "finished" true (result.S.outcome = S.All_finished);
+  Alcotest.(check int) "value" 42 (SA.peek r);
+  Alcotest.(check bool) "steps counted" true (result.S.steps.(0) >= 2)
+
+let test_interleaving_round_robin () =
+  (* Two fibers each append their id thrice; round-robin must alternate. *)
+  let log = ref [] in
+  let fiber id () =
+    for _ = 1 to 3 do
+      S.yield ();
+      log := id :: !log
+    done
+  in
+  let result = run ~strategy:S.Round_robin [| fiber 0; fiber 1 |] in
+  Alcotest.(check bool) "finished" true (result.S.outcome = S.All_finished);
+  Alcotest.(check (list int)) "alternation" [ 0; 1; 0; 1; 0; 1 ]
+    (List.rev !log)
+
+let test_first_enabled_runs_in_order () =
+  let log = ref [] in
+  let fiber id () =
+    S.yield ();
+    log := id :: !log
+  in
+  let result = run ~strategy:S.First_enabled [| fiber 0; fiber 1; fiber 2 |] in
+  Alcotest.(check bool) "finished" true (result.S.outcome = S.All_finished);
+  Alcotest.(check (list int)) "sequential" [ 0; 1; 2 ] (List.rev !log)
+
+let trace_choices (r : S.result) = List.map (fun (_, i, _) -> i) r.S.trace
+
+let test_random_deterministic () =
+  let program () =
+    let r = SA.make 0 in
+    [| (fun () -> SA.set r 1); (fun () -> SA.set r 2);
+       (fun () -> SA.set r 3) |]
+  in
+  let r1 = run ~strategy:(S.Random_seeded 7) (program ()) in
+  let r2 = run ~strategy:(S.Random_seeded 7) (program ()) in
+  let r3 = run ~strategy:(S.Random_seeded 8) (program ()) in
+  Alcotest.(check (list int)) "same seed same trace" (trace_choices r1)
+    (trace_choices r2);
+  Alcotest.(check bool) "different seed may differ (traces recorded)" true
+    (List.length (trace_choices r3) > 0)
+
+let test_replay () =
+  let program () =
+    let r = SA.make 0 in
+    ( r,
+      [| (fun () -> SA.set r (SA.get r + 1));
+         (fun () -> SA.set r (SA.get r + 10)) |] )
+  in
+  let r1, fibers1 = program () in
+  let res1 = run ~strategy:(S.Random_seeded 3) fibers1 in
+  let final1 = SA.peek r1 in
+  let r2, fibers2 = program () in
+  let res2 = run ~forced:(trace_choices res1) fibers2 in
+  Alcotest.(check (list int)) "replayed trace equal" (trace_choices res1)
+    (trace_choices res2);
+  Alcotest.(check int) "replayed outcome equal" final1 (SA.peek r2)
+
+let test_stall_and_resume () =
+  let r = SA.make 0 in
+  let fibers () =
+    [| (fun () -> SA.set r (SA.get r + 1));
+       (fun () -> SA.set r (SA.get r + 1)) |]
+  in
+  (* Fiber 0 stalls after its first step and never wakes. *)
+  let res = run ~stalls:[ (0, 1) ] (fibers ()) in
+  Alcotest.(check bool) "stalled outcome" true
+    (res.S.outcome = S.Only_stalled_left);
+  (* Same but the stalled fiber wakes once everyone else is done. *)
+  let r2 = SA.make 0 in
+  let fibers2 =
+    [| (fun () -> SA.set r2 (SA.get r2 + 1));
+       (fun () -> SA.set r2 (SA.get r2 + 1)) |]
+  in
+  let res2 = run ~stalls:[ (0, 1) ] ~resume_stalled:true fibers2 in
+  Alcotest.(check bool) "resumed to completion" true
+    (res2.S.outcome = S.All_finished)
+
+let test_step_limit () =
+  let r = SA.make 0 in
+  let spin () =
+    while SA.get r = 0 do
+      ()
+    done
+  in
+  let res = run ~step_limit:500 [| spin |] in
+  Alcotest.(check bool) "limit hit" true (res.S.outcome = S.Step_limit_hit)
+
+let test_fiber_exception_captured () =
+  let res = run [| (fun () -> S.yield (); failwith "boom") |] in
+  match res.S.error with
+  | Some (Failure msg) -> Alcotest.(check string) "message" "boom" msg
+  | Some e -> Alcotest.fail ("unexpected exn " ^ Printexc.to_string e)
+  | None -> Alcotest.fail "exception not captured"
+
+(* ---------------------------------------------------------------- *)
+(* Explorers on the canonical racy/correct counter pair              *)
+(* ---------------------------------------------------------------- *)
+
+(* Lost-update race: read-modify-write without CAS. *)
+let racy_counter () =
+  let r = SA.make 0 in
+  let worker () = SA.set r (SA.get r + 1) in
+  ( [| worker; worker |],
+    fun (_ : S.result) ->
+      if SA.peek r = 2 then Ok ()
+      else Error (Printf.sprintf "lost update: %d" (SA.peek r)) )
+
+(* CAS retry loop: no schedule can lose an update. *)
+let cas_counter () =
+  let r = SA.make 0 in
+  let rec incr () =
+    let v = SA.get r in
+    if not (SA.compare_and_set r v (v + 1)) then incr ()
+  in
+  ( [| incr; incr |],
+    fun (_ : S.result) ->
+      if SA.peek r = 2 then Ok ()
+      else Error (Printf.sprintf "lost update: %d" (SA.peek r)) )
+
+let test_exhaustive_finds_race () =
+  let report = E.exhaustive ~make:racy_counter () in
+  match report.E.failure with
+  | Some (_, msg) ->
+      Alcotest.(check bool) "diagnosed lost update" true
+        (String.length msg > 0)
+  | None -> Alcotest.fail "exhaustive exploration missed the data race"
+
+let test_exhaustive_verifies_cas () =
+  let report = E.exhaustive ~make:cas_counter () in
+  Alcotest.(check bool) "no failure" true (report.E.failure = None);
+  Alcotest.(check bool) "exhausted" true report.E.exhausted;
+  Alcotest.(check bool) "explored several schedules" true
+    (report.E.schedules > 1)
+
+let test_preemption_bounded_finds_race () =
+  let report = E.preemption_bounded ~budget:1 ~make:racy_counter () in
+  Alcotest.(check bool) "found with one preemption" true
+    (report.E.failure <> None)
+
+let test_preemption_budget_zero_misses_race () =
+  (* With zero preemptions fibers run to completion sequentially, so the
+     racy counter is correct under every explored schedule — showing that
+     the budget really is what exposes interleavings. *)
+  let report = E.preemption_bounded ~budget:0 ~make:racy_counter () in
+  Alcotest.(check bool) "no failure at budget 0" true
+    (report.E.failure = None);
+  Alcotest.(check bool) "exhausted" true report.E.exhausted
+
+let test_preemption_schedule_counts_grow () =
+  let count budget =
+    (E.preemption_bounded ~budget ~make:cas_counter ()).E.schedules
+  in
+  let c0 = count 0 and c1 = count 1 and c2 = count 2 in
+  (* Budget 0 still explores both completion orders: the choice of which
+     fiber starts (and which runs after one finishes) is free — only
+     switching away from a runnable fiber costs a preemption. *)
+  Alcotest.(check int) "budget 0 = the two run-to-completion orders" 2 c0;
+  Alcotest.(check bool) "budget 1 adds schedules" true (c1 > c0);
+  Alcotest.(check bool) "budget 2 adds more" true (c2 > c1)
+
+let test_replay_of_explorer_failure () =
+  let report = E.exhaustive ~make:racy_counter () in
+  match report.E.failure with
+  | None -> Alcotest.fail "expected failure"
+  | Some (prefix, _) ->
+      (* Replaying the failing prefix must reproduce the bad outcome. *)
+      let fibers, check = racy_counter () in
+      let res = run ~forced:prefix fibers in
+      Alcotest.(check bool) "run completes" true
+        (res.S.outcome = S.All_finished);
+      Alcotest.(check bool) "failure reproduced" true (check res <> Ok ())
+
+(* Completeness: for two independent straight-line fibers of a and b
+   scheduler steps, the distinct interleavings number exactly
+   C(a+b, a) — the explorer must enumerate them all, no more, no less. *)
+let test_exhaustive_counts_are_binomial () =
+  let binom n k =
+    let rec go acc i =
+      if i > k then acc else go (acc * (n - k + i) / i) (i + 1)
+    in
+    go 1 1
+  in
+  List.iter
+    (fun (k1, k2) ->
+      let make () =
+        let r = SA.make 0 in
+        let fiber k () =
+          for _ = 1 to k do
+            SA.set r 1
+          done
+        in
+        ([| fiber k1; fiber k2 |], fun (_ : S.result) -> Ok ())
+      in
+      (* A fiber performing k atomic ops costs k+1 scheduler steps: one
+         per op plus the final resume that runs it to completion. *)
+      let expected = binom (k1 + k2 + 2) (k1 + 1) in
+      let report = E.exhaustive ~make () in
+      Alcotest.(check bool) "exhausted" true report.E.exhausted;
+      Alcotest.(check int)
+        (Printf.sprintf "C(%d,%d) schedules for %d+%d ops" (k1 + k2 + 2)
+           (k1 + 1) k1 k2)
+        expected report.E.schedules)
+    [ (1, 1); (2, 1); (2, 2); (3, 2); (3, 3) ]
+
+let test_fuzz_smoke () =
+  let report = E.fuzz ~count:50 ~make:cas_counter () in
+  Alcotest.(check bool) "no failure" true (report.E.failure = None);
+  let report2 = E.fuzz ~count:200 ~make:racy_counter () in
+  Alcotest.(check bool) "fuzz finds the race" true
+    (report2.E.failure <> None)
+
+let test_pct_deterministic_and_priority () =
+  (* Same seed: identical trace. Fresh start: the highest-priority fiber
+     runs to completion first under zero change points. *)
+  let program () =
+    let r = SA.make 0 in
+    [| (fun () -> SA.set r 1); (fun () -> SA.set r 2);
+       (fun () -> SA.set r 3) |]
+  in
+  let strat seed =
+    S.Pct { seed; change_points = 0; expected_length = 10 }
+  in
+  let r1 = run ~strategy:(strat 5) (program ()) in
+  let r2 = run ~strategy:(strat 5) (program ()) in
+  Alcotest.(check (list int)) "pct deterministic per seed"
+    (trace_choices r1) (trace_choices r2);
+  (* With no change points each fiber runs to completion before the next
+     starts: the chosen index at consecutive decisions stays on the same
+     fiber until it finishes. Observable as: the set sequence ends with
+     the LOWEST-priority fiber's write. *)
+  Alcotest.(check bool) "all finished" true
+    (r1.S.outcome = S.All_finished)
+
+let test_pct_finds_race () =
+  let report = E.pct ~count:200 ~change_points:1 ~make:racy_counter () in
+  Alcotest.(check bool) "pct finds the lost update" true
+    (report.E.failure <> None)
+
+let test_pct_passes_cas () =
+  let report = E.pct ~count:100 ~change_points:2 ~make:cas_counter () in
+  Alcotest.(check bool) "no failure on correct code" true
+    (report.E.failure = None)
+
+let test_ignore_yields () =
+  let r = SA.make 5 in
+  let v = S.ignore_yields (fun () -> SA.get r + SA.get r) in
+  Alcotest.(check int) "observers usable outside runs" 10 v
+
+let () =
+  Alcotest.run "simulator"
+    [
+      ( "scheduler",
+        [
+          Alcotest.test_case "single fiber" `Quick test_single_fiber;
+          Alcotest.test_case "round-robin interleaves" `Quick
+            test_interleaving_round_robin;
+          Alcotest.test_case "first-enabled order" `Quick
+            test_first_enabled_runs_in_order;
+          Alcotest.test_case "random is deterministic per seed" `Quick
+            test_random_deterministic;
+          Alcotest.test_case "trace replay" `Quick test_replay;
+          Alcotest.test_case "stall injection and resume" `Quick
+            test_stall_and_resume;
+          Alcotest.test_case "step limit detects spinning" `Quick
+            test_step_limit;
+          Alcotest.test_case "fiber exception captured" `Quick
+            test_fiber_exception_captured;
+          Alcotest.test_case "ignore_yields helper" `Quick test_ignore_yields;
+        ] );
+      ( "explore",
+        [
+          Alcotest.test_case "exhaustive finds lost update" `Quick
+            test_exhaustive_finds_race;
+          Alcotest.test_case "exhaustive verifies CAS counter" `Quick
+            test_exhaustive_verifies_cas;
+          Alcotest.test_case "preemption-bounded finds race" `Quick
+            test_preemption_bounded_finds_race;
+          Alcotest.test_case "budget 0 means sequential" `Quick
+            test_preemption_budget_zero_misses_race;
+          Alcotest.test_case "schedule count grows with budget" `Quick
+            test_preemption_schedule_counts_grow;
+          Alcotest.test_case "failing prefix replays" `Quick
+            test_replay_of_explorer_failure;
+          Alcotest.test_case "exhaustive counts are binomial" `Quick
+            test_exhaustive_counts_are_binomial;
+          Alcotest.test_case "fuzz smoke" `Quick test_fuzz_smoke;
+          Alcotest.test_case "pct deterministic + completes" `Quick
+            test_pct_deterministic_and_priority;
+          Alcotest.test_case "pct finds race at depth 2" `Quick
+            test_pct_finds_race;
+          Alcotest.test_case "pct passes correct code" `Quick
+            test_pct_passes_cas;
+        ] );
+    ]

@@ -1,0 +1,611 @@
+(* Model checking the queue algorithms under the deterministic simulator.
+
+   The queues are instantiated with Sim_atomic, so every shared access is
+   a scheduling point; scenarios are explored with preemption-bounded
+   systematic search (every schedule with <= N preemptions) plus seeded
+   random fuzzing, and every explored interleaving's history must be
+   linearizable against the sequential FIFO spec.
+
+   Also here: the paper's progress claims, made observable —
+   - helping: a thread stalled mid-operation still gets its operation
+     completed by peers (wait-freedom's mechanism, §3.1);
+   - step bounds: no KP operation exceeds a schedule-independent step
+     bound, while the MS queue admits schedules whose enqueue step count
+     grows with the interference (lock-freedom only). *)
+
+module S = Wfq_sim.Scheduler
+module SA = Wfq_sim.Sim_atomic
+module E = Wfq_sim.Explore
+module H = Wfq_lincheck.History
+module C = Wfq_lincheck.Checker
+
+module Ms = Wfq_core.Ms_queue.Make (SA)
+module Kp = Wfq_core.Kp_queue.Make (SA)
+module Kp_hp = Wfq_core.Kp_queue_hp.Make (SA)
+module Lms = Wfq_core.Lms_queue.Make (SA)
+
+type script = [ `Enq of int | `Deq ] list
+
+(* A queue packaged for scenario building. *)
+type 'q sim_queue = {
+  make : num_threads:int -> 'q;
+  enq : 'q -> tid:int -> int -> unit;
+  deq : 'q -> tid:int -> int option;
+  contents : 'q -> int list;
+}
+
+type packed = Q : string * 'q sim_queue -> packed
+
+let ms_q =
+  Q
+    ( "ms",
+      {
+        make = (fun ~num_threads -> Ms.create ~num_threads ());
+        enq = (fun q ~tid v -> Ms.enqueue q ~tid v);
+        deq = (fun q ~tid -> Ms.dequeue q ~tid);
+        contents = Ms.to_list;
+      } )
+
+let kp_q name help phase =
+  Q
+    ( name,
+      {
+        make = (fun ~num_threads -> Kp.create_with ~help ~phase ~num_threads ());
+        enq = (fun q ~tid v -> Kp.enqueue q ~tid v);
+        deq = (fun q ~tid -> Kp.dequeue q ~tid);
+        contents = Kp.to_list;
+      } )
+
+let kp_base =
+  kp_q "kp-base" Wfq_core.Kp_queue.Help_all Wfq_core.Kp_queue.Phase_scan
+
+let kp_opt12 =
+  kp_q "kp-opt12" Wfq_core.Kp_queue.Help_one_cyclic
+    Wfq_core.Kp_queue.Phase_counter
+
+(* Tiny scan threshold + pool so recycling happens even in short
+   simulated scenarios — maximal reuse pressure on the HP protocol. *)
+let kp_hp_q =
+  Q
+    ( "kp-hp",
+      {
+        make =
+          (fun ~num_threads ->
+            Kp_hp.create ~scan_threshold:1 ~pool_capacity:64 ~num_threads ());
+        enq = (fun q ~tid v -> Kp_hp.enqueue q ~tid v);
+        deq = (fun q ~tid -> Kp_hp.dequeue q ~tid);
+        contents = Kp_hp.to_list;
+      } )
+
+let lms_q =
+  Q
+    ( "lms",
+      {
+        make = (fun ~num_threads -> Lms.create ~num_threads ());
+        enq = (fun q ~tid v -> Lms.enqueue q ~tid v);
+        deq = (fun q ~tid -> Lms.dequeue q ~tid);
+        contents = Lms.to_list;
+      } )
+
+let checked_queues = [ ms_q; kp_base; kp_opt12; kp_hp_q; lms_q ]
+
+(* Build an explorable scenario: one fiber per script, with history
+   recording; the check validates linearizability AND element
+   conservation of the final structure. *)
+let scenario (Q (_, ops)) (scripts : script list) () =
+  let num_threads = List.length scripts in
+  let q = ops.make ~num_threads in
+  let hist = H.create () in
+  let fiber tid script () =
+    List.iter
+      (function
+        | `Enq v ->
+            H.call hist ~thread:tid (H.Enq v);
+            ops.enq q ~tid v;
+            H.return hist ~thread:tid H.Done
+        | `Deq -> (
+            H.call hist ~thread:tid H.Deq;
+            match ops.deq q ~tid with
+            | Some v -> H.return hist ~thread:tid (H.Got v)
+            | None -> H.return hist ~thread:tid H.Empty))
+      script
+  in
+  let check (_ : S.result) =
+    let completed = H.completed hist in
+    let enqueued =
+      List.filter_map
+        (fun (c : H.completed) ->
+          match c.op with H.Enq v -> Some v | H.Deq -> None)
+        completed
+    in
+    let dequeued =
+      List.filter_map
+        (fun (c : H.completed) ->
+          match c.response with H.Got v -> Some v | H.Done | H.Empty -> None)
+        completed
+    in
+    let left = S.ignore_yields (fun () -> ops.contents q) in
+    let sort = List.sort compare in
+    if sort enqueued <> sort (dequeued @ left) then
+      Error
+        (Printf.sprintf "conservation violated: %d enq, %d deq, %d left"
+           (List.length enqueued) (List.length dequeued) (List.length left))
+    else if not (C.is_linearizable completed) then
+      Error
+        (Format.asprintf "not linearizable:@.%a" C.pp_history completed)
+    else Ok ()
+  in
+  (Array.of_list (List.mapi fiber scripts), check)
+
+let scenarios : (string * script list) list =
+  [
+    ("2x enq race", [ [ `Enq 1 ]; [ `Enq 2 ] ]);
+    ("enq vs deq on empty", [ [ `Enq 1 ]; [ `Deq ] ]);
+    ("2x deq on singleton", [ [ `Deq ]; [ `Deq; `Enq 9 ] ]);
+    ("pairs x2", [ [ `Enq 1; `Deq ]; [ `Enq 2; `Deq ] ]);
+    ("producer/consumer", [ [ `Enq 1; `Enq 2 ]; [ `Deq; `Deq ] ]);
+    ("three-way", [ [ `Enq 1 ]; [ `Enq 2 ]; [ `Deq; `Deq; `Deq ] ]);
+  ]
+
+let explore_case (Q (name, _) as q) (scen_name, scripts) budget =
+  Alcotest.test_case
+    (Printf.sprintf "%s: %s (<=%d preemptions)" name scen_name budget)
+    `Quick
+    (fun () ->
+      let report =
+        E.preemption_bounded ~budget ~max_schedules:60_000
+          ~make:(scenario q scripts) ()
+      in
+      (match report.E.failure with
+      | Some (prefix, msg) ->
+          Alcotest.fail
+            (Printf.sprintf "schedule %s failed: %s"
+               (String.concat "," (List.map string_of_int prefix))
+               msg)
+      | None -> ());
+      Alcotest.(check bool) "search exhausted" true report.E.exhausted)
+
+let fuzz_case (Q (name, _) as q) (scen_name, scripts) count =
+  Alcotest.test_case
+    (Printf.sprintf "%s: %s (fuzz %d)" name scen_name count)
+    `Quick
+    (fun () ->
+      let report = E.fuzz ~count ~make:(scenario q scripts) () in
+      match report.E.failure with
+      | Some (_, msg) -> Alcotest.fail msg
+      | None -> ())
+
+let systematic_tests =
+  (* Two-fiber scenarios are explored with every schedule of <= 2
+     preemptions; the three-fiber scenario with <= 1 (the schedule count
+     at budget 2 exceeds the per-test cap for the Help_all variants,
+     whose operations scan the whole state array). *)
+  List.concat_map
+    (fun q ->
+      List.map
+        (fun ((_, scripts) as scen) ->
+          explore_case q scen (if List.length scripts >= 3 then 1 else 2))
+        scenarios)
+    checked_queues
+
+let pct_case (Q (name, _) as q) (scen_name, scripts) count =
+  Alcotest.test_case
+    (Printf.sprintf "%s: %s (pct %d)" name scen_name count)
+    `Quick
+    (fun () ->
+      let report =
+        E.pct ~count ~change_points:3 ~make:(scenario q scripts) ()
+      in
+      match report.E.failure with
+      | Some (_, msg) -> Alcotest.fail msg
+      | None -> ())
+
+let fuzz_tests =
+  let big_scenarios : (string * script list) list =
+    [
+      ( "4 threads mixed",
+        [
+          [ `Enq 1; `Deq; `Enq 2 ];
+          [ `Deq; `Enq 3; `Deq ];
+          [ `Enq 4; `Enq 5; `Deq ];
+          [ `Deq; `Deq; `Enq 6 ];
+        ] );
+      ( "bursty",
+        [
+          [ `Enq 1; `Enq 2; `Enq 3; `Deq; `Deq; `Deq ];
+          [ `Deq; `Deq; `Enq 7; `Enq 8; `Deq; `Deq ];
+          [ `Enq 4; `Deq; `Enq 5; `Deq; `Enq 6; `Deq ];
+        ] );
+    ]
+  in
+  List.concat_map
+    (fun q ->
+      List.map (fun scen -> fuzz_case q scen 400) big_scenarios
+      @ List.map (fun scen -> pct_case q scen 150) big_scenarios)
+    checked_queues
+
+(* ---------------------------------------------------------------- *)
+(* Regression: help_finish_deq descriptor/head read ordering          *)
+(* ---------------------------------------------------------------- *)
+
+(* A stale helper suspended in help_finish_deq between reading
+   [first.deq_tid] and re-validating [head == first] must not complete
+   the owner's NEXT dequeue with THIS dequeue's value. The bug shape
+   needs the same thread to dequeue twice with a helper around; the
+   buggy ordering (validate head before reading the descriptor, as this
+   repository's HP variant briefly did) is found by this exploration in
+   a few thousand schedules, and by PCT within ~40 runs. *)
+let test_hp_finish_deq_ordering_regression () =
+  let scripts : script list = [ [ `Enq 1; `Enq 2; `Deq; `Deq ]; [ `Deq ] ] in
+  let report =
+    E.preemption_bounded ~budget:2 ~max_schedules:60_000
+      ~make:(scenario kp_hp_q scripts) ()
+  in
+  (match report.E.failure with
+  | Some (_, msg) -> Alcotest.fail msg
+  | None -> ());
+  Alcotest.(check bool) "exhausted" true report.E.exhausted
+
+let test_hp_finish_deq_ordering_regression_pct () =
+  let scripts : script list =
+    [ [ `Enq 1; `Enq 2; `Enq 3 ]; [ `Deq; `Deq ]; [ `Deq ] ]
+  in
+  let report =
+    E.pct ~count:1500 ~change_points:4 ~make:(scenario kp_hp_q scripts) ()
+  in
+  match report.E.failure with
+  | Some (_, msg) -> Alcotest.fail msg
+  | None -> ()
+
+(* ---------------------------------------------------------------- *)
+(* Helping: a stalled thread's operation completes anyway            *)
+(* ---------------------------------------------------------------- *)
+
+(* Thread 0 publishes an enqueue and stalls after [stall_at] steps;
+   thread 1 runs a full operation. If thread 0 got far enough to publish
+   its descriptor, the element must be IN THE QUEUE even though thread 0
+   never ran again. We scan all stall points covering the whole operation
+   and assert that, from the publication point on, helping completes the
+   operation. *)
+let test_kp_helping_completes_stalled_enqueue () =
+  (* Determine the step length of an uncontended enqueue. *)
+  let probe =
+    S.run
+      [|
+        (fun () ->
+          let q = Kp.create ~num_threads:2 () in
+          Kp.enqueue q ~tid:0 1);
+      |]
+  in
+  let op_steps = probe.S.steps.(0) in
+  Alcotest.(check bool) "operation is non-trivial" true (op_steps > 5);
+  let helped = ref 0 in
+  for stall_at = 1 to op_steps - 1 do
+    let q = Kp.create ~num_threads:2 () in
+    let fibers =
+      [|
+        (fun () -> Kp.enqueue q ~tid:0 111);
+        (fun () -> Kp.enqueue q ~tid:1 222);
+      |]
+    in
+    let res = S.run ~stalls:[ (0, stall_at) ] fibers in
+    (match res.S.outcome with
+    | S.Only_stalled_left | S.All_finished -> ()
+    | S.Step_limit_hit -> Alcotest.fail "helper failed to make progress");
+    let contents = S.ignore_yields (fun () -> Kp.to_list q) in
+    (* Thread 1's own operation must always complete (wait-freedom). *)
+    Alcotest.(check bool)
+      (Printf.sprintf "222 present (stall@%d)" stall_at)
+      true
+      (List.mem 222 contents);
+    if List.mem 111 contents then incr helped
+  done;
+  (* The descriptor is published within the first few steps; from then on
+     helpers must finish the stalled operation. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "helping occurred at most stall points (%d/%d)" !helped
+       (op_steps - 1))
+    true
+    (!helped >= op_steps - 1 - 6)
+
+let test_kp_helping_completes_stalled_dequeue () =
+  let probe =
+    S.run
+      [|
+        (fun () ->
+          let q = Kp.create ~num_threads:2 () in
+          Kp.enqueue q ~tid:0 1;
+          Kp.enqueue q ~tid:0 2;
+          ignore (Kp.dequeue q ~tid:0));
+      |]
+  in
+  let total_steps = probe.S.steps.(0) in
+  let helped = ref 0 and attempts = ref 0 in
+  for stall_at = 1 to total_steps - 1 do
+    let q = Kp.create ~num_threads:2 () in
+    (* Pre-fill sequentially inside fiber 0 before its dequeue. *)
+    let fibers =
+      [|
+        (fun () ->
+          Kp.enqueue q ~tid:0 1;
+          Kp.enqueue q ~tid:0 2;
+          ignore (Kp.dequeue q ~tid:0));
+        (fun () -> ignore (Kp.dequeue q ~tid:1));
+      |]
+    in
+    let res = S.run ~stalls:[ (0, stall_at) ] fibers in
+    (match res.S.outcome with
+    | S.Only_stalled_left | S.All_finished -> ()
+    | S.Step_limit_hit -> Alcotest.fail "helper failed to make progress");
+    incr attempts;
+    (* Thread 1's dequeue always completes; if thread 0 stalls after both
+       its enqueues finished and its dequeue descriptor was published,
+       the combined dequeues must have removed both elements. *)
+    let contents = S.ignore_yields (fun () -> Kp.to_list q) in
+    if List.length contents = 0 then incr helped
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "stalled dequeues helped to completion (%d/%d)" !helped
+       !attempts)
+    true (!helped > 0)
+
+(* MS contrast: stalling the enqueuer before its linearizing CAS simply
+   loses the operation — nobody can help, because nothing was published.
+   (After the CAS, MS's lazy tail fix IS helped; both facts checked.) *)
+let test_ms_stalled_enqueue_not_helped () =
+  let q0 = Ms.create ~num_threads:2 () in
+  ignore q0;
+  let lost = ref 0 and completed = ref 0 in
+  let probe =
+    S.run
+      [|
+        (fun () ->
+          let q = Ms.create ~num_threads:2 () in
+          Ms.enqueue q ~tid:0 1);
+      |]
+  in
+  let op_steps = probe.S.steps.(0) in
+  for stall_at = 1 to op_steps - 1 do
+    let q = Ms.create ~num_threads:2 () in
+    let fibers =
+      [|
+        (fun () -> Ms.enqueue q ~tid:0 111);
+        (fun () -> Ms.enqueue q ~tid:1 222);
+      |]
+    in
+    ignore (S.run ~stalls:[ (0, stall_at) ] fibers);
+    let contents = S.ignore_yields (fun () -> Ms.to_list q) in
+    Alcotest.(check bool) "peer op completes (lock-freedom)" true
+      (List.mem 222 contents);
+    if List.mem 111 contents then incr completed else incr lost
+  done;
+  Alcotest.(check bool) "some stall points lose the op entirely" true
+    (!lost > 0)
+
+(* ---------------------------------------------------------------- *)
+(* Step bounds: wait-freedom vs lock-freedom                         *)
+(* ---------------------------------------------------------------- *)
+
+(* Thread 0 performs ONE enqueue while thread 1 performs [k] enqueues.
+   Over many adversarial (seeded random) schedules, record the maximum
+   number of steps thread 0 needed. For the wait-free queue this bound
+   must not grow with k; for the MS queue it does (each interference can
+   fail thread 0's CAS). *)
+let max_steps_one_vs_k ~make_fibers k seeds =
+  let worst = ref 0 in
+  for seed = 0 to seeds - 1 do
+    let fibers = make_fibers k in
+    let res = S.run ~strategy:(S.Random_seeded seed) fibers in
+    (match res.S.error with
+    | Some e -> Alcotest.fail (Printexc.to_string e)
+    | None -> ());
+    worst := max !worst res.S.steps.(0)
+  done;
+  !worst
+
+let kp_fibers k =
+  let q = Kp.create ~num_threads:2 () in
+  [|
+    (fun () -> Kp.enqueue q ~tid:0 0);
+    (fun () ->
+      for i = 1 to k do
+        Kp.enqueue q ~tid:1 i
+      done);
+  |]
+
+let ms_fibers k =
+  let q = Ms.create ~num_threads:2 () in
+  [|
+    (fun () -> Ms.enqueue q ~tid:0 0);
+    (fun () ->
+      for i = 1 to k do
+        Ms.enqueue q ~tid:1 i
+      done);
+  |]
+
+let test_kp_steps_bounded () =
+  let seeds = 300 in
+  let w5 = max_steps_one_vs_k ~make_fibers:kp_fibers 5 seeds in
+  let w50 = max_steps_one_vs_k ~make_fibers:kp_fibers 50 seeds in
+  (* Wait-freedom: the worst case must not scale with the peer's op
+     count. Allow constant slack for scheduling noise. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "KP worst steps stable: k=5 -> %d, k=50 -> %d" w5 w50)
+    true
+    (w50 <= (2 * w5) + 16)
+
+let test_ms_steps_grow_with_interference () =
+  let seeds = 300 in
+  let w2 = max_steps_one_vs_k ~make_fibers:ms_fibers 2 seeds in
+  let w80 = max_steps_one_vs_k ~make_fibers:ms_fibers 80 seeds in
+  (* Lock-freedom only: adversarial schedules make thread 0 retry; worst
+     case grows with available interference. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "MS worst steps grow: k=2 -> %d, k=80 -> %d" w2 w80)
+    true (w80 > w2)
+
+(* The paper's rationale for optimization 1: under contention, Help_all
+   lets every thread pile onto the same pending operation, wasting total
+   work. Measure system-wide steps for the same workload under both
+   helping policies across random schedules: the cyclic policy must do
+   less total work on average. *)
+let test_help_all_wastes_total_work () =
+  let total_steps help seed =
+    let q =
+      Kp.create_with ~help ~phase:Wfq_core.Kp_queue.Phase_counter
+        ~num_threads:6 ()
+    in
+    let fibers =
+      Array.init 6 (fun tid () ->
+          for i = 1 to 2 do
+            Kp.enqueue q ~tid ((tid * 10) + i);
+            ignore (Kp.dequeue q ~tid)
+          done)
+    in
+    let res = S.run ~strategy:(S.Random_seeded seed) fibers in
+    (match res.S.error with
+    | Some e -> Alcotest.fail (Printexc.to_string e)
+    | None -> ());
+    res.S.total_steps
+  in
+  let seeds = 80 in
+  let avg help =
+    let sum = ref 0 in
+    for seed = 0 to seeds - 1 do
+      sum := !sum + total_steps help seed
+    done;
+    float_of_int !sum /. float_of_int seeds
+  in
+  let all = avg Wfq_core.Kp_queue.Help_all in
+  let cyclic = avg Wfq_core.Kp_queue.Help_one_cyclic in
+  Alcotest.(check bool)
+    (Printf.sprintf "Help_all total work %.0f > Help_one_cyclic %.0f" all
+       cyclic)
+    true (all > cyclic)
+
+(* ---------------------------------------------------------------- *)
+(* SPSC ring under the simulator                                     *)
+(* ---------------------------------------------------------------- *)
+
+(* Lamport's ring is only safe for one producer and one consumer; its
+   scenario therefore fixes the roles. The consumer polls a bounded
+   number of times (an unbounded poll loop spins forever under the
+   explorer's non-preemptive default schedule); whatever it managed to
+   receive must be exactly the prefix 1..k, in order — no loss, no
+   duplication, no reordering, under every explored interleaving. *)
+module Spsc = Wfq_core.Spsc_queue.Make (SA)
+
+let test_spsc_systematic () =
+  let make () =
+    let q = Spsc.create ~capacity:8 ~num_threads:2 () in
+    let got = ref [] in
+    let fibers =
+      [|
+        (fun () ->
+          for i = 1 to 3 do
+            if not (Spsc.try_enqueue q i) then failwith "unexpected full"
+          done);
+        (fun () ->
+          for _ = 1 to 12 do
+            match Spsc.dequeue q ~tid:1 with
+            | Some v -> got := v :: !got
+            | None -> ()
+          done);
+      |]
+    in
+    let check (_ : S.result) =
+      let received = List.rev !got in
+      let expected = List.init (List.length received) (fun i -> i + 1) in
+      if received = expected then Ok ()
+      else
+        Error
+          (Printf.sprintf "not an in-order prefix: [%s]"
+             (String.concat ";" (List.map string_of_int received)))
+    in
+    (fibers, check)
+  in
+  let report =
+    E.preemption_bounded ~budget:3 ~max_schedules:100_000 ~make ()
+  in
+  (match report.E.failure with
+  | Some (_, msg) -> Alcotest.fail msg
+  | None -> ());
+  Alcotest.(check bool) "exhausted" true report.E.exhausted
+
+(* ---------------------------------------------------------------- *)
+(* qcheck: randomly generated scenarios, fuzzed schedules            *)
+(* ---------------------------------------------------------------- *)
+
+(* Generate 2-3 scripts of up to 3 ops each; enqueue values are made
+   unique by position so delivered-twice bugs are visible. *)
+let scripts_gen =
+  QCheck2.Gen.(
+    let* threads = int_range 2 3 in
+    let* codes = list_size (int_range 2 9) (int_bound 2) in
+    let scripts = Array.make threads [] in
+    List.iteri
+      (fun i code ->
+        let tid = i mod threads in
+        let op = if code = 2 then `Deq else `Enq (100 + i) in
+        scripts.(tid) <- op :: scripts.(tid))
+      codes;
+    return (Array.to_list (Array.map List.rev scripts)))
+
+let print_scripts scripts =
+  String.concat " | "
+    (List.map
+       (fun script ->
+         String.concat ";"
+           (List.map
+              (function `Enq v -> Printf.sprintf "E%d" v | `Deq -> "D")
+              script))
+       scripts)
+
+let random_scenario_prop q scripts =
+  let report = E.fuzz ~count:25 ~make:(scenario q scripts) () in
+  match report.E.failure with
+  | None -> true
+  | Some (_, msg) -> QCheck2.Test.fail_report msg
+
+let qcheck_tests =
+  List.map
+    (fun (Q (name, _) as q) ->
+      QCheck_alcotest.to_alcotest
+        (QCheck2.Test.make
+           ~name:(name ^ ": random scenarios stay linearizable")
+           ~count:30 ~print:print_scripts scripts_gen
+           (random_scenario_prop q)))
+    [ kp_base; kp_opt12; kp_hp_q ]
+
+let () =
+  Alcotest.run "sim-queues"
+    [
+      ("systematic (preemption-bounded)", systematic_tests);
+      ("fuzz (random schedules)", fuzz_tests);
+      ("qcheck scenarios", qcheck_tests);
+      ( "spsc",
+        [ Alcotest.test_case "ordered under <=3 preemptions" `Quick
+            test_spsc_systematic ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "hp finish_deq ordering (systematic)" `Quick
+            test_hp_finish_deq_ordering_regression;
+          Alcotest.test_case "hp finish_deq ordering (pct)" `Quick
+            test_hp_finish_deq_ordering_regression_pct;
+        ] );
+      ( "progress",
+        [
+          Alcotest.test_case "KP stalled enqueue is helped" `Quick
+            test_kp_helping_completes_stalled_enqueue;
+          Alcotest.test_case "KP stalled dequeue is helped" `Quick
+            test_kp_helping_completes_stalled_dequeue;
+          Alcotest.test_case "MS stalled enqueue is lost" `Quick
+            test_ms_stalled_enqueue_not_helped;
+          Alcotest.test_case "KP step bound independent of interference"
+            `Quick test_kp_steps_bounded;
+          Alcotest.test_case "MS steps grow with interference" `Quick
+            test_ms_steps_grow_with_interference;
+          Alcotest.test_case "Help_all wastes total work (opt-1 rationale)"
+            `Quick test_help_all_wastes_total_work;
+        ] );
+    ]

@@ -1,0 +1,230 @@
+(* Tests for Herlihy's universal construction and its queue instance:
+   sequential semantics, wait-freedom under stalls (announce-based
+   helping), bounded steps, model-checked linearizability, and domain
+   stress. *)
+
+module A = Wfq_primitives.Real_atomic
+module SA = Wfq_sim.Sim_atomic
+module S = Wfq_sim.Scheduler
+module E = Wfq_sim.Explore
+module H = Wfq_lincheck.History
+module C = Wfq_lincheck.Checker
+module Uq = Wfq_universal.Universal.Queue (A)
+module UqSim = Wfq_universal.Universal.Queue (SA)
+module Qo = Wfq_universal.Universal.Queue_object
+
+(* --------------------- sequential object ------------------------- *)
+
+let test_queue_object () =
+  let st = Qo.initial in
+  let st, r1 = Qo.apply st (Qo.Enq 1) in
+  let st, r2 = Qo.apply st (Qo.Enq 2) in
+  Alcotest.(check bool) "enq responses" true (r1 = Qo.Done && r2 = Qo.Done);
+  Alcotest.(check (list int)) "contents" [ 1; 2 ] (Qo.to_list st);
+  let st, g1 = Qo.apply st Qo.Deq in
+  let st, g2 = Qo.apply st Qo.Deq in
+  let st, g3 = Qo.apply st Qo.Deq in
+  Alcotest.(check bool) "fifo" true (g1 = Qo.Got 1 && g2 = Qo.Got 2);
+  Alcotest.(check bool) "empty" true (g3 = Qo.Empty);
+  Alcotest.(check (list int)) "drained" [] (Qo.to_list st)
+
+(* ----------------------- sequential queue ------------------------ *)
+
+let test_sequential_differential () =
+  let q = Uq.create ~num_threads:2 () in
+  let model = Queue.create () in
+  let rng = Wfq_primitives.Rng.create ~seed:5 in
+  for i = 1 to 1_000 do
+    let tid = Wfq_primitives.Rng.below rng 2 in
+    if Wfq_primitives.Rng.bool rng then begin
+      Uq.enqueue q ~tid i;
+      Queue.push i model
+    end
+    else if Uq.dequeue q ~tid <> Queue.take_opt model then
+      Alcotest.fail "diverged from model"
+  done;
+  Alcotest.(check (list int)) "final contents"
+    (List.of_seq (Queue.to_seq model))
+    (Uq.to_list q)
+
+(* -------------------- simulator: linearizability ------------------ *)
+
+let scenario scripts () =
+  let num_threads = List.length scripts in
+  let q = UqSim.create ~num_threads () in
+  let hist = H.create () in
+  let fiber tid script () =
+    List.iter
+      (function
+        | `Enq v ->
+            H.call hist ~thread:tid (H.Enq v);
+            UqSim.enqueue q ~tid v;
+            H.return hist ~thread:tid H.Done
+        | `Deq -> (
+            H.call hist ~thread:tid H.Deq;
+            match UqSim.dequeue q ~tid with
+            | Some v -> H.return hist ~thread:tid (H.Got v)
+            | None -> H.return hist ~thread:tid H.Empty))
+      script
+  in
+  let check (_ : S.result) =
+    if C.is_linearizable (H.completed hist) then Ok ()
+    else
+      Error
+        (Format.asprintf "not linearizable:@.%a" C.pp_history
+           (H.completed hist))
+  in
+  (Array.of_list (List.mapi fiber scripts), check)
+
+let systematic_case (name, scripts, budget) =
+  Alcotest.test_case name `Quick (fun () ->
+      let report =
+        E.preemption_bounded ~budget ~max_schedules:60_000
+          ~make:(scenario scripts) ()
+      in
+      (match report.E.failure with
+      | Some (_, msg) -> Alcotest.fail msg
+      | None -> ());
+      Alcotest.(check bool) "exhausted" true report.E.exhausted)
+
+let systematic_tests =
+  List.map systematic_case
+    [
+      ("enq race (<=2 preemptions)", [ [ `Enq 1 ]; [ `Enq 2 ] ], 2);
+      ("enq vs deq (<=2 preemptions)", [ [ `Enq 1 ]; [ `Deq ] ], 2);
+      ("pairs (<=2 preemptions)", [ [ `Enq 1; `Deq ]; [ `Enq 2; `Deq ] ], 2);
+    ]
+
+let test_fuzz () =
+  let scripts = [ [ `Enq 1; `Deq; `Enq 2 ]; [ `Deq; `Enq 3; `Deq ] ] in
+  let report = E.fuzz ~count:400 ~make:(scenario scripts) () in
+  match report.E.failure with
+  | Some (_, msg) -> Alcotest.fail msg
+  | None -> ()
+
+(* ------------------ wait-freedom: stall helping ------------------- *)
+
+let test_stalled_operation_is_threaded () =
+  (* Thread 0 announces an enqueue then stalls; thread 1's subsequent
+     operations must adopt it via the turn rule: the element appears in
+     the queue even though its owner never ran again. *)
+  let probe =
+    S.run
+      [|
+        (fun () ->
+          let q = UqSim.create ~num_threads:2 () in
+          UqSim.enqueue q ~tid:0 1);
+      |]
+  in
+  let op_steps = probe.S.steps.(0) in
+  let helped = ref 0 and total = ref 0 in
+  for stall_at = 1 to op_steps - 1 do
+    let q = UqSim.create ~num_threads:2 () in
+    let fibers =
+      [|
+        (fun () -> UqSim.enqueue q ~tid:0 111);
+        (fun () ->
+          (* Two ops so the helper passes thread 0's turn slot. *)
+          UqSim.enqueue q ~tid:1 222;
+          UqSim.enqueue q ~tid:1 333);
+      |]
+    in
+    let res = S.run ~stalls:[ (0, stall_at) ] fibers in
+    (match res.S.outcome with
+    | S.Step_limit_hit -> Alcotest.fail "peer failed to make progress"
+    | S.All_finished | S.Only_stalled_left -> ());
+    incr total;
+    let contents = S.ignore_yields (fun () -> UqSim.to_list q) in
+    Alcotest.(check bool) "peer ops completed" true
+      (List.mem 222 contents && List.mem 333 contents);
+    if List.mem 111 contents then incr helped
+  done;
+  (* The announce write happens within the first few steps; from then on
+     the turn rule guarantees adoption. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "stalled op adopted at most stall points (%d/%d)"
+       !helped !total)
+    true
+    (!helped >= !total - 4)
+
+let test_steps_bounded () =
+  (* One enqueue vs k peer enqueues: worst-case steps of thread 0 must
+     not scale with k (wait-freedom). *)
+  let make k =
+    let q = UqSim.create ~num_threads:2 () in
+    [|
+      (fun () -> UqSim.enqueue q ~tid:0 0);
+      (fun () ->
+        for i = 1 to k do
+          UqSim.enqueue q ~tid:1 i
+        done);
+    |]
+  in
+  let worst k =
+    let acc = ref 0 in
+    for seed = 0 to 199 do
+      let res = S.run ~strategy:(S.Random_seeded seed) (make k) in
+      (match res.S.error with
+      | Some e -> Alcotest.fail (Printexc.to_string e)
+      | None -> ());
+      acc := max !acc res.S.steps.(0)
+    done;
+    !acc
+  in
+  let w5 = worst 5 and w50 = worst 50 in
+  Alcotest.(check bool)
+    (Printf.sprintf "steps stable: k=5 -> %d, k=50 -> %d" w5 w50)
+    true
+    (w50 <= (2 * w5) + 16)
+
+(* ------------------------- domains -------------------------------- *)
+
+let test_domain_pairs () =
+  let threads = 4 and iters = 1_000 in
+  let q = Uq.create ~num_threads:threads () in
+  let empties = Atomic.make 0 in
+  let ds =
+    List.init threads (fun tid ->
+        Domain.spawn (fun () ->
+            for i = 1 to iters do
+              Uq.enqueue q ~tid ((tid * iters) + i);
+              match Uq.dequeue q ~tid with
+              | Some _ -> ()
+              | None -> Atomic.incr empties
+            done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no empties in pairs" 0 (Atomic.get empties);
+  Alcotest.(check int) "drained" 0 (Uq.length q)
+
+let test_create_validation () =
+  Alcotest.check_raises "num_threads"
+    (Invalid_argument "Universal.create: num_threads") (fun () ->
+      ignore (Uq.create ~num_threads:0 ()))
+
+let () =
+  Alcotest.run "universal"
+    [
+      ( "sequential",
+        [
+          Alcotest.test_case "queue object semantics" `Quick
+            test_queue_object;
+          Alcotest.test_case "queue ≡ model" `Quick
+            test_sequential_differential;
+          Alcotest.test_case "create validation" `Quick
+            test_create_validation;
+        ] );
+      ("systematic", systematic_tests);
+      ( "fuzz",
+        [ Alcotest.test_case "mixed scripts (400 seeds)" `Quick test_fuzz ]
+      );
+      ( "wait-freedom",
+        [
+          Alcotest.test_case "stalled op adopted via turn rule" `Quick
+            test_stalled_operation_is_threaded;
+          Alcotest.test_case "steps bounded vs interference" `Quick
+            test_steps_bounded;
+        ] );
+      ( "domains",
+        [ Alcotest.test_case "pairs stress" `Quick test_domain_pairs ] );
+    ]
