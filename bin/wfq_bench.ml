@@ -39,6 +39,14 @@ let csv_arg =
   let doc = "Also print machine-readable CSV blocks." in
   Arg.(value & flag & info [ "csv" ] ~doc)
 
+let json_arg =
+  let doc =
+    "Also write the series as machine-readable JSON (shard series go to \
+     BENCH_shard.json; the perf trajectory across PRs is diffed from \
+     these files)."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
 let build_scale paper threads iters runs sizes : F.scale =
   let base = if paper then F.paper else F.quick in
   {
@@ -85,6 +93,69 @@ let run_figure which paper threads iters runs sizes csv =
         (F.extended_pairs ~scale ())
   | _ -> ()
 
+(* Shard-scaling series (lib/shard): the sharded front-end vs the best
+   unsharded variant on the relaxed pairs workload. Default thread axis
+   reaches 8 domains, where sharding must pay off. *)
+(* On a small host, stop-the-world minor collections synchronized
+   across 8 domains dominate the default-arena (256k-word) run time and
+   bury the queue-level differences in noise; an 8M-word minor heap
+   removes that floor and roughly halves wall time at 8 domains. The
+   arena is reserved at runtime startup, so it can only be set from the
+   environment ([Gc.set] after startup measurably does nothing here):
+
+     OCAMLRUNPARAM='s=8M' wfq_bench shard --json
+
+   The actual arena size is recorded in the JSON meta so results are
+   never compared across environments by accident. *)
+let canonical_minor_heap_words = 8 * 1024 * 1024
+
+let run_shard paper threads iters runs sizes csv json =
+  let minor_words = (Gc.get ()).Gc.minor_heap_size in
+  if minor_words < canonical_minor_heap_words then
+    Printf.eprintf
+      "note: minor heap is %d words; the canonical shard-bench \
+       environment is OCAMLRUNPARAM='s=8M' (see EXPERIMENTS.md).\n%!"
+      minor_words;
+  let scale = build_scale paper threads iters runs sizes in
+  let scale =
+    if threads = None && not paper then
+      { scale with threads = [ 1; 2; 4; 8 ] }
+    else scale
+  in
+  let title = "Shard scaling: enqueue-dequeue pairs (relaxed)" in
+  let series = F.shard_scaling ~scale () in
+  emit ~csv ~title ~y_label:"seconds" series;
+  if json then begin
+    let meta =
+      [
+        ("workload", "pairs_relaxed");
+        ("threads",
+         String.concat "," (List.map string_of_int scale.threads));
+        ("iters", string_of_int scale.iters);
+        ("runs", string_of_int scale.runs);
+        ("aggregation", "median, interleaved run order");
+        ("minor_heap_words", string_of_int minor_words);
+        ("y", "seconds");
+      ]
+    in
+    R.write_json ~path:"BENCH_shard.json" ~title ~meta series;
+    print_endline "wrote BENCH_shard.json"
+  end
+
+let shard_cmd =
+  let term =
+    Term.(
+      const run_shard
+      $ paper_arg $ threads_arg $ iters_arg $ runs_arg $ sizes_arg $ csv_arg
+      $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:
+         "Shard-count scaling of the sharded front-end (lib/shard) vs opt \
+          WF (1+2); --json writes BENCH_shard.json.")
+    term
+
 let figure_cmd which name doc =
   let term =
     Term.(
@@ -101,6 +172,7 @@ let cmds =
     figure_cmd `Fig10 "fig10" "Live-space overhead (paper Fig. 10).";
     figure_cmd `Extended "extended"
       "All implementations on the pairs benchmark (extension).";
+    shard_cmd;
     figure_cmd `All "all" "Every figure in sequence.";
   ]
 

@@ -111,6 +111,57 @@ let extended_pairs ?(scale = quick) () =
       Workload.pairs impl ~threads ~iters ())
     Impls.all
 
+(* Like {!completion_series}, but the repetitions of all series are
+   interleaved in rotating order instead of completing one series before
+   starting the next. Sequential completion biases later series: heap
+   and allocator state accumulated by earlier measurements (major-heap
+   growth, domain bookkeeping) inflates later ones by more than the
+   differences under study. Rotation makes every series occupy every
+   position in the round equally often. Points are per-series medians
+   rather than means: on small single-core hosts the dominant noise is
+   multiplicative interference spikes (scheduler, co-tenants), which a
+   mean smears over whichever series they happened to hit. *)
+let interleaved_series ~scale ~workload impls =
+  let impls = Array.of_list impls in
+  let k = Array.length impls in
+  let means_per_threads =
+    List.map
+      (fun threads ->
+        let samples = Array.make k [] in
+        for run = 0 to scale.runs - 1 do
+          for j = 0 to k - 1 do
+            let i = (run + j) mod k in
+            let s = workload impls.(i) ~threads ~iters:scale.iters () in
+            samples.(i) <- s :: samples.(i)
+          done
+        done;
+        Array.map Wfq_primitives.Stats.median samples)
+      scale.threads
+  in
+  Array.to_list
+    (Array.mapi
+       (fun i impl ->
+         {
+           Report.label = Impls.name impl;
+           points =
+             List.map2
+               (fun threads means -> (float_of_int threads, means.(i)))
+               scale.threads means_per_threads;
+         })
+       impls)
+
+(** Extension (lib/shard): shard-count scaling of the sharded front-end
+    against the best unsharded variant, on the enqueue-dequeue-pairs
+    workload. Uses the relaxed pairs variant — identical per-operation
+    work, but a [None] from a non-atomic shard sweep is retried rather
+    than treated as impossible — and interleaved repetitions so that
+    run-order heap effects do not bias the comparison. *)
+let shard_scaling ?(scale = quick) () =
+  interleaved_series ~scale
+    ~workload:(fun impl ~threads ~iters () ->
+      (Workload.pairs_relaxed impl ~threads ~iters ()).Workload.seconds)
+    Impls.shard_series
+
 (** Ablation of the §3.3 design knobs the paper describes but does not
     evaluate: helping-chunk size (1 = the paper's optimization 1) and the
     tuning enhancements (descriptor reset + pre-CAS validation). *)

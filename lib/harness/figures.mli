@@ -33,6 +33,10 @@ val extended_pairs : ?scale:scale -> unit -> Report.series list
 (** Extension: every implementation in {!Impls.all} on the pairs
     benchmark. *)
 
+val shard_scaling : ?scale:scale -> unit -> Report.series list
+(** Extension (lib/shard): opt WF (1+2) vs the sharded front-end at
+    1/2/4/8 shards on the relaxed enqueue-dequeue-pairs workload. *)
+
 val ablation : ?scale:scale -> unit -> Report.series list
 (** Extension: helping-chunk size and tuning enhancements (§3.3 design
     knobs the paper describes but does not evaluate). *)

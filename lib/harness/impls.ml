@@ -11,6 +11,7 @@ module Uq = Wfq_universal.Universal.Queue (A)
 module Fc = Wfq_core.Fc_queue.Make (A)
 module Kp = Wfq_core.Kp_queue.Make (A)
 module Kp_hp = Wfq_core.Kp_queue_hp.Make (A)
+module Sh = Wfq_shard.Shard.Make (A)
 
 module type BENCH_QUEUE = sig
   type t
@@ -89,6 +90,45 @@ let wf_tuned =
     ~help:Wfq_core.Kp_queue.Help_one_cyclic
     ~phase:Wfq_core.Kp_queue.Phase_counter
     ~tuning:{ Wfq_core.Kp_queue.gc_friendly = true; validate_before_cas = true }
+
+(* Sharded front-end (lib/shard) over opt-(1+2) KP shards. The pairs
+   workload must use its relaxed variant: a sweep can miss a concurrent
+   enqueue, so "impossible empty" does not hold for [shards > 1]. *)
+let shard_impl variant_name ~policy k : impl =
+  (module struct
+    type t = int Sh.t
+
+    let name = variant_name
+
+    let create ~num_threads =
+      Sh.create ~policy ~shards:k ~num_threads ()
+
+    let enqueue = Sh.enqueue
+    let dequeue = Sh.dequeue
+  end)
+
+(* The headline entries use the tid-affine policy: on the pairs
+   workload a thread's dequeue starts at the shard its enqueue just
+   fed, which minimizes cross-shard traffic; it measures consistently
+   ahead of both the round-robin ticket policy and the unsharded queue
+   at 8 domains. The ticketed general-purpose policy is kept as a
+   labelled variant. *)
+let wf_shard k =
+  shard_impl
+    (Printf.sprintf "WF shard-%d" k)
+    ~policy:Wfq_shard.Shard.Tid_affine k
+
+let wf_shard_rr k =
+  shard_impl
+    (Printf.sprintf "WF shard-%d (rr)" k)
+    ~policy:Wfq_shard.Shard.Round_robin k
+
+(* Series for the shard-scaling bench: the best unsharded variant
+   against the front-end at growing shard counts (shard-1 measures the
+   strict mode's overhead, which should be nil). *)
+let shard_series =
+  [ wf_opt12; wf_shard 1; wf_shard 2; wf_shard 4; wf_shard 8;
+    wf_shard_rr 8 ]
 
 let wf_hp : impl =
   (module struct

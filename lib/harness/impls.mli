@@ -39,6 +39,20 @@ val wf_tuned : impl
 (** §3.3 extension: opt (1+2) plus gc-friendly descriptor reset and
     pre-CAS validation. *)
 
+val wf_shard : int -> impl
+(** Sharded front-end ([lib/shard]) with the given shard count,
+    tid-affine policy (shard = tid mod N, steal on empty), over
+    opt-(1+2) KP shards. Relaxed FIFO: benchmark it with
+    {!Workload.pairs_relaxed}, not {!Workload.pairs} (a non-atomic
+    sweep may observe empty under concurrency). *)
+
+val wf_shard_rr : int -> impl
+(** Same front-end with the round-robin fetch-and-add ticket policy. *)
+
+val shard_series : impl list
+(** Series for the shard-scaling bench: opt WF (1+2) vs the sharded
+    front-end at 1/2/4/8 shards plus the 8-shard round-robin variant. *)
+
 val wf_hp : impl
 (** Wait-free queue with hazard-pointer reclamation (§3.4). *)
 

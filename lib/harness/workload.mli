@@ -27,6 +27,21 @@ val pairs :
     thread's dequeue is preceded by its own enqueue) and the queue must
     end empty. *)
 
+val pairs_relaxed :
+  ?check:bool ->
+  ?max_retries:int ->
+  Impls.impl ->
+  threads:int ->
+  iters:int ->
+  unit ->
+  run_result
+(** {!pairs} for relaxed-FIFO queues (the sharded front-end): a [None]
+    dequeue is retried (counted in [deq_empties]) instead of failing the
+    run, because a non-atomic shard sweep may observe empty while
+    elements are in flight. Validation: every enqueue is eventually
+    dequeued and the queue ends empty. On a strict queue this is
+    operation-for-operation identical to {!pairs}. *)
+
 val p_enq :
   ?check:bool ->
   ?prefill:int ->

@@ -1,0 +1,253 @@
+(** Sharded, batched front-end over [N] independent Kogan-Petrank
+    queues. See the interface for the ordering contract; the short
+    version: strict FIFO per shard, bounded ("k-relaxed") reordering
+    across shards, steal-on-empty dequeue sweeps.
+
+    Shard selection is the only new shared state on the hot path and it
+    is a single fetch-and-add ticket (or nothing, for [Tid_affine]), so
+    the front-end inherits wait-freedom from the shards: an enqueue is
+    one ticket plus one KP enqueue; a dequeue is one ticket plus at most
+    [N] KP dequeues.
+
+    Hot-path discipline: everything the front-end adds per operation
+    must stay cheaper than the contention it removes. Statistics are
+    therefore plain single-writer ints indexed [shard][tid] (exact at
+    quiescence, no shared cache line, no RMW), and the approximate size
+    counters that drive [Length_aware] are maintained only under that
+    policy. The size counters use [Stdlib.Atomic] rather than the [A]
+    functor argument deliberately: they never affect correctness, and
+    keeping them off the simulated-atomic plane means model checking
+    explores only algorithm-relevant interleavings. *)
+
+type policy = Round_robin | Tid_affine | Length_aware
+
+type shard_stats = {
+  enqueues : int;
+  dequeues : int;
+  steals : int;
+  empty_sweeps : int;
+}
+
+module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
+  module Kp = Wfq_core.Kp_queue.Make (A)
+
+  type 'a t = {
+    shards : 'a Kp.t array;
+    n : int;
+    policy : policy;
+    enq_ticket : int A.t;
+    deq_ticket : int A.t;
+    track_sizes : bool;  (** only [Length_aware] pays for size upkeep *)
+    sizes : int Atomic.t array;
+    (* Per-[shard][tid] single-writer counters. *)
+    s_enq : int array array;
+    s_deq : int array array;
+    s_steal : int array array;
+    s_sweep : int array array;
+    (* Single-writer probe slots, indexed by tid. *)
+    last_enq_shard : int array;
+    last_deq_shard : int array;
+  }
+
+  let name = "wf-shard"
+
+  let create ?(policy = Round_robin) ?(shards = 4) ~num_threads () =
+    if shards <= 0 then invalid_arg "Shard.create: shards must be positive";
+    if num_threads <= 0 then invalid_arg "Shard.create: num_threads";
+    let per_shard_tids () =
+      Array.init shards (fun _ -> Array.make num_threads 0)
+    in
+    {
+      shards =
+        Array.init shards (fun _ ->
+            (* Every thread may touch every shard (stealing), so each
+               shard is sized for the full thread population. The
+               opt-(1+2) configuration is the paper's fastest (the §3.3
+               tuning enhancements measured slower here — see
+               EXPERIMENTS.md). *)
+            Kp.create_with ~help:Wfq_core.Kp_queue.Help_one_cyclic
+              ~phase:Wfq_core.Kp_queue.Phase_counter ~num_threads ());
+      n = shards;
+      policy;
+      enq_ticket = A.make 0;
+      deq_ticket = A.make 0;
+      track_sizes = policy = Length_aware;
+      sizes = Array.init shards (fun _ -> Atomic.make 0);
+      s_enq = per_shard_tids ();
+      s_deq = per_shard_tids ();
+      s_steal = per_shard_tids ();
+      s_sweep = per_shard_tids ();
+      last_enq_shard = Array.make num_threads (-1);
+      last_deq_shard = Array.make num_threads (-1);
+    }
+
+  let create_strict ~num_threads () = create ~shards:1 ~num_threads ()
+  let shards t = t.n
+  let policy t = t.policy
+
+  (* --- shard selection ------------------------------------------- *)
+
+  let size t s = Atomic.get t.sizes.(s)
+
+  let start_enq t ~tid =
+    if t.n = 1 then 0
+    else
+      match t.policy with
+      | Round_robin -> A.fetch_and_add t.enq_ticket 1 mod t.n
+      | Tid_affine -> tid mod t.n
+      | Length_aware ->
+          (* Two-choice: sample the ticket shard and its neighbour,
+             enqueue to the (approximately) shorter. *)
+          let s1 = A.fetch_and_add t.enq_ticket 1 mod t.n in
+          let s2 = if s1 + 1 = t.n then 0 else s1 + 1 in
+          if size t s2 < size t s1 then s2 else s1
+
+  let start_deq t ~tid =
+    if t.n = 1 then 0
+    else
+      match t.policy with
+      | Round_robin -> A.fetch_and_add t.deq_ticket 1 mod t.n
+      | Tid_affine -> tid mod t.n
+      | Length_aware ->
+          let s1 = A.fetch_and_add t.deq_ticket 1 mod t.n in
+          let s2 = if s1 + 1 = t.n then 0 else s1 + 1 in
+          if size t s2 > size t s1 then s2 else s1
+
+  (* --- core operations ------------------------------------------- *)
+
+  let enqueue_to t ~tid s v =
+    Kp.enqueue t.shards.(s) ~tid v;
+    if t.track_sizes then Atomic.incr t.sizes.(s);
+    t.s_enq.(s).(tid) <- t.s_enq.(s).(tid) + 1;
+    t.last_enq_shard.(tid) <- s
+
+  let enqueue t ~tid v = enqueue_to t ~tid (start_enq t ~tid) v
+
+  (* Account a successful dequeue served by shard [s]. *)
+  let took t ~tid ~stolen s =
+    if t.track_sizes then Atomic.decr t.sizes.(s);
+    t.s_deq.(s).(tid) <- t.s_deq.(s).(tid) + 1;
+    if stolen then t.s_steal.(s).(tid) <- t.s_steal.(s).(tid) + 1;
+    t.last_deq_shard.(tid) <- s
+
+  (* Steal visits pre-check [is_empty] (two atomic reads) before paying
+     for a full KP dequeue — with many shards most swept shards are
+     empty, and a KP dequeue on an empty queue still runs the whole
+     phase/descriptor/helping ceremony. The quiescent no-false-empty
+     guarantee survives: at quiescence [is_empty] is exact, so the shard
+     holding an element is never skipped. The start shard is attempted
+     unconditionally (it is the most likely hit). *)
+  let rec sweep t ~tid s0 i =
+    if i = t.n then begin
+      t.s_sweep.(s0).(tid) <- t.s_sweep.(s0).(tid) + 1;
+      t.last_deq_shard.(tid) <- -1;
+      None
+    end
+    else
+      let s = if s0 + i >= t.n then s0 + i - t.n else s0 + i in
+      if i > 0 && Kp.is_empty t.shards.(s) then sweep t ~tid s0 (i + 1)
+      else
+        match Kp.dequeue t.shards.(s) ~tid with
+        | Some _ as r ->
+            took t ~tid ~stolen:(i > 0) s;
+            r
+        | None -> sweep t ~tid s0 (i + 1)
+
+  let dequeue t ~tid = sweep t ~tid (start_deq t ~tid) 0
+
+  (* --- batch operations ------------------------------------------ *)
+
+  let enqueue_batch t ~tid vs =
+    match vs with
+    | [] -> ()
+    | [ v ] -> enqueue t ~tid v
+    | vs -> (
+        match t.policy with
+        | Round_robin when t.n > 1 ->
+            (* One fetch-and-add claims the whole ticket range; item [i]
+               lands on the shard ticket [t0 + i] would have selected. *)
+            let k = List.length vs in
+            let t0 = A.fetch_and_add t.enq_ticket k in
+            List.iteri
+              (fun i v -> enqueue_to t ~tid ((t0 + i) mod t.n) v)
+              vs
+        | Round_robin | Tid_affine | Length_aware ->
+            (* Contiguous batch: a single selection places the whole
+               batch in one shard, preserving intra-batch FIFO order. *)
+            let s = start_enq t ~tid in
+            List.iter (fun v -> enqueue_to t ~tid s v) vs)
+
+  let dequeue_batch t ~tid ~n =
+    if n < 0 then invalid_arg "Shard.dequeue_batch: n";
+    let s0 = start_deq t ~tid in
+    (* Drain the current shard until empty, then advance; a full lap of
+       consecutive empty shards terminates the sweep. Bounded by
+       [(n + 1) * t.n] shard dequeues. *)
+    let rec go acc got misses s =
+      if got = n || misses = t.n then List.rev acc
+      else if s <> s0 && misses > 0 && Kp.is_empty t.shards.(s) then
+        go acc got (misses + 1) (if s + 1 = t.n then 0 else s + 1)
+      else
+        match Kp.dequeue t.shards.(s) ~tid with
+        | Some v ->
+            took t ~tid ~stolen:(s <> s0) s;
+            go (v :: acc) (got + 1) 0 s
+        | None ->
+            go acc got (misses + 1) (if s + 1 = t.n then 0 else s + 1)
+    in
+    let out = go [] 0 0 s0 in
+    if out = [] && n > 0 then begin
+      t.s_sweep.(s0).(tid) <- t.s_sweep.(s0).(tid) + 1;
+      t.last_deq_shard.(tid) <- -1
+    end;
+    out
+
+  (* --- quiescent observers --------------------------------------- *)
+
+  let is_empty t = Array.for_all Kp.is_empty t.shards
+  let length t = Array.fold_left (fun acc q -> acc + Kp.length q) 0 t.shards
+  let to_list t = List.concat_map Kp.to_list (Array.to_list t.shards)
+
+  let shard_length t s =
+    if s < 0 || s >= t.n then invalid_arg "Shard.shard_length: shard";
+    Kp.length t.shards.(s)
+
+  let sum = Array.fold_left ( + ) 0
+
+  let stats t =
+    Array.init t.n (fun s ->
+        {
+          enqueues = sum t.s_enq.(s);
+          dequeues = sum t.s_deq.(s);
+          steals = sum t.s_steal.(s);
+          empty_sweeps = sum t.s_sweep.(s);
+        })
+
+  let check_quiescent_invariants t =
+    let st = stats t in
+    let rec shards_ok s =
+      if s = t.n then Ok ()
+      else
+        match Kp.check_quiescent_invariants t.shards.(s) with
+        | Error e -> Error (Printf.sprintf "shard %d: %s" s e)
+        | Ok () ->
+            let len = Kp.length t.shards.(s) in
+            if st.(s).enqueues - st.(s).dequeues <> len then
+              Error
+                (Printf.sprintf
+                   "shard %d: stats imbalance (enq %d - deq %d <> len %d)" s
+                   st.(s).enqueues st.(s).dequeues len)
+            else if t.track_sizes && size t s <> len then
+              Error
+                (Printf.sprintf
+                   "shard %d: approx size %d <> actual length %d" s
+                   (size t s) len)
+            else shards_ok (s + 1)
+    in
+    shards_ok 0
+
+  (* --- probes ----------------------------------------------------- *)
+
+  let last_enqueue_shard t ~tid = t.last_enq_shard.(tid)
+  let last_dequeue_shard t ~tid = t.last_deq_shard.(tid)
+end

@@ -97,6 +97,67 @@ let test_registry_with_queue () =
   Alcotest.(check int) "every dequeue succeeded" 4000 (Atomic.get total);
   Alcotest.(check int) "queue drained" 0 (Kp.length q)
 
+let test_exhausted_across_domains () =
+  (* Main holds every slot; concurrent acquirers must all observe
+     Exhausted (there is no slot they could legitimately get), and the
+     registry must be fully usable again after the release. *)
+  let capacity = 3 in
+  let r = R.create ~capacity in
+  let held = List.init capacity (fun _ -> R.acquire r) in
+  let exhausted = Atomic.make 0 in
+  let workers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 200 do
+              match R.acquire r with
+              | tid ->
+                  Alcotest.fail
+                    (Printf.sprintf "acquired %d from a full registry" tid)
+              | exception R.Exhausted -> Atomic.incr exhausted
+            done))
+  in
+  List.iter Domain.join workers;
+  Alcotest.(check int) "every attempt exhausted" 800 (Atomic.get exhausted);
+  List.iter (R.release r) held;
+  Alcotest.(check int) "all free again" 0 (R.held r);
+  let again = List.init capacity (fun _ -> R.acquire r) in
+  Alcotest.(check int) "usable after churn" capacity (List.length again);
+  List.iter (R.release r) again
+
+let test_with_tid_exception_churn () =
+  (* Domains hammer [with_tid] with bodies that raise half the time.
+     The bracket must release on both paths: no slot may ever be
+     observed double-granted, and everything is free at quiescence. *)
+  let capacity = 4 and domains = 8 and rounds = 1_000 in
+  let r = R.create ~capacity in
+  let owners = Array.init capacity (fun _ -> Atomic.make (-1)) in
+  let violations = Atomic.make 0 in
+  let raised = Atomic.make 0 in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to rounds do
+              match
+                R.with_tid r (fun tid ->
+                    if not (Atomic.compare_and_set owners.(tid) (-1) d) then
+                      Atomic.incr violations;
+                    Atomic.set owners.(tid) (-1);
+                    if i land 1 = 0 then failwith "boom")
+              with
+              | () -> ()
+              | exception Failure _ -> Atomic.incr raised
+              | exception R.Exhausted -> Domain.cpu_relax ()
+            done))
+  in
+  List.iter Domain.join workers;
+  Alcotest.(check int) "no slot double-granted" 0 (Atomic.get violations);
+  Alcotest.(check bool) "exceptions propagated" true (Atomic.get raised > 0);
+  Alcotest.(check int) "all released at quiescence" 0 (R.held r);
+  (* Every slot is genuinely reusable. *)
+  let ids = List.sort compare (List.init capacity (fun _ -> R.acquire r)) in
+  Alcotest.(check (list int)) "full capacity intact"
+    (List.init capacity Fun.id) ids
+
 (* Model-based qcheck: random acquire/release sequences tracked against
    a set model; held counts and slot reuse must agree. *)
 let registry_model =
@@ -145,6 +206,10 @@ let () =
             test_concurrent_unique_ids;
           Alcotest.test_case "dynamic threads drive the KP queue" `Quick
             test_registry_with_queue;
+          Alcotest.test_case "full registry exhausts every acquirer" `Quick
+            test_exhausted_across_domains;
+          Alcotest.test_case "with_tid releases under exception churn"
+            `Quick test_with_tid_exception_churn;
         ] );
       ("model", [ QCheck_alcotest.to_alcotest registry_model ]);
     ]
