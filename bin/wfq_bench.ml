@@ -142,6 +142,115 @@ let run_shard paper threads iters runs sizes csv json =
     print_endline "wrote BENCH_shard.json"
   end
 
+(* Fast-path/slow-path series: WF fps and its max_failures sweep vs the
+   acceptance baselines (LF, base WF, opt WF (1+2)) on the strict pairs
+   workload. Same canonical environment as the shard bench. *)
+let run_fps paper threads iters runs sizes csv json =
+  let minor_words = (Gc.get ()).Gc.minor_heap_size in
+  if minor_words < canonical_minor_heap_words then
+    Printf.eprintf
+      "note: minor heap is %d words; the canonical fps-bench environment \
+       is OCAMLRUNPARAM='s=8M' (see EXPERIMENTS.md).\n%!"
+      minor_words;
+  let scale = build_scale paper threads iters runs sizes in
+  let scale =
+    if threads = None && not paper then
+      { scale with threads = [ 1; 2; 4; 8 ] }
+    else scale
+  in
+  let title = "Fast-path/slow-path: enqueue-dequeue pairs" in
+  let series = F.fps_scaling ~scale () in
+  emit ~csv ~title ~y_label:"seconds" series;
+  if json then begin
+    let meta =
+      [
+        ("workload", "pairs");
+        ("threads",
+         String.concat "," (List.map string_of_int scale.threads));
+        ("iters", string_of_int scale.iters);
+        ("runs", string_of_int scale.runs);
+        ("aggregation", "median, interleaved run order");
+        ("minor_heap_words", string_of_int minor_words);
+        ("y", "seconds");
+      ]
+    in
+    R.write_json ~path:"BENCH_fps.json" ~title ~meta series;
+    print_endline "wrote BENCH_fps.json"
+  end
+
+let fps_cmd =
+  let term =
+    Term.(
+      const run_fps
+      $ paper_arg $ threads_arg $ iters_arg $ runs_arg $ sizes_arg $ csv_arg
+      $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "fps"
+       ~doc:
+         "Fast-path/slow-path queue (Kp_queue_fps) vs LF / base WF / opt \
+          WF (1+2), with the max_failures sweep; --json writes \
+          BENCH_fps.json.")
+    term
+
+(* All paper figures in one canonical dataset (bench hygiene: one file
+   to diff across PRs for the core figures, alongside the per-extension
+   BENCH_*.json files). *)
+let run_figures paper threads iters runs sizes csv json =
+  let minor_words = (Gc.get ()).Gc.minor_heap_size in
+  let scale = build_scale paper threads iters runs sizes in
+  let series = F.all_figures ~scale () in
+  let split prefix =
+    List.filter_map
+      (fun s ->
+        let p = prefix ^ ":" in
+        let n = String.length p in
+        if String.length s.R.label > n && String.sub s.R.label 0 n = p then
+          Some { s with R.label = String.sub s.R.label n
+                                    (String.length s.R.label - n) }
+        else None)
+      series
+  in
+  emit ~csv ~title:"Figure 7: enqueue-dequeue pairs" ~y_label:"seconds"
+    (split "fig7");
+  emit ~csv ~title:"Figure 8: 50% enqueues" ~y_label:"seconds" (split "fig8");
+  emit ~csv ~title:"Figure 9: impact of the optimizations" ~y_label:"seconds"
+    (split "fig9");
+  R.print_table ~title:"Figure 10: live space overhead (WF / LF)"
+    ~x_label:"queue size" ~y_label:"live-words ratio" (split "fig10");
+  if json then begin
+    let meta =
+      [
+        ("workloads", "fig7/fig9 pairs; fig8 p_enq; fig10 live-space ratio");
+        ("threads",
+         String.concat "," (List.map string_of_int scale.threads));
+        ("iters", string_of_int scale.iters);
+        ("runs", string_of_int scale.runs);
+        ("aggregation", "mean, sequential run order");
+        ("minor_heap_words", string_of_int minor_words);
+        ("x", "threads for fig7-9 labels; initial queue size for fig10");
+        ("y", "seconds for fig7-9; live-words ratio for fig10");
+      ]
+    in
+    R.write_json ~path:"BENCH_figures.json"
+      ~title:"Paper figures 7-10 (combined)" ~meta series;
+    print_endline "wrote BENCH_figures.json"
+  end
+
+let figures_cmd =
+  let term =
+    Term.(
+      const run_figures
+      $ paper_arg $ threads_arg $ iters_arg $ runs_arg $ sizes_arg $ csv_arg
+      $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "figures"
+       ~doc:
+         "Every paper figure (7-10) in one run; --json writes the combined \
+          BENCH_figures.json with figN-prefixed series labels.")
+    term
+
 let shard_cmd =
   let term =
     Term.(
@@ -173,6 +282,8 @@ let cmds =
     figure_cmd `Extended "extended"
       "All implementations on the pairs benchmark (extension).";
     shard_cmd;
+    fps_cmd;
+    figures_cmd;
     figure_cmd `All "all" "Every figure in sequence.";
   ]
 

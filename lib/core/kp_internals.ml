@@ -1,0 +1,73 @@
+(** The node / linked-list representation shared by the Kogan-Petrank
+    queue family ([Kp_queue], [Kp_queue_fps]).
+
+    Paper Figure 1, lines 1-12: a singly-linked list of nodes behind a
+    sentinel. [value] is [None] only for the initial sentinel; [enq_tid]
+    is written once at node creation while [deq_tid] is contended, hence
+    atomic (L5).
+
+    [enq_tid] doubles as the fast-path marker in the fast-path/slow-path
+    variant: a node appended by a fast-path (plain Michael-Scott)
+    enqueue carries [enq_tid = no_tid], telling helpers there is no
+    descriptor to finish — only [tail] to advance. Slow-path (and all
+    base-KP) nodes carry the enqueuer's real tid.
+
+    The traversal observers are quiescent-use-only, exactly as in the
+    individual queues' interfaces. *)
+
+module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
+  type 'a node = {
+    value : 'a option;
+    next : 'a node option A.t;
+    enq_tid : int;
+    deq_tid : int A.t;
+  }
+
+  (** [enq_tid] of the sentinel and of fast-path nodes; also the
+      unclaimed state of every [deq_tid]. *)
+  let no_tid = -1
+
+  let make_sentinel () =
+    { value = None; next = A.make None; enq_tid = no_tid;
+      deq_tid = A.make no_tid }
+
+  let make_node ~enq_tid value =
+    { value = Some value; next = A.make None; enq_tid;
+      deq_tid = A.make no_tid }
+
+  (* ------------------------------------------------------------------ *)
+  (* Quiescent list observers, shared verbatim by every variant.        *)
+  (* ------------------------------------------------------------------ *)
+
+  let to_list head =
+    let rec collect acc node =
+      match A.get node.next with
+      | None -> List.rev acc
+      | Some n ->
+          let v = match n.value with Some v -> v | None -> assert false in
+          collect (v :: acc) n
+    in
+    collect [] (A.get head)
+
+  let length head =
+    let rec count acc node =
+      match A.get node.next with None -> acc | Some n -> count (acc + 1) n
+    in
+    count 0 (A.get head)
+
+  let is_empty head = A.get (A.get head).next = None
+
+  (** The structural half of [check_quiescent_invariants]: [tail]
+      reachable from [head] and no node dangling past [tail]. Variants
+      layer their descriptor-state checks on top. *)
+  let check_list_invariants ~head ~tail =
+    let head = A.get head in
+    let tail = A.get tail in
+    let rec reaches node =
+      if node == tail then true
+      else match A.get node.next with None -> false | Some n -> reaches n
+    in
+    if not (reaches head) then Error "tail not reachable from head"
+    else if A.get tail.next <> None then Error "dangling node after tail"
+    else Ok ()
+end

@@ -29,6 +29,12 @@
     phase from a shared counter bumped with a result-ignored CAS — the
     paper's footnote 3 — instead of scanning [state]).
 
+    The node / linked-list representation lives in {!Kp_internals} and is
+    shared with the fast-path/slow-path variant {!Kp_queue_fps}. The
+    [state] slots are cache-line padded ([Wfq_primitives.Padded]): they
+    are per-thread and CASed under contention, so packing them into
+    adjacent heap words would false-share lines between helpers.
+
     Progress: wait-free with the [Phase_scan]/[Help_all] and
     [Phase_counter]/[Help_one_cyclic] combinations alike; population-
     oblivious in no case (the bound depends on [num_threads], §3.3). *)
@@ -71,15 +77,13 @@ type tuning = {
 let default_tuning = { gc_friendly = false; validate_before_cas = false }
 
 module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
-  (* Paper Figure 1, lines 1-12. [value] is [None] only for the initial
-     sentinel; [enq_tid] is written once at node creation while [deq_tid]
-     is contended, hence atomic (L5). *)
-  type 'a node = {
-    value : 'a option;
-    next : 'a node option A.t;
-    enq_tid : int;
-    deq_tid : int A.t;
-  }
+  module N = Kp_internals.Make (A)
+  open N
+
+  (* Per-thread descriptor slots are cache-line padded: two helpers
+     CASing logically-independent slots must not invalidate each other's
+     line (see lib/primitives/padded.mli). *)
+  module P = Wfq_primitives.Padded.Make (A)
 
   (* Paper Figure 1, lines 13-24. Descriptors are immutable; state slots
      advance by physical-equality CAS exactly like Java reference CAS. *)
@@ -87,13 +91,13 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
     phase : int;
     pending : bool;
     enqueue : bool;
-    node : 'a node option;
+    node : 'a N.node option;
   }
 
   type 'a t = {
-    head : 'a node A.t; (* L25 *)
-    tail : 'a node A.t; (* L25 *)
-    state : 'a op_desc A.t array; (* L26 *)
+    head : 'a N.node A.t; (* L25 *)
+    tail : 'a N.node A.t; (* L25 *)
+    state : 'a op_desc P.t array; (* L26 *)
     phase_counter : int A.t; (* optimization 2 (§3.3) *)
     help_policy : help_policy;
     phase_policy : phase_policy;
@@ -106,9 +110,6 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
 
   let name = "kp-wait-free"
 
-  let make_sentinel () =
-    { value = None; next = A.make None; enq_tid = -1; deq_tid = A.make (-1) }
-
   let create_with ?(tuning = default_tuning) ~help ~phase ~num_threads () =
     if num_threads <= 0 then invalid_arg "Kp_queue.create: num_threads";
     (match help with
@@ -120,7 +121,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
     {
       head = A.make sentinel;
       tail = A.make sentinel;
-      state = Array.init num_threads (fun _ -> A.make idle);
+      state = Array.init num_threads (fun _ -> P.make idle);
       phase_counter = A.make (-1);
       help_policy = help;
       phase_policy = phase;
@@ -135,7 +136,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   (* L48-57 *)
   let max_phase t =
     Array.fold_left
-      (fun acc slot -> max acc (A.get slot).phase)
+      (fun acc slot -> max acc (P.get slot).phase)
       (-1) t.state
 
   let next_phase t =
@@ -150,7 +151,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
 
   (* L58-60 *)
   let is_still_pending t tid phase =
-    let desc = A.get t.state.(tid) in
+    let desc = P.get t.state.(tid) in
     desc.pending && desc.phase <= phase
 
   (* ------------------------------------------------------------------ *)
@@ -170,10 +171,10 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
         let tid = next.enq_tid in
         (* L89: only real enqueued nodes ever follow [tail]. *)
         assert (tid >= 0 && tid < t.num_threads);
-        let cur_desc = A.get t.state.(tid) in
+        let cur_desc = P.get t.state.(tid) in
         (* L91: verify the slot still refers to the node just appended;
            guards against racing [help_finish_enq] calls. *)
-        if last == A.get t.tail && (A.get t.state.(tid)).node == next_o
+        if last == A.get t.tail && (P.get t.state.(tid)).node == next_o
         then begin
           (* Enhancement 3 (§3.3): if helpers already flipped the flag,
              skip the descriptor allocation and CAS — it would fail or be
@@ -183,7 +184,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
               { phase = cur_desc.phase; pending = false; enqueue = true;
                 node = next_o }
             in
-            ignore (A.compare_and_set t.state.(tid) cur_desc new_desc)
+            ignore (P.compare_and_set t.state.(tid) cur_desc new_desc)
           end;
           ignore (A.compare_and_set t.tail last next)
         end
@@ -203,7 +204,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
                stale helper could append a node for an operation that
                already completed. *)
             if is_still_pending t tid phase then begin
-              let node = (A.get t.state.(tid)).node in
+              let node = (P.get t.state.(tid)).node in
               if A.compare_and_set last.next None node then begin
                 (* L74 succeeded: the operation is linearized. *)
                 help_finish_enq t
@@ -229,7 +230,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
     let next = A.get first.next in
     let tid = A.get first.deq_tid in (* L144 *)
     if tid <> -1 then begin
-      let cur_desc = A.get t.state.(tid) in
+      let cur_desc = P.get t.state.(tid) in
       match next with
       | Some next_node when first == A.get t.head ->
           if (not t.tuning.validate_before_cas) || cur_desc.pending
@@ -238,7 +239,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
               { phase = cur_desc.phase; pending = false; enqueue = false;
                 node = cur_desc.node }
             in
-            ignore (A.compare_and_set t.state.(tid) cur_desc new_desc)
+            ignore (P.compare_and_set t.state.(tid) cur_desc new_desc)
           end;
           (* L150: step (3) — physically remove the old sentinel. *)
           ignore (A.compare_and_set t.head first next_node)
@@ -263,14 +264,14 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
               (* L116-121: certainly empty — record the empty outcome in
                  the owner's descriptor (it cannot raise here: this code
                  may run in a helper's context, §3.1). *)
-              let cur_desc = A.get t.state.(tid) in
+              let cur_desc = P.get t.state.(tid) in
               if last == A.get t.tail && is_still_pending t tid phase
               then begin
                 let new_desc =
                   { phase = cur_desc.phase; pending = false;
                     enqueue = false; node = None }
                 in
-                ignore (A.compare_and_set t.state.(tid) cur_desc new_desc)
+                ignore (P.compare_and_set t.state.(tid) cur_desc new_desc)
               end;
               help_deq t tid phase
           | Some _ ->
@@ -280,7 +281,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
         end
         else begin
           (* L125-137: queue is not empty *)
-          let cur_desc = A.get t.state.(tid) in
+          let cur_desc = P.get t.state.(tid) in
           let node = cur_desc.node in
           (* L128: break — required for linearizability. *)
           if is_still_pending t tid phase then begin
@@ -293,7 +294,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
                 { phase = cur_desc.phase; pending = true; enqueue = false;
                   node = Some first }
               in
-              if not (A.compare_and_set t.state.(tid) cur_desc new_desc)
+              if not (P.compare_and_set t.state.(tid) cur_desc new_desc)
               then help_deq t tid phase (* L132: continue *)
               else begin
                 (* L135: stage (2) — lock the sentinel; the successful CAS
@@ -318,7 +319,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   (* ------------------------------------------------------------------ *)
 
   let help_slot t i phase =
-    let desc = A.get t.state.(i) in
+    let desc = P.get t.state.(i) in
     if desc.pending && desc.phase <= phase then
       if desc.enqueue then help_enq t i phase else help_deq t i phase
 
@@ -351,11 +352,8 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   (* L61-66 *)
   let enqueue t ~tid value =
     let phase = next_phase t in
-    let node =
-      { value = Some value; next = A.make None; enq_tid = tid;
-        deq_tid = A.make (-1) }
-    in
-    A.set t.state.(tid)
+    let node = make_node ~enq_tid:tid value in
+    P.set t.state.(tid)
       { phase; pending = true; enqueue = true; node = Some node };
     run_help t ~tid ~phase;
     (* L65: required for wait-freedom — without it a completed-but-
@@ -367,20 +365,20 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
          cannot keep the node alive once it is dequeued. Safe: the
          operation is finalized (tail advanced past our node), so any
          stale helper's guards fail before it uses this slot. *)
-      A.set t.state.(tid)
+      P.set t.state.(tid)
         { phase; pending = false; enqueue = true; node = None }
 
   (* L98-108 *)
   let dequeue t ~tid =
     let phase = next_phase t in
-    A.set t.state.(tid)
+    P.set t.state.(tid)
       { phase; pending = true; enqueue = false; node = None };
     run_help t ~tid ~phase;
     (* L102: symmetric to the enqueue case — ensure [head] no longer
        refers to a node whose [deq_tid] is ours before returning. *)
     help_finish_deq t;
     let result =
-      match (A.get t.state.(tid)).node with
+      match (P.get t.state.(tid)).node with
       | None -> None (* L104-105: linearized on an empty queue *)
       | Some node -> (
           (* L107: the descriptor points at the sentinel that preceded
@@ -392,7 +390,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
           | None -> assert false)
     in
     if t.tuning.gc_friendly then
-      A.set t.state.(tid)
+      P.set t.state.(tid)
         { phase; pending = false; enqueue = false; node = None };
     result
 
@@ -400,49 +398,30 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   (* Observers (quiescent use)                                          *)
   (* ------------------------------------------------------------------ *)
 
-  let to_list t =
-    let rec collect acc node =
-      match A.get node.next with
-      | None -> List.rev acc
-      | Some n ->
-          let v = match n.value with Some v -> v | None -> assert false in
-          collect (v :: acc) n
-    in
-    collect [] (A.get t.head)
-
-  let length t =
-    let rec count acc node =
-      match A.get node.next with None -> acc | Some n -> count (acc + 1) n
-    in
-    count 0 (A.get t.head)
-
-  let is_empty t = A.get (A.get t.head).next = None
+  let to_list t = N.to_list t.head
+  let length t = N.length t.head
+  let is_empty t = N.is_empty t.head
 
   let check_quiescent_invariants t =
-    let head = A.get t.head in
-    let tail = A.get t.tail in
-    let rec reaches node =
-      if node == tail then true
-      else match A.get node.next with None -> false | Some n -> reaches n
-    in
-    let pending_slots =
-      Array.to_list t.state
-      |> List.filteri (fun _ slot -> (A.get slot).pending)
-    in
-    if not (reaches head) then Error "tail not reachable from head"
-    else if A.get tail.next <> None then Error "dangling node after tail"
-    else if pending_slots <> [] then
-      Error
-        (Printf.sprintf "%d state slots still pending at quiescence"
-           (List.length pending_slots))
-    else Ok ()
+    match N.check_list_invariants ~head:t.head ~tail:t.tail with
+    | Error _ as e -> e
+    | Ok () ->
+        let pending_slots =
+          Array.to_list t.state
+          |> List.filteri (fun _ slot -> (P.get slot).pending)
+        in
+        if pending_slots <> [] then
+          Error
+            (Printf.sprintf "%d state slots still pending at quiescence"
+               (List.length pending_slots))
+        else Ok ()
 
   (* Exposed for white-box tests: the number of helping rounds a slot has
      recorded, i.e. the phase of thread [tid]'s latest operation. *)
-  let phase_of t ~tid = (A.get t.state.(tid)).phase
-  let pending_of t ~tid = (A.get t.state.(tid)).pending
+  let phase_of t ~tid = (P.get t.state.(tid)).phase
+  let pending_of t ~tid = (P.get t.state.(tid)).pending
 
   (* True while the thread's descriptor still references a list node;
      with [gc_friendly] tuning it is false between operations. *)
-  let holds_node_reference t ~tid = (A.get t.state.(tid)).node <> None
+  let holds_node_reference t ~tid = (P.get t.state.(tid)).node <> None
 end

@@ -1,0 +1,534 @@
+(** Fast-path/slow-path variant of the Kogan-Petrank queue: lock-free
+    speed when uncontended, the paper's wait-free helping as a fallback.
+
+    The PPoPP 2011 algorithm pays the helping tax on {e every} operation:
+    publish a descriptor, pick a phase, help peers — even with no
+    contention at all. This module applies the fast-path/slow-path
+    methodology (Kogan & Petrank, PPoPP 2012; used industrially by wCQ,
+    arXiv:2201.02179): run a plain Michael-Scott lock-free operation for
+    at most [max_failures] failed attempts, and only on persistent
+    interference fall back to the phase-based slow path of {!Kp_queue}.
+
+    Wait-freedom is preserved by two obligations:
+
+    + the fast path is {e bounded}: after [max_failures] failed rounds
+      the operation switches to the slow path, whose helping scheme
+      completes it in a bounded number of steps (paper §3.2);
+    + fast-path operations {e help}: before each operation a thread reads
+      the [slow_pending] counter (one atomic load — the only fast-path
+      overhead) and, when it is non-zero, runs one cyclic helping round
+      to completion. A pending slow-path operation is therefore helped
+      after at most [num_threads] operations of any other thread, whether
+      that thread is on the fast or the slow path, so fast-path traffic
+      cannot starve the slow path.
+
+    Compatibility between the paths (both share {!Kp_internals} nodes):
+
+    - {b enqueue}: both paths append by CAS on [last.next]. Fast-path
+      nodes carry [enq_tid = -1], telling [help_finish_enq] there is no
+      descriptor to complete — only [tail] to advance. Slow-path nodes
+      carry the real tid, exactly as in {!Kp_queue}.
+    - {b dequeue}: both paths linearize on the same CAS of the sentinel's
+      [deq_tid] field. A fast-path dequeue claims with
+      [num_threads + tid] (disjoint from slow-path tids), so
+      [help_finish_deq] knows whether there is a descriptor to complete
+      before swinging [head]. A fast-path dequeue that swung [head]
+      directly (pure Michael-Scott) would race a slow-path dequeue that
+      already locked the sentinel and consume the same element twice —
+      hence the shared claim protocol, at the cost of one extra CAS per
+      dequeue relative to raw MS.
+
+    Cost of an uncontended operation (see test/test_op_profile.ml):
+    enqueue = 2 CAS (append + tail), dequeue = 2 CAS (claim + head), vs
+    3 and 4 CAS plus descriptor traffic for base {!Kp_queue}. *)
+
+type help_policy = Kp_queue.help_policy =
+  | Help_all
+  | Help_one_cyclic
+  | Help_chunk of int
+
+type phase_policy = Kp_queue.phase_policy = Phase_scan | Phase_counter
+
+type tuning = Kp_queue.tuning = {
+  gc_friendly : bool;
+  validate_before_cas : bool;
+}
+
+let default_tuning = Kp_queue.default_tuning
+
+let default_max_failures = 64
+
+module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
+  module N = Kp_internals.Make (A)
+  open N
+
+  module P = Wfq_primitives.Padded.Make (A)
+
+  type 'a op_desc = {
+    phase : int;
+    pending : bool;
+    enqueue : bool;
+    node : 'a N.node option;
+  }
+
+  type 'a t = {
+    head : 'a N.node A.t;
+    tail : 'a N.node A.t;
+    (* Slow-path descriptor slots; padded like Kp_queue's. *)
+    state : 'a op_desc P.t array;
+    (* Number of threads currently executing a slow-path operation.
+       Fast-path operations read it once per operation and help only
+       when it is non-zero, keeping the uncontended hot path free of
+       helping traffic. *)
+    slow_pending : int A.t;
+    phase_counter : int A.t;
+    help_policy : help_policy;
+    phase_policy : phase_policy;
+    tuning : tuning;
+    max_failures : int;
+    help_cursor : int array;
+    num_threads : int;
+    (* Single-writer per-tid statistics (exact at quiescence). *)
+    fast_hits : int array;
+    slow_entries : int array;
+  }
+
+  let name = "kp-fps"
+
+  let create_with ?(tuning = default_tuning)
+      ?(max_failures = default_max_failures) ~help ~phase ~num_threads () =
+    if num_threads <= 0 then invalid_arg "Kp_queue_fps.create: num_threads";
+    if max_failures < 0 then
+      invalid_arg "Kp_queue_fps.create: max_failures must be >= 0";
+    (match help with
+    | Help_chunk k when k <= 0 ->
+        invalid_arg "Kp_queue_fps.create: chunk size must be positive"
+    | Help_all | Help_one_cyclic | Help_chunk _ -> ());
+    let sentinel = make_sentinel () in
+    let idle = { phase = -1; pending = false; enqueue = true; node = None } in
+    {
+      head = A.make sentinel;
+      tail = A.make sentinel;
+      state = Array.init num_threads (fun _ -> P.make idle);
+      slow_pending = A.make 0;
+      phase_counter = A.make (-1);
+      help_policy = help;
+      phase_policy = phase;
+      tuning;
+      max_failures;
+      help_cursor = Array.make num_threads 0;
+      num_threads;
+      fast_hits = Array.make num_threads 0;
+      slow_entries = Array.make num_threads 0;
+    }
+
+  (* The default slow path uses the paper's fastest configuration (both
+     §3.3 optimizations); it is entered rarely, so the difference mostly
+     matters under heavy contention, where opt (1+2) wins anyway. *)
+  let create ~num_threads () =
+    create_with ~help:Help_one_cyclic ~phase:Phase_counter ~num_threads ()
+
+  let max_phase t =
+    Array.fold_left
+      (fun acc slot -> max acc (P.get slot).phase)
+      (-1) t.state
+
+  let next_phase t =
+    match t.phase_policy with
+    | Phase_scan -> max_phase t + 1
+    | Phase_counter ->
+        let cur = A.get t.phase_counter in
+        ignore (A.compare_and_set t.phase_counter cur (cur + 1));
+        cur + 1
+
+  let is_still_pending t tid phase =
+    let desc = P.get t.state.(tid) in
+    desc.pending && desc.phase <= phase
+
+  (* ------------------------------------------------------------------ *)
+  (* Finishing helpers, shared by both paths                            *)
+  (* ------------------------------------------------------------------ *)
+
+  (* Kp_queue.help_finish_enq, extended with the fast-path case: a node
+     with [enq_tid = -1] was appended by a bounded Michael-Scott attempt
+     and has no descriptor — the only thing left to do is advance [tail]
+     (the appender itself may have been preempted before its tail CAS). *)
+  let help_finish_enq t =
+    let last = A.get t.tail in
+    let next_o = A.get last.next in
+    match next_o with
+    | None -> ()
+    | Some next ->
+        let tid = next.enq_tid in
+        if tid < 0 then ignore (A.compare_and_set t.tail last next)
+        else begin
+          assert (tid < t.num_threads);
+          let cur_desc = P.get t.state.(tid) in
+          if last == A.get t.tail && (P.get t.state.(tid)).node == next_o
+          then begin
+            if (not t.tuning.validate_before_cas) || cur_desc.pending
+            then begin
+              let new_desc =
+                { phase = cur_desc.phase; pending = false; enqueue = true;
+                  node = next_o }
+              in
+              ignore (P.compare_and_set t.state.(tid) cur_desc new_desc)
+            end;
+            ignore (A.compare_and_set t.tail last next)
+          end
+        end
+
+  (* Kp_queue.help_finish_deq, extended with the fast-path case: a
+     sentinel claimed with [deq_tid >= num_threads] belongs to a
+     fast-path dequeue — no descriptor to complete, only [head] to
+     swing. *)
+  let help_finish_deq t =
+    let first = A.get t.head in
+    let next = A.get first.next in
+    let tid = A.get first.deq_tid in
+    if tid >= t.num_threads then begin
+      (* Fast-path claim. *)
+      match next with
+      | Some next_node when first == A.get t.head ->
+          ignore (A.compare_and_set t.head first next_node)
+      | Some _ | None -> ()
+    end
+    else if tid <> -1 then begin
+      let cur_desc = P.get t.state.(tid) in
+      match next with
+      | Some next_node when first == A.get t.head ->
+          if (not t.tuning.validate_before_cas) || cur_desc.pending
+          then begin
+            let new_desc =
+              { phase = cur_desc.phase; pending = false; enqueue = false;
+                node = cur_desc.node }
+            in
+            ignore (P.compare_and_set t.state.(tid) cur_desc new_desc)
+          end;
+          ignore (A.compare_and_set t.head first next_node)
+      | Some _ | None -> ()
+    end
+
+  (* ------------------------------------------------------------------ *)
+  (* Slow path: Kp_queue's phase-based helping, verbatim modulo the      *)
+  (* extended finishing helpers above                                    *)
+  (* ------------------------------------------------------------------ *)
+
+  let rec help_enq t tid phase =
+    if is_still_pending t tid phase then begin
+      let last = A.get t.tail in
+      let next = A.get last.next in
+      if last == A.get t.tail then
+        match next with
+        | None ->
+            if is_still_pending t tid phase then begin
+              let node = (P.get t.state.(tid)).node in
+              if A.compare_and_set last.next None node then
+                help_finish_enq t
+              else help_enq t tid phase
+            end
+            else help_enq t tid phase
+        | Some _ ->
+            help_finish_enq t;
+            help_enq t tid phase
+      else help_enq t tid phase
+    end
+
+  let rec help_deq t tid phase =
+    if is_still_pending t tid phase then begin
+      let first = A.get t.head in
+      let last = A.get t.tail in
+      let next = A.get first.next in
+      if first == A.get t.head then
+        if first == last then begin
+          match next with
+          | None ->
+              let cur_desc = P.get t.state.(tid) in
+              if last == A.get t.tail && is_still_pending t tid phase
+              then begin
+                let new_desc =
+                  { phase = cur_desc.phase; pending = false;
+                    enqueue = false; node = None }
+                in
+                ignore (P.compare_and_set t.state.(tid) cur_desc new_desc)
+              end;
+              help_deq t tid phase
+          | Some _ ->
+              help_finish_enq t;
+              help_deq t tid phase
+        end
+        else begin
+          let cur_desc = P.get t.state.(tid) in
+          let node = cur_desc.node in
+          if is_still_pending t tid phase then begin
+            let points_to_first =
+              match node with Some n -> n == first | None -> false
+            in
+            if first == A.get t.head && not points_to_first then begin
+              let new_desc =
+                { phase = cur_desc.phase; pending = true; enqueue = false;
+                  node = Some first }
+              in
+              if not (P.compare_and_set t.state.(tid) cur_desc new_desc)
+              then help_deq t tid phase
+              else begin
+                ignore (A.compare_and_set first.deq_tid (-1) tid);
+                help_finish_deq t;
+                help_deq t tid phase
+              end
+            end
+            else begin
+              ignore (A.compare_and_set first.deq_tid (-1) tid);
+              help_finish_deq t;
+              help_deq t tid phase
+            end
+          end
+        end
+      else help_deq t tid phase
+    end
+
+  (* The phase passed DOWN is the descriptor's own ([desc.phase]), as in
+     the paper's help() (Fig. 2) — not the caller's bound. This is load-
+     bearing here: a tid's phases strictly increase, so a helper that
+     read the descriptor before the operation completed fails its
+     [is_still_pending] re-check as soon as the tid publishes its next
+     operation. Helping at the caller's (larger) bound would let a stale
+     helper latch onto that next operation — possibly of the other kind,
+     e.g. rewriting a pending enqueue descriptor through the dequeue
+     helper, or re-appending a consumed node. The fast path's
+     [maybe_help] helps at bound [max_int], which is only safe because
+     of this. *)
+  let help_slot t i phase =
+    let desc = P.get t.state.(i) in
+    if desc.pending && desc.phase <= phase then
+      if desc.enqueue then help_enq t i desc.phase
+      else help_deq t i desc.phase
+
+  let run_help t ~tid ~phase =
+    match t.help_policy with
+    | Help_all ->
+        for i = 0 to Array.length t.state - 1 do
+          help_slot t i phase
+        done
+    | Help_one_cyclic ->
+        let c = t.help_cursor.(tid) in
+        t.help_cursor.(tid) <- (c + 1) mod t.num_threads;
+        if c <> tid then help_slot t c phase;
+        help_slot t tid phase
+    | Help_chunk k ->
+        let c = t.help_cursor.(tid) in
+        t.help_cursor.(tid) <- (c + k) mod t.num_threads;
+        for j = 0 to min k t.num_threads - 1 do
+          let i = (c + j) mod t.num_threads in
+          if i <> tid then help_slot t i phase
+        done;
+        help_slot t tid phase
+
+  (* The fast path's helping duty: one atomic load per operation; only
+     when some thread is on the slow path, run one cyclic helping round
+     (to completion — help_enq/help_deq return only once the helped
+     operation is no longer pending). The cursor advances every call, so
+     a given pending operation is reached after at most [num_threads]
+     operations of this thread: slow-path progress is bounded even if
+     every other thread stays on the fast path forever. *)
+  let maybe_help t ~tid =
+    if A.get t.slow_pending > 0 then begin
+      let c = t.help_cursor.(tid) in
+      t.help_cursor.(tid) <- (c + 1) mod t.num_threads;
+      help_slot t c max_int
+    end
+
+  (* ------------------------------------------------------------------ *)
+  (* Slow-path operations (entered after max_failures fast rounds)      *)
+  (* ------------------------------------------------------------------ *)
+
+  let slow_enqueue t ~tid value =
+    t.slow_entries.(tid) <- t.slow_entries.(tid) + 1;
+    (* Raise the flag before publishing so that any fast-path operation
+       starting after our descriptor is visible also sees the flag. *)
+    ignore (A.fetch_and_add t.slow_pending 1);
+    let phase = next_phase t in
+    let node = make_node ~enq_tid:tid value in
+    P.set t.state.(tid)
+      { phase; pending = true; enqueue = true; node = Some node };
+    run_help t ~tid ~phase;
+    help_finish_enq t;
+    ignore (A.fetch_and_add t.slow_pending (-1));
+    if t.tuning.gc_friendly then
+      P.set t.state.(tid)
+        { phase; pending = false; enqueue = true; node = None }
+
+  let slow_dequeue t ~tid =
+    t.slow_entries.(tid) <- t.slow_entries.(tid) + 1;
+    ignore (A.fetch_and_add t.slow_pending 1);
+    let phase = next_phase t in
+    P.set t.state.(tid)
+      { phase; pending = true; enqueue = false; node = None };
+    run_help t ~tid ~phase;
+    help_finish_deq t;
+    ignore (A.fetch_and_add t.slow_pending (-1));
+    let result =
+      match (P.get t.state.(tid)).node with
+      | None -> None
+      | Some node -> (
+          match A.get node.next with
+          | Some next ->
+              assert (next.value <> None);
+              next.value
+          | None -> assert false)
+    in
+    if t.tuning.gc_friendly then
+      P.set t.state.(tid)
+        { phase; pending = false; enqueue = false; node = None };
+    result
+
+  (* ------------------------------------------------------------------ *)
+  (* Public operations: bounded Michael-Scott rounds, then fall back    *)
+  (* ------------------------------------------------------------------ *)
+
+  let enqueue t ~tid value =
+    maybe_help t ~tid;
+    (* Fast-path nodes are marked [enq_tid = -1]: were a fast node to
+       carry a real tid, a slow-path helper would wait forever for a
+       descriptor that was never published (see help_finish_enq). *)
+    let node = make_node ~enq_tid:(-1) value in
+    let rec attempt failures =
+      if failures >= t.max_failures then slow_enqueue t ~tid value
+      else
+        let last = A.get t.tail in
+        let next = A.get last.next in
+        if last == A.get t.tail then
+          match next with
+          | None ->
+              if A.compare_and_set last.next None (Some node) then begin
+                (* Linearized; fix tail lazily, MS-style (failure means
+                   someone helped us). *)
+                ignore (A.compare_and_set t.tail last node);
+                t.fast_hits.(tid) <- t.fast_hits.(tid) + 1
+              end
+              else attempt (failures + 1)
+          | Some _ ->
+              (* Tail lagging behind a fast or slow append: finish it
+                 (either kind) and retry. *)
+              help_finish_enq t;
+              attempt (failures + 1)
+        else attempt (failures + 1)
+    in
+    attempt 0
+
+  let dequeue t ~tid =
+    maybe_help t ~tid;
+    let rec attempt failures =
+      if failures >= t.max_failures then slow_dequeue t ~tid
+      else
+        let first = A.get t.head in
+        let last = A.get t.tail in
+        let next = A.get first.next in
+        if first == A.get t.head then
+          if first == last then
+            match next with
+            | None ->
+                (* Observed empty — linearizable and free of descriptor
+                   traffic on both paths. *)
+                t.fast_hits.(tid) <- t.fast_hits.(tid) + 1;
+                None
+            | Some _ ->
+                help_finish_enq t;
+                attempt (failures + 1)
+          else
+            match next with
+            | None -> attempt (failures + 1) (* transient view *)
+            | Some n ->
+                (* Claim the sentinel with the fast-path marker; the
+                   successful CAS is the linearization point — shared
+                   with slow-path dequeues, which claim with their tid. *)
+                if
+                  A.compare_and_set first.deq_tid (-1)
+                    (t.num_threads + tid)
+                then begin
+                  ignore (A.compare_and_set t.head first n);
+                  t.fast_hits.(tid) <- t.fast_hits.(tid) + 1;
+                  n.value
+                end
+                else begin
+                  (* Someone else's dequeue is mid-flight on this
+                     sentinel; finish it and retry. *)
+                  help_finish_deq t;
+                  attempt (failures + 1)
+                end
+        else attempt (failures + 1)
+    in
+    attempt 0
+
+  (* ------------------------------------------------------------------ *)
+  (* Observers (quiescent use)                                          *)
+  (* ------------------------------------------------------------------ *)
+
+  let to_list t = N.to_list t.head
+  let length t = N.length t.head
+  let is_empty t = N.is_empty t.head
+
+  let check_quiescent_invariants t =
+    match N.check_list_invariants ~head:t.head ~tail:t.tail with
+    | Error _ as e -> e
+    | Ok () ->
+        let pending_slots =
+          Array.to_list t.state
+          |> List.filteri (fun _ slot -> (P.get slot).pending)
+        in
+        if pending_slots <> [] then
+          Error
+            (Printf.sprintf "%d state slots still pending at quiescence"
+               (List.length pending_slots))
+        else if A.get t.slow_pending <> 0 then
+          Error
+            (Printf.sprintf "slow_pending = %d at quiescence"
+               (A.get t.slow_pending))
+        else Ok ()
+
+  (* ------------------------------------------------------------------ *)
+  (* White-box probes (tests)                                           *)
+  (* ------------------------------------------------------------------ *)
+
+  let max_failures t = t.max_failures
+  let fast_path_hits_of t ~tid = t.fast_hits.(tid)
+  let slow_path_entries_of t ~tid = t.slow_entries.(tid)
+  let fast_path_hits t = Array.fold_left ( + ) 0 t.fast_hits
+  let slow_path_entries t = Array.fold_left ( + ) 0 t.slow_entries
+  let pending_of t ~tid = (P.get t.state.(tid)).pending
+  let phase_of t ~tid = (P.get t.state.(tid)).phase
+
+  let debug_dump t =
+    let head = A.get t.head and tail = A.get t.tail in
+    let node_id (n : 'a node) = Hashtbl.hash n in
+    Printf.printf "head=%d (deq_tid=%d) tail=%d tail.next=%s\n"
+      (node_id head) (A.get head.deq_tid) (node_id tail)
+      (match A.get tail.next with
+      | None -> "None"
+      | Some n ->
+          Printf.sprintf "Some %d (enq_tid=%d, deq_tid=%d)" (node_id n)
+            n.enq_tid (A.get n.deq_tid));
+    Printf.printf "head==tail: %b; slow_pending=%d\n" (head == tail)
+      (A.get t.slow_pending);
+    Array.iteri
+      (fun tid slot ->
+        let d = P.get slot in
+        Printf.printf
+          "tid %d: pending=%b enq=%b phase=%d node=%s fast=%d slow=%d\n" tid
+          d.pending d.enqueue d.phase
+          (match d.node with
+          | None -> "None"
+          | Some n -> Printf.sprintf "Some %d" (node_id n))
+          t.fast_hits.(tid) t.slow_entries.(tid))
+      t.state;
+    let rec walk i n =
+      if i < 8 then begin
+        Printf.printf "  list[%d]: node %d enq_tid=%d deq_tid=%d%s%s\n" i
+          (node_id n) n.enq_tid (A.get n.deq_tid)
+          (if n == head then " <-head" else "")
+          (if n == tail then " <-tail" else "");
+        match A.get n.next with None -> () | Some nx -> walk (i + 1) nx
+      end
+    in
+    walk 0 head
+end

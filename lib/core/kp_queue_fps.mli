@@ -1,0 +1,106 @@
+(** Fast-path/slow-path Kogan-Petrank queue: a linearizable wait-free
+    MPMC FIFO whose uncontended operations run as plain (lock-free)
+    Michael-Scott CAS rounds, falling back to the paper's phase-based
+    helping slow path only after [max_failures] failed attempts — the
+    fast-path/slow-path methodology of Kogan & Petrank (PPoPP 2012), as
+    deployed by wCQ (arXiv:2201.02179).
+
+    Wait-freedom is preserved: the fast path is bounded by
+    [max_failures], and every operation (fast or slow) checks a shared
+    [slow_pending] counter — one atomic load, the only fast-path
+    overhead — and helps a pending slow-path operation when one exists,
+    so a thread on the slow path is helped after at most [num_threads]
+    operations of any peer. See docs/FASTPATH.md for the full handshake
+    and the progress argument.
+
+    Thread identity: as for {!Kp_queue}, every participating thread owns
+    a distinct [tid] in [0, num_threads). *)
+
+(** Policies and tuning are shared with (and equal to) {!Kp_queue}'s:
+    they configure the slow path only. *)
+type help_policy = Kp_queue.help_policy =
+  | Help_all
+  | Help_one_cyclic
+  | Help_chunk of int
+
+type phase_policy = Kp_queue.phase_policy = Phase_scan | Phase_counter
+
+type tuning = Kp_queue.tuning = {
+  gc_friendly : bool;
+  validate_before_cas : bool;
+}
+
+val default_tuning : tuning
+
+val default_max_failures : int
+(** Fast-path attempt budget used by {!Make.create} (64 — past a handful
+    of failed CAS rounds the helping scheme is cheaper than continued
+    spinning, and a small budget keeps the worst-case latency tight). *)
+
+module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
+  type 'a t
+
+  val name : string
+
+  val create : num_threads:int -> unit -> 'a t
+  (** Default configuration: [default_max_failures] fast rounds, slow
+      path running the paper's fastest variant ([Help_one_cyclic] +
+      [Phase_counter]), no tuning. *)
+
+  val create_with :
+    ?tuning:tuning ->
+    ?max_failures:int ->
+    help:help_policy ->
+    phase:phase_policy ->
+    num_threads:int ->
+    unit ->
+    'a t
+  (** [max_failures] is the number of failed fast-path rounds tolerated
+      before falling back (default {!default_max_failures}); [0] skips
+      the fast path entirely, degenerating to {!Kp_queue} behaviour.
+      Raises [Invalid_argument] for [num_threads <= 0], negative
+      [max_failures], or a non-positive chunk size. *)
+
+  val enqueue : 'a t -> tid:int -> 'a -> unit
+  (** Wait-free linearizable FIFO insert; linearizes at the successful
+      CAS appending the node, on either path. *)
+
+  val dequeue : 'a t -> tid:int -> 'a option
+  (** Wait-free linearizable FIFO remove; linearizes at the successful
+      CAS claiming the sentinel's [deq_tid] (shared by both paths), or
+      at an observed-empty check. *)
+
+  (** {2 Quiescent observers} (exact only at quiescence) *)
+
+  val is_empty : 'a t -> bool
+  val length : 'a t -> int
+  val to_list : 'a t -> 'a list
+
+  val check_quiescent_invariants : 'a t -> (unit, string) result
+  (** List invariants plus: no pending descriptor, [slow_pending = 0]. *)
+
+  (** {2 White-box probes (tests)} *)
+
+  val max_failures : 'a t -> int
+
+  val fast_path_hits : 'a t -> int
+  (** Operations completed on the fast path (including observed-empty
+      dequeues), all threads. Exact at quiescence. *)
+
+  val fast_path_hits_of : 'a t -> tid:int -> int
+
+  val slow_path_entries : 'a t -> int
+  (** Operations that exhausted [max_failures] and fell back to the
+      slow path, all threads. Exact at quiescence. *)
+
+  val slow_path_entries_of : 'a t -> tid:int -> int
+
+  val pending_of : 'a t -> tid:int -> bool
+  (** Whether [tid]'s slow-path descriptor is currently pending. *)
+
+  val phase_of : 'a t -> tid:int -> int
+  (** Phase of [tid]'s latest slow-path operation ([-1] if none). *)
+
+  val debug_dump : 'a t -> unit
+  (** Print head/tail/descriptor state to stdout (quiescent debugging). *)
+end

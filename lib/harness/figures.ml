@@ -162,6 +162,31 @@ let shard_scaling ?(scale = quick) () =
       (Workload.pairs_relaxed impl ~threads ~iters ()).Workload.seconds)
     Impls.shard_series
 
+(** Extension (Kp_queue_fps): the fast-path/slow-path queue against the
+    acceptance baselines (raw LF, base WF, best unsharded WF) plus the
+    max_failures sweep, on the strict enqueue-dequeue-pairs workload —
+    the fps queue is strict FIFO, so the "impossible empty" invariant
+    holds and doubles as a correctness check on every measurement.
+    Interleaved repetitions, as for {!shard_scaling}. *)
+let fps_scaling ?(scale = quick) () =
+  interleaved_series ~scale
+    ~workload:(fun impl ~threads ~iters () ->
+      (Workload.pairs impl ~threads ~iters ()).Workload.seconds)
+    Impls.fps_bench_series
+
+(** One combined dataset of every paper figure, each series label
+    prefixed with its figure ("fig7:LF", ...). Points keep their native
+    x axis — threads for figs. 7-9, initial queue size for fig. 10 — so
+    consumers must split by prefix before plotting. *)
+let all_figures ?(scale = quick) () =
+  let prefix p =
+    List.map (fun s -> { s with Report.label = p ^ ":" ^ s.Report.label })
+  in
+  prefix "fig7" (fig7 ~scale ())
+  @ prefix "fig8" (fig8 ~scale ())
+  @ prefix "fig9" (fig9 ~scale ())
+  @ prefix "fig10" (fig10 ~scale ())
+
 (** Ablation of the §3.3 design knobs the paper describes but does not
     evaluate: helping-chunk size (1 = the paper's optimization 1) and the
     tuning enhancements (descriptor reset + pre-CAS validation). *)

@@ -37,6 +37,14 @@ val shard_scaling : ?scale:scale -> unit -> Report.series list
 (** Extension (lib/shard): opt WF (1+2) vs the sharded front-end at
     1/2/4/8 shards on the relaxed enqueue-dequeue-pairs workload. *)
 
+val fps_scaling : ?scale:scale -> unit -> Report.series list
+(** Extension (Kp_queue_fps): LF, base WF, opt WF (1+2), WF fps and the
+    max_failures sweep on the strict enqueue-dequeue-pairs workload. *)
+
+val all_figures : ?scale:scale -> unit -> Report.series list
+(** Every paper figure in one dataset, labels prefixed "figN:". Fig. 10
+    points use queue size as x; the rest use threads. *)
+
 val ablation : ?scale:scale -> unit -> Report.series list
 (** Extension: helping-chunk size and tuning enhancements (§3.3 design
     knobs the paper describes but does not evaluate). *)

@@ -11,6 +11,7 @@ module Uq = Wfq_universal.Universal.Queue (A)
 module Fc = Wfq_core.Fc_queue.Make (A)
 module Kp = Wfq_core.Kp_queue.Make (A)
 module Kp_hp = Wfq_core.Kp_queue_hp.Make (A)
+module Fps = Wfq_core.Kp_queue_fps.Make (A)
 module Sh = Wfq_shard.Shard.Make (A)
 
 module type BENCH_QUEUE = sig
@@ -130,6 +131,40 @@ let shard_series =
   [ wf_opt12; wf_shard 1; wf_shard 2; wf_shard 4; wf_shard 8;
     wf_shard_rr 8 ]
 
+(* Fast-path/slow-path KP queue (PPoPP 2012 methodology): lock-free
+   Michael-Scott rounds until [max_failures] failures, then the KP
+   helping slow path. The slow path runs the paper's fastest variant
+   (opt 1+2), matching [Fps.create]'s default. *)
+let fps_variant variant_name ~max_failures : impl =
+  (module struct
+    type t = int Fps.t
+
+    let name = variant_name
+
+    let create ~num_threads =
+      Fps.create_with ~max_failures
+        ~help:Wfq_core.Kp_queue_fps.Help_one_cyclic
+        ~phase:Wfq_core.Kp_queue_fps.Phase_counter ~num_threads ()
+
+    let enqueue = Fps.enqueue
+    let dequeue = Fps.dequeue
+  end)
+
+let wf_fps =
+  fps_variant "WF fps"
+    ~max_failures:Wfq_core.Kp_queue_fps.default_max_failures
+
+let wf_fps_mf k = fps_variant (Printf.sprintf "WF fps mf=%d" k) ~max_failures:k
+
+(* The issue's sweep: how quickly does throughput degrade as the
+   fast-path budget shrinks toward pure-slow-path behaviour? *)
+let wf_fps_series = [ wf_fps_mf 1; wf_fps_mf 8; wf_fps_mf 64; wf_fps_mf 1024 ]
+
+(* Series for the fps bench: baselines the acceptance criteria compare
+   against (raw LF, base WF, best unsharded WF) plus the headline fps
+   queue and the max_failures sweep. *)
+let fps_bench_series = [ lf; wf_base; wf_opt12; wf_fps ] @ wf_fps_series
+
 let wf_hp : impl =
   (module struct
     type t = int Kp_hp.t
@@ -181,8 +216,8 @@ let mutex : impl =
   end)
 
 let all =
-  [ lf; lms; wf_base; wf_opt1; wf_opt2; wf_opt12; wf_hp; wf_universal;
-    flat_combining; two_lock; mutex ]
+  [ lf; lms; wf_base; wf_opt1; wf_opt2; wf_opt12; wf_fps; wf_hp;
+    wf_universal; flat_combining; two_lock; mutex ]
 
 (* Variants for the ablation bench: helping-chunk size sweep plus the
    tuning enhancements. *)

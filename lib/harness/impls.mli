@@ -53,6 +53,22 @@ val shard_series : impl list
 (** Series for the shard-scaling bench: opt WF (1+2) vs the sharded
     front-end at 1/2/4/8 shards plus the 8-shard round-robin variant. *)
 
+val wf_fps : impl
+(** Fast-path/slow-path KP queue ("WF fps"): lock-free Michael-Scott
+    rounds until {!Wfq_core.Kp_queue_fps.default_max_failures} failures,
+    then the KP helping slow path (opt 1+2). Wait-free, linearizable,
+    strict FIFO — safe with {!Workload.pairs}. *)
+
+val wf_fps_mf : int -> impl
+(** Same with an explicit [max_failures] budget ("WF fps mf=K"). *)
+
+val wf_fps_series : impl list
+(** The fast-path budget sweep: max_failures ∈ 1, 8, 64, 1024. *)
+
+val fps_bench_series : impl list
+(** Series for the fps bench: LF, base WF, opt WF (1+2), WF fps, plus
+    {!wf_fps_series}. *)
+
 val wf_hp : impl
 (** Wait-free queue with hazard-pointer reclamation (§3.4). *)
 

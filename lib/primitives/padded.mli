@@ -12,3 +12,9 @@ val get : 'a t -> 'a
 val set : 'a t -> 'a -> unit
 val compare_and_set : 'a t -> 'a -> 'a -> bool
 val fetch_and_add : int t -> int -> int
+
+(** Padded cells over an arbitrary {!Atomic_intf.ATOMIC} implementation,
+    satisfying [ATOMIC] itself — the form the queue functors use to pad
+    their per-thread descriptor arrays on whatever atomic plane (real,
+    counted, simulated) they were instantiated with. *)
+module Make (A : Atomic_intf.ATOMIC) : Atomic_intf.ATOMIC

@@ -21,6 +21,10 @@
 
 type policy = Round_robin | Tid_affine | Length_aware
 
+type backend =
+  | Kp_opt12
+  | Fps of { max_failures : int }
+
 type shard_stats = {
   enqueues : int;
   dequeues : int;
@@ -30,11 +34,41 @@ type shard_stats = {
 
 module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   module Kp = Wfq_core.Kp_queue.Make (A)
+  module Fq = Wfq_core.Kp_queue_fps.Make (A)
+
+  (* Per-shard queue: either the base KP queue or the fast-path/slow-path
+     variant. Both are wait-free strict FIFOs, so the front-end's
+     ordering and progress contracts are backend-independent; the
+     dispatch below is a predictable two-way branch, negligible next to
+     the atomic traffic of the operation itself. *)
+  type 'a shard_q = Kp_q of 'a Kp.t | Fps_q of 'a Fq.t
+
+  let q_enqueue q ~tid v =
+    match q with
+    | Kp_q q -> Kp.enqueue q ~tid v
+    | Fps_q q -> Fq.enqueue q ~tid v
+
+  let q_dequeue q ~tid =
+    match q with
+    | Kp_q q -> Kp.dequeue q ~tid
+    | Fps_q q -> Fq.dequeue q ~tid
+
+  let q_is_empty = function
+    | Kp_q q -> Kp.is_empty q
+    | Fps_q q -> Fq.is_empty q
+
+  let q_length = function Kp_q q -> Kp.length q | Fps_q q -> Fq.length q
+  let q_to_list = function Kp_q q -> Kp.to_list q | Fps_q q -> Fq.to_list q
+
+  let q_check = function
+    | Kp_q q -> Kp.check_quiescent_invariants q
+    | Fps_q q -> Fq.check_quiescent_invariants q
 
   type 'a t = {
-    shards : 'a Kp.t array;
+    shards : 'a shard_q array;
     n : int;
     policy : policy;
+    backend : backend;
     enq_ticket : int A.t;
     deq_ticket : int A.t;
     track_sizes : bool;  (** only [Length_aware] pays for size upkeep *)
@@ -51,24 +85,35 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
 
   let name = "wf-shard"
 
-  let create ?(policy = Round_robin) ?(shards = 4) ~num_threads () =
+  let create ?(policy = Round_robin) ?(backend = Kp_opt12) ?(shards = 4)
+      ~num_threads () =
     if shards <= 0 then invalid_arg "Shard.create: shards must be positive";
     if num_threads <= 0 then invalid_arg "Shard.create: num_threads";
     let per_shard_tids () =
       Array.init shards (fun _ -> Array.make num_threads 0)
     in
+    (* Every thread may touch every shard (stealing), so each shard is
+       sized for the full thread population. Both backends run the slow
+       path in the opt-(1+2) configuration, the paper's fastest (the
+       §3.3 tuning enhancements measured slower here — see
+       EXPERIMENTS.md). *)
+    let make_shard () =
+      match backend with
+      | Kp_opt12 ->
+          Kp_q
+            (Kp.create_with ~help:Wfq_core.Kp_queue.Help_one_cyclic
+               ~phase:Wfq_core.Kp_queue.Phase_counter ~num_threads ())
+      | Fps { max_failures } ->
+          Fps_q
+            (Fq.create_with ~max_failures
+               ~help:Wfq_core.Kp_queue_fps.Help_one_cyclic
+               ~phase:Wfq_core.Kp_queue_fps.Phase_counter ~num_threads ())
+    in
     {
-      shards =
-        Array.init shards (fun _ ->
-            (* Every thread may touch every shard (stealing), so each
-               shard is sized for the full thread population. The
-               opt-(1+2) configuration is the paper's fastest (the §3.3
-               tuning enhancements measured slower here — see
-               EXPERIMENTS.md). *)
-            Kp.create_with ~help:Wfq_core.Kp_queue.Help_one_cyclic
-              ~phase:Wfq_core.Kp_queue.Phase_counter ~num_threads ());
+      shards = Array.init shards (fun _ -> make_shard ());
       n = shards;
       policy;
+      backend;
       enq_ticket = A.make 0;
       deq_ticket = A.make 0;
       track_sizes = policy = Length_aware;
@@ -84,6 +129,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   let create_strict ~num_threads () = create ~shards:1 ~num_threads ()
   let shards t = t.n
   let policy t = t.policy
+  let backend t = t.backend
 
   (* --- shard selection ------------------------------------------- *)
 
@@ -116,7 +162,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   (* --- core operations ------------------------------------------- *)
 
   let enqueue_to t ~tid s v =
-    Kp.enqueue t.shards.(s) ~tid v;
+    q_enqueue t.shards.(s) ~tid v;
     if t.track_sizes then Atomic.incr t.sizes.(s);
     t.s_enq.(s).(tid) <- t.s_enq.(s).(tid) + 1;
     t.last_enq_shard.(tid) <- s
@@ -145,9 +191,9 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
     end
     else
       let s = if s0 + i >= t.n then s0 + i - t.n else s0 + i in
-      if i > 0 && Kp.is_empty t.shards.(s) then sweep t ~tid s0 (i + 1)
+      if i > 0 && q_is_empty t.shards.(s) then sweep t ~tid s0 (i + 1)
       else
-        match Kp.dequeue t.shards.(s) ~tid with
+        match q_dequeue t.shards.(s) ~tid with
         | Some _ as r ->
             took t ~tid ~stolen:(i > 0) s;
             r
@@ -185,10 +231,10 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
        [(n + 1) * t.n] shard dequeues. *)
     let rec go acc got misses s =
       if got = n || misses = t.n then List.rev acc
-      else if s <> s0 && misses > 0 && Kp.is_empty t.shards.(s) then
+      else if s <> s0 && misses > 0 && q_is_empty t.shards.(s) then
         go acc got (misses + 1) (if s + 1 = t.n then 0 else s + 1)
       else
-        match Kp.dequeue t.shards.(s) ~tid with
+        match q_dequeue t.shards.(s) ~tid with
         | Some v ->
             took t ~tid ~stolen:(s <> s0) s;
             go (v :: acc) (got + 1) 0 s
@@ -204,13 +250,13 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
 
   (* --- quiescent observers --------------------------------------- *)
 
-  let is_empty t = Array.for_all Kp.is_empty t.shards
-  let length t = Array.fold_left (fun acc q -> acc + Kp.length q) 0 t.shards
-  let to_list t = List.concat_map Kp.to_list (Array.to_list t.shards)
+  let is_empty t = Array.for_all q_is_empty t.shards
+  let length t = Array.fold_left (fun acc q -> acc + q_length q) 0 t.shards
+  let to_list t = List.concat_map q_to_list (Array.to_list t.shards)
 
   let shard_length t s =
     if s < 0 || s >= t.n then invalid_arg "Shard.shard_length: shard";
-    Kp.length t.shards.(s)
+    q_length t.shards.(s)
 
   let sum = Array.fold_left ( + ) 0
 
@@ -228,10 +274,10 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
     let rec shards_ok s =
       if s = t.n then Ok ()
       else
-        match Kp.check_quiescent_invariants t.shards.(s) with
+        match q_check t.shards.(s) with
         | Error e -> Error (Printf.sprintf "shard %d: %s" s e)
         | Ok () ->
-            let len = Kp.length t.shards.(s) in
+            let len = q_length t.shards.(s) in
             if st.(s).enqueues - st.(s).dequeues <> len then
               Error
                 (Printf.sprintf

@@ -59,6 +59,17 @@ type policy =
           evens shard lengths under skewed producers at the cost of one
           extra counter read per operation *)
 
+(** Per-shard queue algorithm. Both are wait-free strict FIFOs, so the
+    front-end's ordering and progress contracts hold for either. *)
+type backend =
+  | Kp_opt12
+      (** base Kogan-Petrank queue, opt-(1+2) configuration (default —
+          the original front-end behaviour) *)
+  | Fps of { max_failures : int }
+      (** fast-path/slow-path variant ({!Wfq_core.Kp_queue_fps}):
+          lock-free rounds until [max_failures] failures per operation,
+          then the KP helping slow path *)
+
 (** Per-shard operation counters (monotonic, snapshot via {!Make.stats};
     exact at quiescence, indicative under concurrency). *)
 type shard_stats = {
@@ -78,12 +89,19 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
   val name : string
 
   val create :
-    ?policy:policy -> ?shards:int -> num_threads:int -> unit -> 'a t
-  (** [create ~policy ~shards ~num_threads ()] builds a front-end over
-      [shards] (default 4) independent KP queues, each usable by threads
+    ?policy:policy ->
+    ?backend:backend ->
+    ?shards:int ->
+    num_threads:int ->
+    unit ->
+    'a t
+  (** [create ~policy ~backend ~shards ~num_threads ()] builds a
+      front-end over [shards] (default 4) independent queues of the
+      given [backend] (default {!Kp_opt12}), each usable by threads
       [0 .. num_threads - 1] (every thread may touch every shard via
       stealing). Default policy is {!Round_robin}. Raises
-      [Invalid_argument] for [shards <= 0] or [num_threads <= 0]. *)
+      [Invalid_argument] for [shards <= 0], [num_threads <= 0], or an
+      invalid backend configuration (negative [max_failures]). *)
 
   val create_strict : num_threads:int -> unit -> 'a t
   (** Single-shard strict FIFO mode: equivalent to [create ~shards:1],
@@ -91,6 +109,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
 
   val shards : 'a t -> int
   val policy : 'a t -> policy
+  val backend : 'a t -> backend
 
   val enqueue : 'a t -> tid:int -> 'a -> unit
   (** Wait-free insert into the policy-selected shard. *)

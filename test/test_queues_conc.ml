@@ -15,6 +15,7 @@ module A = Wfq_primitives.Real_atomic
 module Ms = Wfq_core.Ms_queue.Make (A)
 module Kp = Wfq_core.Kp_queue.Make (A)
 module Kp_hp = Wfq_core.Kp_queue_hp.Make (A)
+module Fps = Wfq_core.Kp_queue_fps.Make (A)
 module Lms = Wfq_core.Lms_queue.Make (A)
 
 type 'q conc_queue = {
@@ -68,6 +69,33 @@ let queues =
           enq = (fun q ~tid v -> Kp_hp.enqueue q ~tid v);
           deq = (fun q ~tid -> Kp_hp.dequeue q ~tid);
           len = Kp_hp.length;
+        } );
+    (* Fast-path/slow-path variant at the two interesting budgets: mf=1
+       keeps falling back under contention (both paths and their
+       interaction run constantly); mf=64 stays mostly fast. *)
+    Q
+      ( "kp-fps mf=1",
+        {
+          make =
+            (fun ~num_threads ->
+              Fps.create_with ~max_failures:1
+                ~help:Wfq_core.Kp_queue_fps.Help_one_cyclic
+                ~phase:Wfq_core.Kp_queue_fps.Phase_counter ~num_threads ());
+          enq = (fun q ~tid v -> Fps.enqueue q ~tid v);
+          deq = (fun q ~tid -> Fps.dequeue q ~tid);
+          len = Fps.length;
+        } );
+    Q
+      ( "kp-fps mf=64",
+        {
+          make =
+            (fun ~num_threads ->
+              Fps.create_with ~max_failures:64
+                ~help:Wfq_core.Kp_queue_fps.Help_one_cyclic
+                ~phase:Wfq_core.Kp_queue_fps.Phase_counter ~num_threads ());
+          enq = (fun q ~tid v -> Fps.enqueue q ~tid v);
+          deq = (fun q ~tid -> Fps.dequeue q ~tid);
+          len = Fps.length;
         } );
     Q
       ( "lms",
