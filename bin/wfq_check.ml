@@ -1,16 +1,22 @@
-(* Model-checking CLI: run systematic (preemption-bounded) exploration or
-   random-schedule fuzzing of a queue implementation under the
-   deterministic simulator, checking linearizability of every explored
-   interleaving.
+(* Model-checking CLI: run DPOR (exhaustive-equivalent), systematic
+   preemption-bounded exploration, or random-schedule fuzzing of a queue
+   implementation under the deterministic simulator, checking
+   linearizability of every explored interleaving.
 
+     wfq_check dpor --queue kp-opt12 --out _counterexamples
      wfq_check explore --queue kp-base --budget 2
      wfq_check fuzz --queue kp-hp --count 5000
      wfq_check stall --queue kp-base
-*)
+
+   [dpor] exits non-zero on a violation and writes the shrunk
+   counterexample (schedule, history, checker verdict) under --out, for
+   CI to upload as a build artifact. *)
 
 open Cmdliner
 module S = Wfq_sim.Scheduler
 module E = Wfq_sim.Explore
+module Sh = Wfq_sim.Shrink
+module Ck = Wfq_sim.Check
 module H = Wfq_lincheck.History
 module C = Wfq_lincheck.Checker
 module SA = Wfq_sim.Sim_atomic
@@ -18,12 +24,15 @@ module Ms = Wfq_core.Ms_queue.Make (SA)
 module Kp = Wfq_core.Kp_queue.Make (SA)
 module Kp_hp = Wfq_core.Kp_queue_hp.Make (SA)
 
+module Fps = Wfq_core.Kp_queue_fps.Make (SA)
+
 type script = [ `Enq of int | `Deq ] list
 
 type 'q sim_queue = {
   make : num_threads:int -> 'q;
   enq : 'q -> tid:int -> int -> unit;
   deq : 'q -> tid:int -> int option;
+  contents : 'q -> int list;
 }
 
 type packed = Q : 'q sim_queue -> packed
@@ -35,6 +44,7 @@ let queue_of_name = function
           make = (fun ~num_threads -> Ms.create ~num_threads ());
           enq = (fun q ~tid v -> Ms.enqueue q ~tid v);
           deq = (fun q ~tid -> Ms.dequeue q ~tid);
+          contents = Ms.to_list;
         }
   | "kp-base" ->
       Q
@@ -45,6 +55,7 @@ let queue_of_name = function
                 ~phase:Wfq_core.Kp_queue.Phase_scan ~num_threads ());
           enq = (fun q ~tid v -> Kp.enqueue q ~tid v);
           deq = (fun q ~tid -> Kp.dequeue q ~tid);
+          contents = Kp.to_list;
         }
   | "kp-opt12" ->
       Q
@@ -55,6 +66,7 @@ let queue_of_name = function
                 ~phase:Wfq_core.Kp_queue.Phase_counter ~num_threads ());
           enq = (fun q ~tid v -> Kp.enqueue q ~tid v);
           deq = (fun q ~tid -> Kp.dequeue q ~tid);
+          contents = Kp.to_list;
         }
   | "kp-hp" ->
       Q
@@ -65,6 +77,7 @@ let queue_of_name = function
                 ());
           enq = (fun q ~tid v -> Kp_hp.enqueue q ~tid v);
           deq = (fun q ~tid -> Kp_hp.dequeue q ~tid);
+          contents = Kp_hp.to_list;
         }
   | other -> failwith ("unknown queue: " ^ other)
 
@@ -77,7 +90,7 @@ let scenarios : (string * script list) list =
     ("three-way", [ [ `Enq 1 ]; [ `Enq 2 ]; [ `Deq; `Deq; `Deq ] ]);
   ]
 
-let make_scenario (Q ops) scripts () =
+let scenario_with_history (Q ops) scripts =
   let num_threads = List.length scripts in
   let q = ops.make ~num_threads in
   let hist = H.create () in
@@ -95,6 +108,10 @@ let make_scenario (Q ops) scripts () =
             | None -> H.return hist ~thread:tid H.Empty))
       script
   in
+  (Array.of_list (List.mapi fiber scripts), hist)
+
+let make_scenario q scripts () =
+  let fibers, hist = scenario_with_history q scripts in
   let check (_ : S.result) =
     if C.is_linearizable (H.completed hist) then Ok ()
     else
@@ -102,7 +119,7 @@ let make_scenario (Q ops) scripts () =
         (Format.asprintf "not linearizable:@.%a" C.pp_history
            (H.completed hist))
   in
-  (Array.of_list (List.mapi fiber scripts), check)
+  (fibers, check)
 
 let queue_arg =
   let doc = "Queue to check: ms, kp-base, kp-opt12, kp-hp." in
@@ -157,6 +174,159 @@ let run_fuzz queue count use_pct =
       report name r)
     scenarios
 
+(* DPOR model checking (wfq_check dpor): run the Explore × Lincheck
+   driver over the scenario library — one explored schedule per
+   Mazurkiewicz trace, every schedule checked for linearizability and
+   element conservation — and on failure write the shrunk counterexample
+   (schedule, replayed history, checker verdict) to a file that CI
+   uploads as a build artifact. *)
+
+let check_run (Q ops) ~max_schedules ~scripts =
+  let queue =
+    {
+      Ck.create = (fun ~num_threads -> ops.make ~num_threads);
+      enqueue = ops.enq;
+      dequeue = ops.deq;
+      contents = ops.contents;
+    }
+  in
+  Ck.run ~mode:Ck.Dpor ~max_schedules ~queue ~scripts ()
+
+let write_counterexample ~out_dir ~queue_name ~scenario_name ?pp_extra
+    (f : Ck.failure) =
+  if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+  let path =
+    Filename.concat out_dir (queue_name ^ "-" ^ scenario_name ^ ".trace")
+  in
+  let oc = open_out path in
+  let fmt = Format.formatter_of_out_channel oc in
+  Format.fprintf fmt "queue: %s@.scenario: %s@.@.%a@." queue_name
+    scenario_name Ck.pp_failure f;
+  (match pp_extra with Some pp -> pp fmt | None -> ());
+  Format.pp_print_flush fmt ();
+  close_out oc;
+  path
+
+(* Replay the minimal schedule on a fresh scenario and show the history
+   the linearizability checker judged, plus its verdict. Valid because
+   [Scheduler.run ~forced] replay is deterministic and the CLI scenario
+   performs the same shared accesses as Check's internal one. *)
+let pp_replayed_history q scripts forced fmt =
+  match
+    let fibers, hist = scenario_with_history q scripts in
+    ignore (S.run ~strategy:S.First_enabled ~forced fibers);
+    H.completed hist
+  with
+  | h ->
+      Format.fprintf fmt
+        "@.history under the minimal schedule:@.%a@.checker verdict: %a@."
+        C.pp_history h C.pp_verdict (C.check h)
+  | exception e ->
+      Format.fprintf fmt "@.(history replay failed: %s)@."
+        (Printexc.to_string e)
+
+let shrunk_length (f : Ck.failure) =
+  match f.Ck.shrunk with
+  | Some s -> List.length s.Sh.forced
+  | None -> List.length f.Ck.forced
+
+let run_dpor_clean queue max_schedules out_dir =
+  let q = queue_of_name queue in
+  Printf.printf
+    "DPOR model checking of %s (one schedule per Mazurkiewicz trace)\n"
+    queue;
+  let failed = ref false in
+  List.iter
+    (fun (name, scripts) ->
+      let r = check_run q ~max_schedules ~scripts in
+      match r.Ck.failure with
+      | None ->
+          Printf.printf "  %-12s %7d traces  %s  (max steps per op fiber: %d)\n"
+            name r.Ck.schedules
+            (if r.Ck.exhausted then "exhausted: every trace linearizable"
+             else "cap reached, no violation")
+            r.Ck.max_fiber_steps
+      | Some f ->
+          failed := true;
+          let forced =
+            match f.Ck.shrunk with Some s -> s.Sh.forced | None -> f.Ck.forced
+          in
+          let path =
+            write_counterexample ~out_dir ~queue_name:queue
+              ~scenario_name:name
+              ~pp_extra:(pp_replayed_history q scripts forced)
+              f
+          in
+          Printf.printf
+            "  %-12s FAILED after %d traces: %s\n\
+            \    shrunk to %d decisions; counterexample written to %s\n"
+            name r.Ck.schedules f.Ck.message (shrunk_length f) path)
+    scenarios;
+  if !failed then exit 1
+
+(* Demonstration mode: reinstate one of the seeded fast-path/slow-path
+   handshake bugs and demand that DPOR finds and shrinks it. Exercises
+   the whole find -> shrink -> artifact pipeline, so a CI run can prove
+   the pipeline works end to end. *)
+let fps_faulted_ops fault ~max_failures : _ Ck.ops =
+  {
+    Ck.create =
+      (fun ~num_threads ->
+        Fps.create_with ~max_failures ~fault
+          ~help:Wfq_core.Kp_queue_fps.Help_one_cyclic
+          ~phase:Wfq_core.Kp_queue_fps.Phase_counter ~num_threads ());
+    enqueue = (fun q ~tid v -> Fps.enqueue q ~tid v);
+    dequeue = (fun q ~tid -> Fps.dequeue q ~tid);
+    contents = Fps.to_list;
+  }
+
+let run_dpor_fault fname max_schedules out_dir =
+  let fault, scenario_name, scripts, init, max_failures, step_limit =
+    match fname with
+    | "no-claim" ->
+        ( Wfq_core.Kp_queue_fps.Fast_deq_no_claim,
+          "no-claim",
+          [ [ `Deq; `Deq ]; [ `Deq ] ],
+          [ 1; 2 ],
+          1,
+          None )
+    | "stale-helper" ->
+        ( Wfq_core.Kp_queue_fps.Stale_helper_caller_phase,
+          "stale-helper",
+          [ [ `Deq; `Enq 7 ]; [ `Deq ] ],
+          [ 1 ],
+          0,
+          Some 2_000 )
+    | other -> failwith ("unknown fault: " ^ other)
+  in
+  Printf.printf
+    "DPOR vs seeded bug '%s' in %s (a counterexample MUST be found)\n" fname
+    Fps.name;
+  let r =
+    Ck.run ~mode:Ck.Dpor ~max_schedules ?step_limit ~init
+      ~queue:(fps_faulted_ops fault ~max_failures)
+      ~scripts ()
+  in
+  match r.Ck.failure with
+  | Some f ->
+      let path =
+        write_counterexample ~out_dir ~queue_name:"kp-fps" ~scenario_name f
+      in
+      Printf.printf
+        "  found after %d schedules: %s\n\
+        \  shrunk to %d decisions; counterexample written to %s\n"
+        r.Ck.schedules f.Ck.message (shrunk_length f) path
+  | None ->
+      Printf.printf
+        "  NOT FOUND after %d schedules — the seeded bug escaped the checker\n"
+        r.Ck.schedules;
+      exit 1
+
+let run_dpor queue max_schedules out_dir fault =
+  match fault with
+  | Some fname -> run_dpor_fault fname max_schedules out_dir
+  | None -> run_dpor_clean queue max_schedules out_dir
+
 (* Stall demonstration: thread 0 freezes mid-enqueue forever; under the
    wait-free queue its operation still completes. *)
 let run_stall queue =
@@ -180,7 +350,8 @@ let run_stall queue =
         (match res.S.outcome with
         | S.All_finished -> "all finished"
         | S.Only_stalled_left -> "only stalled thread left"
-        | S.Step_limit_hit -> "STEP LIMIT (no progress!)");
+        | S.Step_limit_hit -> "STEP LIMIT (no progress!)"
+        | S.Aborted -> "aborted (unexpected)");
       let drained = ref [] in
       let rec drain () =
         match S.ignore_yields (fun () -> ops.deq q ~tid:1) with
@@ -255,6 +426,42 @@ let seeds_arg =
   let doc = "Adversarial random schedules per data point." in
   Arg.(value & opt int 300 & info [ "seeds" ] ~doc)
 
+let dpor_queue_arg =
+  let doc =
+    "Queue to check: ms, kp-base, kp-opt12, kp-hp. kp-base's Help_all \
+     slow path has million-trace scenarios; expect the cap."
+  in
+  Arg.(value & opt string "kp-opt12" & info [ "queue" ] ~docv:"NAME" ~doc)
+
+let max_schedules_arg =
+  let doc = "Cap on explored schedules per scenario." in
+  Arg.(value & opt int 200_000 & info [ "max-schedules" ] ~doc)
+
+let out_arg =
+  let doc = "Directory for counterexample trace files (CI artifacts)." in
+  Arg.(
+    value
+    & opt string "_counterexamples"
+    & info [ "out" ] ~docv:"DIR" ~doc)
+
+let fault_arg =
+  let doc =
+    "Check the fast-path/slow-path queue with the named seeded bug \
+     (no-claim or stale-helper) reinstated; the run succeeds only if a \
+     counterexample is found, shrunk, and written to --out."
+  in
+  Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"BUG" ~doc)
+
+let dpor_cmd =
+  Cmd.v
+    (Cmd.info "dpor"
+       ~doc:
+         "DPOR model checking: one schedule per Mazurkiewicz trace, every \
+          schedule checked for linearizability and conservation, shrunk \
+          counterexamples written as artifacts.")
+    Term.(const run_dpor $ dpor_queue_arg $ max_schedules_arg $ out_arg
+          $ fault_arg)
+
 let explore_cmd =
   Cmd.v
     (Cmd.info "explore" ~doc:"Systematic preemption-bounded exploration.")
@@ -287,4 +494,6 @@ let () =
       ~doc:"Model checking for the wait-free queue reproduction."
   in
   exit
-    (Cmd.eval (Cmd.group info [ explore_cmd; fuzz_cmd; stall_cmd; steps_cmd ]))
+    (Cmd.eval
+       (Cmd.group info
+          [ dpor_cmd; explore_cmd; fuzz_cmd; stall_cmd; steps_cmd ]))

@@ -58,6 +58,17 @@ let default_tuning = Kp_queue.default_tuning
 
 let default_max_failures = 64
 
+(* Test-only seeded bugs (model-checker calibration): each reinstates a
+   known-fatal deviation from the protocol so the test suite can prove
+   the checker finds it. Never set in production code. *)
+type fault =
+  | Stale_helper_caller_phase
+      (* help_slot passes the caller's bound down instead of the
+         descriptor's own phase — the PR 2 livelock, un-fixed *)
+  | Fast_deq_no_claim
+      (* fast-path dequeue swings head MS-style without claiming the
+         sentinel's deq_tid — races slow dequeues into duplication *)
+
 module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   module N = Kp_internals.Make (A)
   open N
@@ -86,6 +97,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
     phase_policy : phase_policy;
     tuning : tuning;
     max_failures : int;
+    fault : fault option; (* test-only seeded bug, None in production *)
     help_cursor : int array;
     num_threads : int;
     (* Single-writer per-tid statistics (exact at quiescence). *)
@@ -96,7 +108,8 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   let name = "kp-fps"
 
   let create_with ?(tuning = default_tuning)
-      ?(max_failures = default_max_failures) ~help ~phase ~num_threads () =
+      ?(max_failures = default_max_failures) ?fault ~help ~phase ~num_threads
+      () =
     if num_threads <= 0 then invalid_arg "Kp_queue_fps.create: num_threads";
     if max_failures < 0 then
       invalid_arg "Kp_queue_fps.create: max_failures must be >= 0";
@@ -116,6 +129,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
       phase_policy = phase;
       tuning;
       max_failures;
+      fault;
       help_cursor = Array.make num_threads 0;
       num_threads;
       fast_hits = Array.make num_threads 0;
@@ -300,9 +314,14 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
      of this. *)
   let help_slot t i phase =
     let desc = P.get t.state.(i) in
-    if desc.pending && desc.phase <= phase then
-      if desc.enqueue then help_enq t i desc.phase
-      else help_deq t i desc.phase
+    if desc.pending && desc.phase <= phase then begin
+      let bound =
+        match t.fault with
+        | Some Stale_helper_caller_phase -> phase (* seeded bug *)
+        | _ -> desc.phase
+      in
+      if desc.enqueue then help_enq t i bound else help_deq t i bound
+    end
 
   let run_help t ~tid ~phase =
     match t.help_policy with
@@ -439,10 +458,19 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
             match next with
             | None -> attempt (failures + 1) (* transient view *)
             | Some n ->
-                (* Claim the sentinel with the fast-path marker; the
-                   successful CAS is the linearization point — shared
-                   with slow-path dequeues, which claim with their tid. *)
-                if
+                if t.fault = Some Fast_deq_no_claim then
+                  (* Seeded bug: pure MS dequeue, no deq_tid claim — can
+                     deliver an element a slow dequeue already owns. *)
+                  if A.compare_and_set t.head first n then begin
+                    t.fast_hits.(tid) <- t.fast_hits.(tid) + 1;
+                    n.value
+                  end
+                  else attempt (failures + 1)
+                else if
+                  (* Claim the sentinel with the fast-path marker; the
+                     successful CAS is the linearization point — shared
+                     with slow-path dequeues, which claim with their
+                     tid. *)
                   A.compare_and_set first.deq_tid (-1)
                     (t.num_threads + tid)
                 then begin

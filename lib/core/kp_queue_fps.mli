@@ -37,6 +37,20 @@ val default_max_failures : int
     of failed CAS rounds the helping scheme is cheaper than continued
     spinning, and a small budget keeps the worst-case latency tight). *)
 
+(** Test-only seeded bugs: each reinstates a known-fatal deviation from
+    the fast/slow compatibility handshake (docs/FASTPATH.md), so the
+    model checker's ability to find and shrink them is itself testable.
+    Never pass in production code. *)
+type fault =
+  | Stale_helper_caller_phase
+      (** helpers help at the caller's phase bound instead of the
+          descriptor's own — the livelock documented in
+          docs/FASTPATH.md, un-fixed *)
+  | Fast_deq_no_claim
+      (** fast-path dequeues swing [head] without claiming the
+          sentinel's [deq_tid] — races a slow dequeue that already
+          claimed the same sentinel into delivering one element twice *)
+
 module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
   type 'a t
 
@@ -50,6 +64,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
   val create_with :
     ?tuning:tuning ->
     ?max_failures:int ->
+    ?fault:fault ->
     help:help_policy ->
     phase:phase_policy ->
     num_threads:int ->
@@ -58,7 +73,8 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
   (** [max_failures] is the number of failed fast-path rounds tolerated
       before falling back (default {!default_max_failures}); [0] skips
       the fast path entirely, degenerating to {!Kp_queue} behaviour.
-      Raises [Invalid_argument] for [num_threads <= 0], negative
+      [fault] (default [None]) injects a {!fault} — tests only. Raises
+      [Invalid_argument] for [num_threads <= 0], negative
       [max_failures], or a non-positive chunk size. *)
 
   val enqueue : 'a t -> tid:int -> 'a -> unit

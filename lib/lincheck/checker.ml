@@ -98,3 +98,12 @@ let is_linearizable ops =
 (** Render a non-linearizable history for diagnostics. *)
 let pp_history fmt ops =
   List.iter (fun c -> Format.fprintf fmt "%a@." History.pp_completed c) ops
+
+(** Render a verdict: the witness linearization order, or the marker. *)
+let pp_verdict fmt = function
+  | Not_linearizable -> Format.pp_print_string fmt "NOT LINEARIZABLE"
+  | Linearizable order ->
+      Format.fprintf fmt "@[<v>linearizable; witness order:@,%a@]"
+        (Format.pp_print_list (fun fmt (c : History.completed) ->
+             Format.fprintf fmt "  %a" History.pp_completed c))
+        order

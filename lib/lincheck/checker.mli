@@ -19,3 +19,8 @@ val check : History.completed list -> verdict
 val is_linearizable : History.completed list -> bool
 
 val pp_history : Format.formatter -> History.completed list -> unit
+
+val pp_verdict : Format.formatter -> verdict -> unit
+(** The witness linearization order, or a NOT LINEARIZABLE marker —
+    used by the model-checking CLI ([wfq_check dpor]) to report what the
+    checker concluded about a schedule's history. *)

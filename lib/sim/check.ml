@@ -1,0 +1,197 @@
+(** The Explore × Lincheck driver: model-check a queue implementation
+    end to end.
+
+    Given a queue's operations and per-fiber scripts, this module builds
+    the simulator scenario ({!Scheduler} fibers that record a
+    {!Wfq_lincheck.History}), explores its schedules ({!Dpor} by
+    default), and on {e every} explored schedule checks
+
+    - {e element conservation}: multiset of enqueued values = dequeued
+      values + final queue contents;
+    - {e linearizability}: the recorded history passes the Wing & Gong
+      checker against the sequential FIFO specification;
+    - optionally {e wait-freedom}: with [step_bound], no fiber may take
+      more than that many scheduler steps in any schedule — the
+      schedule-independent per-operation bound of the paper's Theorem,
+      certified over the whole explored schedule space.
+
+    Failures are shrunk to a minimal forced replay automatically
+    ({!Shrink}). *)
+
+module S = Scheduler
+module H = Wfq_lincheck.History
+module C = Wfq_lincheck.Checker
+
+type script = [ `Enq of int | `Deq ] list
+
+type 'q ops = {
+  create : num_threads:int -> 'q;
+  enqueue : 'q -> tid:int -> int -> unit;
+  dequeue : 'q -> tid:int -> int option;
+  contents : 'q -> int list;
+}
+
+type mode =
+  | Dpor  (** one schedule per Mazurkiewicz trace; exhaustive coverage *)
+  | Exhaustive  (** every interleaving — tiny scenarios only *)
+  | Preemption_bounded of int
+  | Pct of { count : int; change_points : int }
+  | Fuzz of { seed0 : int; count : int }
+
+type failure = {
+  message : string;
+  forced : int list;  (** the failing schedule, replayable as-is *)
+  shrunk : Shrink.t option;
+}
+
+type report = {
+  schedules : int;
+  exhausted : bool;
+  max_fiber_steps : int;
+      (** the largest per-fiber step count seen across all explored
+          schedules — the empirical wait-freedom bound for the scenario *)
+  failure : failure option;
+}
+
+let ops_in scripts init =
+  List.length init + List.fold_left (fun n s -> n + List.length s) 0 scripts
+
+(* Build the fiber vector + post-run check for one execution. Shared
+   with every exploration mode and with the shrinker, so all replay the
+   same scenario. *)
+let make_scenario ~queue:ops ~scripts ~init ?step_bound ?extra_check
+    ~max_fiber_steps () =
+  let num_threads = List.length scripts in
+  let q = ops.create ~num_threads in
+  let hist = H.create () in
+  (* Pre-filled elements enter the history as enqueues by a synthetic
+     thread that completed before any fiber started, so both the FIFO
+     spec and conservation account for them. *)
+  S.ignore_yields (fun () ->
+      List.iter
+        (fun v ->
+          H.call hist ~thread:num_threads (H.Enq v);
+          ops.enqueue q ~tid:0 v;
+          H.return hist ~thread:num_threads H.Done)
+        init);
+  let fiber tid script () =
+    List.iter
+      (function
+        | `Enq v ->
+            H.call hist ~thread:tid (H.Enq v);
+            ops.enqueue q ~tid v;
+            H.return hist ~thread:tid H.Done
+        | `Deq -> (
+            H.call hist ~thread:tid H.Deq;
+            match ops.dequeue q ~tid with
+            | Some v -> H.return hist ~thread:tid (H.Got v)
+            | None -> H.return hist ~thread:tid H.Empty))
+      script
+  in
+  let check (result : S.result) =
+    Array.iter
+      (fun s -> if s > !max_fiber_steps then max_fiber_steps := s)
+      result.S.steps;
+    let step_ok =
+      match step_bound with
+      | None -> Ok ()
+      | Some bound ->
+          let worst = Array.fold_left max 0 result.S.steps in
+          if worst <= bound then Ok ()
+          else
+            Error
+              (Printf.sprintf
+                 "wait-freedom violation: a fiber took %d steps (bound %d)"
+                 worst bound)
+    in
+    match step_ok with
+    | Error _ as e -> e
+    | Ok () -> (
+        let completed = H.completed hist in
+        let enqueued =
+          List.filter_map
+            (fun (c : H.completed) ->
+              match c.H.op with H.Enq v -> Some v | H.Deq -> None)
+            completed
+        in
+        let dequeued =
+          List.filter_map
+            (fun (c : H.completed) ->
+              match c.H.response with
+              | H.Got v -> Some v
+              | H.Done | H.Empty -> None)
+            completed
+        in
+        let left = S.ignore_yields (fun () -> ops.contents q) in
+        let sort = List.sort compare in
+        if sort enqueued <> sort (dequeued @ left) then
+          Error
+            (Printf.sprintf "conservation violated: %d enq, %d deq, %d left"
+               (List.length enqueued) (List.length dequeued)
+               (List.length left))
+        else if not (C.is_linearizable completed) then
+          Error (Format.asprintf "not linearizable:@.%a" C.pp_history completed)
+        else
+          match extra_check with
+          | None -> Ok ()
+          | Some f -> S.ignore_yields (fun () -> f q))
+  in
+  (Array.of_list (List.mapi fiber scripts), check)
+
+let run ?(mode = Dpor) ?max_schedules ?step_limit ?step_bound
+    ?(shrink = true) ?(init = []) ?extra_check ~queue ~scripts () =
+  if scripts = [] then invalid_arg "Check.run: no scripts";
+  if ops_in scripts init > 62 then
+    invalid_arg
+      "Check.run: more than 62 operations (the linearizability checker's \
+       bitmask limit)";
+  let max_fiber_steps = ref 0 in
+  let make () =
+    make_scenario ~queue ~scripts ~init ?step_bound ?extra_check
+      ~max_fiber_steps ()
+  in
+  let schedules, exhausted, raw_failure =
+    match mode with
+    | Dpor ->
+        let r = Dpor.explore ?max_executions:max_schedules ?step_limit ~make () in
+        (r.Dpor.schedules, r.Dpor.exhausted, r.Dpor.failure)
+    | Exhaustive ->
+        let r = Explore.exhaustive ?max_schedules ?step_limit ~make () in
+        (r.Explore.schedules, r.Explore.exhausted, r.Explore.failure)
+    | Preemption_bounded budget ->
+        let r =
+          Explore.preemption_bounded ~budget ?max_schedules ?step_limit ~make
+            ()
+        in
+        (r.Explore.schedules, r.Explore.exhausted, r.Explore.failure)
+    | Pct { count; change_points } ->
+        let r = Explore.pct ~count ~change_points ?step_limit ~make () in
+        (r.Explore.schedules, r.Explore.exhausted, r.Explore.failure)
+    | Fuzz { seed0; count } ->
+        let r = Explore.fuzz ~seed0 ~count ?step_limit ~make () in
+        (r.Explore.schedules, r.Explore.exhausted, r.Explore.failure)
+  in
+  let failure =
+    Option.map
+      (fun (forced, message) ->
+        let shrunk =
+          if shrink then
+            match Shrink.shrink ?step_limit ~make ~forced () with
+            | s -> Some s
+            | exception Invalid_argument _ ->
+                (* e.g. a PCT failure whose trace does not replay under
+                   the default continuation strategy: keep it unshrunk *)
+                None
+          else None
+        in
+        { message; forced; shrunk })
+      raw_failure
+  in
+  { schedules; exhausted; max_fiber_steps = !max_fiber_steps; failure }
+
+let pp_failure ppf f =
+  match f.shrunk with
+  | Some s -> Shrink.pp ppf s
+  | None ->
+      Format.fprintf ppf "@[<v>failing schedule (%d decisions, unshrunk):@,%s@]"
+        (List.length f.forced) f.message

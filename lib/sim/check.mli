@@ -1,0 +1,77 @@
+(** The Explore × Lincheck driver: model-check a queue implementation
+    end to end — build the scenario, explore its schedules ({!Dpor} by
+    default), and on every explored schedule check element conservation,
+    linearizability ({!Wfq_lincheck}), and optionally a per-fiber step
+    bound (wait-freedom certification). Failures arrive pre-shrunk. *)
+
+type script = [ `Enq of int | `Deq ] list
+
+type 'q ops = {
+  create : num_threads:int -> 'q;
+  enqueue : 'q -> tid:int -> int -> unit;
+  dequeue : 'q -> tid:int -> int option;
+  contents : 'q -> int list;  (** quiescent snapshot, oldest first *)
+}
+
+type mode =
+  | Dpor  (** one schedule per Mazurkiewicz trace; exhaustive coverage *)
+  | Exhaustive  (** every interleaving — tiny scenarios only *)
+  | Preemption_bounded of int
+  | Pct of { count : int; change_points : int }
+  | Fuzz of { seed0 : int; count : int }
+
+type failure = {
+  message : string;
+  forced : int list;  (** the failing schedule, replayable as-is *)
+  shrunk : Shrink.t option;
+}
+
+type report = {
+  schedules : int;
+  exhausted : bool;
+  max_fiber_steps : int;
+      (** the largest per-fiber step count seen across all explored
+          schedules — the empirical wait-freedom bound for the scenario *)
+  failure : failure option;
+}
+
+val make_scenario :
+  queue:'q ops ->
+  scripts:script list ->
+  init:int list ->
+  ?step_bound:int ->
+  ?extra_check:('q -> (unit, string) result) ->
+  max_fiber_steps:int ref ->
+  unit ->
+  (unit -> unit) array * (Scheduler.result -> (unit, string) result)
+(** The underlying scenario builder ([make] in {!Explore}/{!Dpor}
+    terms), exposed for tests that drive an explorer directly. One fiber
+    per script (fiber id = tid); [init] values are pre-enqueued outside
+    the scheduled run and recorded as history of a synthetic thread. *)
+
+val run :
+  ?mode:mode ->
+  ?max_schedules:int ->
+  ?step_limit:int ->
+  ?step_bound:int ->
+  ?shrink:bool ->
+  ?init:int list ->
+  ?extra_check:('q -> (unit, string) result) ->
+  queue:'q ops ->
+  scripts:script list ->
+  unit ->
+  report
+(** Explore and check the scenario. [step_bound] turns on the
+    wait-freedom certifier: any schedule in which some fiber exceeds the
+    bound is a failure. [extra_check] runs per schedule after the
+    built-in checks, outside the scheduler (yields ignored). [shrink]
+    (default true) delta-debugs any failing schedule. Total operation
+    count (scripts + init) is capped at 62 by the linearizability
+    checker.
+
+    Under [Dpor], [max_schedules] bounds total executions (complete +
+    pruned); a [step_limit] hit is reported as a livelock/starvation
+    failure. *)
+
+val pp_failure : Format.formatter -> failure -> unit
+(** The shrunk schedule when available, otherwise the raw message. *)

@@ -1,0 +1,305 @@
+(** Dynamic partial-order reduction (Flanagan & Godefroid, POPL 2005)
+    with sleep sets (Godefroid's thesis), over the stateless re-execution
+    machinery of {!Scheduler}.
+
+    Two schedules are equivalent (same Mazurkiewicz trace) when they
+    order every pair of {e dependent} accesses — same location, at least
+    one write — identically; independent accesses commute without
+    changing any fiber's view of memory. Exhaustive enumeration executes
+    every schedule, [C(a+b, a)]-many for two fibers of a and b steps;
+    DPOR executes one per trace. The algorithm:
+
+    - run a schedule to completion under a {!Scheduler.Guided} strategy,
+      recording each decision's enabled fibers and their pending
+      accesses in a DFS stack;
+    - compute happens-before over the executed accesses with vector
+      clocks; for every pair of {e racing} accesses (dependent,
+      different fibers, not already ordered through intermediaries),
+      insert a backtrack point at the earlier access's decision node, so
+      the reversal of that race gets explored;
+    - backtrack depth-first through unexplored candidates, replaying the
+      decision prefix and continuing fresh below it;
+    - sleep sets prune schedules that merely commute independent
+      accesses of already-explored branches: a fully-explored sibling
+      choice goes to sleep and stays asleep until a dependent access
+      executes; picking a sleeping fiber can only reproduce an explored
+      trace, so such runs abort early (counted as [redundant]).
+
+    Completeness relies on the program being {e schedule-deterministic}:
+    a fiber's behaviour may depend only on what it reads from shared
+    cells. This holds for anything built over {!Sim_atomic}. *)
+
+module S = Scheduler
+module IntSet = Set.Make (Int)
+
+type report = {
+  schedules : int;
+      (** complete executions — with [exhausted = true], exactly the
+          number of Mazurkiewicz traces of the program *)
+  redundant : int;  (** executions aborted early by sleep-set pruning *)
+  exhausted : bool;  (** false when [max_executions] stopped the search *)
+  failure : (int list * string) option;
+      (** first failing schedule (as a [Scheduler.run ~forced] replay
+          covering every decision of the run) and its message *)
+}
+
+(* One node of the DFS stack: a scheduling decision of the current
+   execution prefix, with the exploration state DPOR accumulates for
+   it. *)
+type node = {
+  mutable n_enabled : (int * S.access option) array;
+      (* enabled fibers at this decision (ascending id) with the access
+         each would perform next; refreshed on every replay because
+         location ids are allocated per execution *)
+  mutable chosen : int; (* fiber id currently being explored *)
+  mutable chosen_index : int; (* index of [chosen] in [n_enabled] *)
+  mutable backtrack : IntSet.t; (* fiber ids scheduled for exploration *)
+  mutable done_ : IntSet.t; (* fiber ids fully explored *)
+  sleep : IntSet.t; (* sleep set on entry to this node *)
+}
+
+(* Growable stack of nodes; [len] is the depth of the current prefix. *)
+type stack = { mutable arr : node array; mutable len : int }
+
+let push st nd =
+  let cap = Array.length st.arr in
+  if st.len = cap then begin
+    let arr = Array.make (max 16 (2 * cap)) nd in
+    Array.blit st.arr 0 arr 0 st.len;
+    st.arr <- arr
+  end;
+  st.arr.(st.len) <- nd;
+  st.len <- st.len + 1
+
+let pending_access node fid =
+  let n = Array.length node.n_enabled in
+  let rec go i =
+    if i >= n then None
+    else
+      let id, a = node.n_enabled.(i) in
+      if id = fid then a else go (i + 1)
+  in
+  go 0
+
+let index_of node fid =
+  let n = Array.length node.n_enabled in
+  let rec go i =
+    if i >= n then invalid_arg "Dpor: fiber not enabled"
+    else if fst node.n_enabled.(i) = fid then i
+    else go (i + 1)
+  in
+  go 0
+
+(* Dependence: same location and at least one of the two writes. An
+   access-free slice (None) is independent of everything. *)
+let conflicts a b =
+  match (a, b) with
+  | Some a, Some b ->
+      a.S.loc = b.S.loc && not (a.S.kind = S.Read && b.S.kind = S.Read)
+  | _ -> false
+
+let same_enabled (xs : (int * S.access option) array) ys =
+  Array.length xs = Array.length ys
+  && Array.for_all2 (fun (i, _) (j, _) -> i = j) xs ys
+
+let classify (result : S.result) check =
+  match (result.S.error, result.S.outcome) with
+  | Some e, _ -> Some ("exception: " ^ Printexc.to_string e)
+  | None, S.Step_limit_hit -> Some "step limit hit (starvation or livelock)"
+  | None, S.Only_stalled_left ->
+      Some "stalled fibers left (unexpected in exploration)"
+  | None, S.Aborted -> None (* sleep-set pruned: redundant, not a failure *)
+  | None, S.All_finished -> (
+      match check result with Ok () -> None | Error msg -> Some msg)
+
+(* Post-run happens-before analysis over the completed execution held in
+   [st]: vector clocks per fiber, last-write + reads-since-last-write per
+   location, backtrack insertion at every reversible race (all racing
+   pairs, a sound superset of Flanagan-Godefroid's "last racing event";
+   sleep sets absorb the duplicates). *)
+let analyze st nfibers =
+  let len = st.len in
+  let fiber_clock = Array.init nfibers (fun _ -> Array.make nfibers (-1)) in
+  let event_clock = Array.make len [||] in
+  let last_write : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let reads_since : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  for d = 0 to len - 1 do
+    let nd = st.arr.(d) in
+    let p = nd.chosen in
+    match pending_access nd p with
+    | None -> () (* access-free slice: program order only *)
+    | Some a ->
+        let pre = fiber_clock.(p) in
+        let lw = Hashtbl.find_opt last_write a.S.loc in
+        let rs =
+          match Hashtbl.find_opt reads_since a.S.loc with
+          | Some l -> l
+          | None -> []
+        in
+        let candidates =
+          (* events this one depends on directly: the last write always;
+             for a (semi-)write, also every read since that write *)
+          (match lw with Some i -> [ i ] | None -> [])
+          @ (if a.S.kind = S.Read then [] else rs)
+        in
+        List.iter
+          (fun i ->
+            let ni = st.arr.(i) in
+            let q = ni.chosen in
+            if q <> p && pre.(q) < i then begin
+              (* a race: i and d are adjacent in the dependence order and
+                 unordered by happens-before — schedule its reversal *)
+              if Array.exists (fun (id, _) -> id = p) ni.n_enabled then
+                ni.backtrack <- IntSet.add p ni.backtrack
+              else
+                Array.iter
+                  (fun (id, _) -> ni.backtrack <- IntSet.add id ni.backtrack)
+                  ni.n_enabled
+            end)
+          candidates;
+        let cv = Array.copy pre in
+        let join i =
+          let c = event_clock.(i) in
+          for f = 0 to nfibers - 1 do
+            if c.(f) > cv.(f) then cv.(f) <- c.(f)
+          done
+        in
+        (match lw with Some i -> join i | None -> ());
+        if a.S.kind <> S.Read then List.iter join rs;
+        cv.(p) <- d;
+        fiber_clock.(p) <- cv;
+        event_clock.(d) <- cv;
+        if a.S.kind = S.Read then
+          Hashtbl.replace reads_since a.S.loc (d :: rs)
+        else begin
+          Hashtbl.replace last_write a.S.loc d;
+          Hashtbl.replace reads_since a.S.loc []
+        end
+  done
+
+let explore ?(max_executions = 1_000_000) ?(step_limit = 100_000)
+    ~(make :
+       unit ->
+       (unit -> unit) array * (S.result -> (unit, string) result)) () =
+  let st = { arr = [||]; len = 0 } in
+  let completed = ref 0 and redundant = ref 0 in
+
+  (* One execution: replay the stack prefix (each node's current
+     [chosen]), then extend with fresh nodes, defaulting to the first
+     enabled fiber not in the sleep set. *)
+  let run_one () =
+    let fibers, check = make () in
+    let depth = ref 0 in
+    let sleep = ref IntSet.empty in
+    let guide (ctx : S.guided_ctx) =
+      let d = !depth in
+      incr depth;
+      let enabled = Array.of_list ctx.S.g_enabled in
+      let node =
+        if d < st.len then begin
+          let nd = st.arr.(d) in
+          if not (same_enabled nd.n_enabled enabled) then
+            invalid_arg
+              "Dpor: enabled sets differ on replay (program is not \
+               schedule-deterministic)";
+          (* Location ids are per-execution (cells are reallocated by
+             every [make]), so refresh the stored accesses: the replayed
+             prefix is behaviourally identical, only the numbering
+             changes. *)
+          nd.n_enabled <- enabled;
+          nd
+        end
+        else begin
+          let rec pick i =
+            if i >= Array.length enabled then None
+            else
+              let id, _ = enabled.(i) in
+              if IntSet.mem id !sleep then pick (i + 1) else Some (i, id)
+          in
+          match pick 0 with
+          | None ->
+              (* every enabled fiber is asleep: any continuation repeats
+                 an explored trace *)
+              raise S.Abort_run
+          | Some (i, id) ->
+              let nd =
+                {
+                  n_enabled = enabled;
+                  chosen = id;
+                  chosen_index = i;
+                  backtrack = IntSet.singleton id;
+                  done_ = IntSet.empty;
+                  sleep = !sleep;
+                }
+              in
+              push st nd;
+              nd
+        end
+      in
+      (* Sleep-set transition: explored siblings (and inherited
+         sleepers) stay asleep below this choice unless the executed
+         access conflicts with their pending one. *)
+      let a = pending_access node node.chosen in
+      sleep :=
+        IntSet.filter
+          (fun q ->
+            q <> node.chosen && not (conflicts (pending_access node q) a))
+          (IntSet.union node.sleep node.done_);
+      node.chosen_index
+    in
+    let result = S.run ~strategy:(S.Guided guide) ~step_limit fibers in
+    (result, check)
+  in
+
+  (* DFS backtracking: the deepest node's explored choice moves to
+     [done_]; switch it to the next backtrack candidate not yet explored
+     and not asleep on entry, or pop and repeat. *)
+  let rec next_branch () =
+    if st.len = 0 then false
+    else begin
+      let nd = st.arr.(st.len - 1) in
+      nd.done_ <- IntSet.add nd.chosen nd.done_;
+      let avail =
+        IntSet.diff (IntSet.diff nd.backtrack nd.done_) nd.sleep
+      in
+      match IntSet.min_elt_opt avail with
+      | None ->
+          st.len <- st.len - 1;
+          next_branch ()
+      | Some c ->
+          nd.chosen <- c;
+          nd.chosen_index <- index_of nd c;
+          true
+    end
+  in
+
+  let report exhausted failure =
+    {
+      schedules = !completed;
+      redundant = !redundant;
+      exhausted;
+      failure;
+    }
+  in
+  let rec drive first =
+    if (not first) && not (next_branch ()) then report true None
+    else if !completed + !redundant >= max_executions then report false None
+    else begin
+      let result, check = run_one () in
+      match result.S.outcome with
+      | S.Aborted ->
+          incr redundant;
+          drive false
+      | _ -> (
+          incr completed;
+          match classify result check with
+          | Some msg ->
+              report false
+                (Some (List.map (fun (_, i, _) -> i) result.S.trace, msg))
+          | None ->
+              let nfibers = Array.length result.S.steps in
+              analyze st nfibers;
+              drive false)
+    end
+  in
+  drive true

@@ -1,0 +1,37 @@
+(** Dynamic partial-order reduction (Flanagan & Godefroid) with sleep
+    sets: exhaustive-equivalent exploration that executes one schedule
+    per Mazurkiewicz trace instead of one per interleaving, driven
+    through {!Scheduler}'s [Guided] strategy and the access metadata
+    {!Sim_atomic} attaches to every yield.
+
+    Soundness requires fibers to be schedule-deterministic: behaviour
+    may depend only on values read from shared cells (true of anything
+    built over {!Sim_atomic}). Nondeterminism is detected and reported
+    as [Invalid_argument]. *)
+
+type report = {
+  schedules : int;
+      (** complete executions — with [exhausted = true], exactly the
+          number of Mazurkiewicz traces of the program *)
+  redundant : int;  (** executions aborted early by sleep-set pruning *)
+  exhausted : bool;  (** false when [max_executions] stopped the search *)
+  failure : (int list * string) option;
+      (** first failing schedule (as a [Scheduler.run ~forced] replay
+          covering every decision of the run) and its message *)
+}
+
+val explore :
+  ?max_executions:int ->
+  ?step_limit:int ->
+  make:
+    (unit ->
+    (unit -> unit) array * (Scheduler.result -> (unit, string) result)) ->
+  unit ->
+  report
+(** Explore every Mazurkiewicz trace of the program. [make] is called
+    once per execution and must return fresh state: the fiber vector and
+    a post-run check (exactly as for {!Explore}). A run that hits
+    [step_limit] (default 100,000) is reported as a failure — under
+    systematic exploration that is a starvation/livelock witness.
+    [max_executions] (default 1,000,000) bounds complete + pruned
+    executions together. *)

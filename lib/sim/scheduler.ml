@@ -23,11 +23,42 @@
 
     Single-domain use only; a run is not reentrant. *)
 
+type access_kind = Read | Write | Rmw
+
+type access = { loc : int; kind : access_kind }
+(* [loc] is the cell identity ({!Sim_atomic} allocates them from a
+   counter); ids are only meaningful within one execution. *)
+
+let pp_access_kind ppf = function
+  | Read -> Format.pp_print_string ppf "R"
+  | Write -> Format.pp_print_string ppf "W"
+  | Rmw -> Format.pp_print_string ppf "U"
+
+let pp_access ppf a = Format.fprintf ppf "%a#%d" pp_access_kind a.kind a.loc
+
 type _ Effect.t += Yield : unit Effect.t
+type _ Effect.t += Yield_access : access -> unit Effect.t
 
 (* Performed by Sim_atomic before every shared access; also usable
    directly by test fibers to add schedule points. *)
 let yield () = Effect.perform Yield
+let yield_access a = Effect.perform (Yield_access a)
+
+exception Abort_run
+(* Raised by a [Guided] callback to cut the current execution short
+   (e.g. DPOR sleep-set pruning); the run finishes with {!Aborted}
+   after cleanly unwinding every paused fiber. *)
+
+type guided_ctx = {
+  g_step : int;  (** scheduling decisions taken so far (0-based index) *)
+  g_enabled : (int * access option) list;
+      (** enabled fibers in ascending id order: (fiber id, the shared
+          access it will perform when resumed next, or [None] when its
+          next slice performs none — first slice or final return) *)
+  g_cur : int;
+      (** index of the previously-running fiber within [g_enabled], or
+          -1 if it is not enabled *)
+}
 
 type strategy =
   | First_enabled  (** always pick the lowest-id enabled fiber *)
@@ -46,6 +77,11 @@ type strategy =
           running fiber's priority drops below everyone's. Hits any bug
           of preemption depth d = change_points+1 with probability at
           least 1/(n * k^(d-1)). *)
+  | Guided of (guided_ctx -> int)
+      (** the callback picks the enabled-list index to run at every
+          decision, seeing each enabled fiber's pending shared access —
+          the hook {!Dpor} drives exploration through. It may raise
+          {!Abort_run} to end the run with {!Aborted}. *)
 
 type resume_state =
   | Fresh of (unit -> unit)
@@ -57,6 +93,9 @@ type fiber = {
   mutable resume : resume_state;
   mutable steps : int;
   mutable stalled : bool;
+  mutable next_access : access option;
+      (* the shared access this paused fiber will perform when resumed,
+         as reported by the Yield_access it paused on *)
 }
 
 type outcome =
@@ -65,6 +104,17 @@ type outcome =
       (** the run exceeded its step budget: starvation/deadlock signal *)
   | Only_stalled_left
       (** every non-stalled fiber finished while stalled ones remain *)
+  | Aborted
+      (** a [Guided] callback raised {!Abort_run} (sleep-set pruning) *)
+
+type decision = {
+  d_enabled : (int * access option) list;
+      (** the enabled fibers at this decision, ascending id order, each
+          with the shared access its next slice performs (if any) *)
+  d_chosen : int;  (** fiber id that was resumed *)
+  d_index : int;  (** index of the chosen fiber within [d_enabled] *)
+  d_access : access option;  (** the access the chosen slice performed *)
+}
 
 type result = {
   outcome : outcome;
@@ -77,6 +127,9 @@ type result = {
           if it is not enabled). Replaying the chosen indices through
           [forced] reproduces the run; the third component lets
           {!Explore} count preemptions. *)
+  decisions : decision list;
+      (** the same decisions with fiber ids and access metadata — what
+          {!Dpor} analyses and {!Shrink} pretty-prints *)
   error : exn option;  (** first exception raised inside a fiber *)
 }
 
@@ -92,6 +145,7 @@ type t = {
   resume_stalled : bool;
   mutable forced : int list; (* replay prefix: enabled-list indices *)
   mutable trace_rev : (int * int * int) list;
+  mutable decisions_rev : decision list;
   mutable last_run : int; (* fiber id of the last resumed fiber, or -1 *)
   mutable total_steps : int;
   mutable rr_cursor : int;
@@ -118,6 +172,12 @@ let start_fiber t fiber thunk =
           | Yield ->
               Some
                 (fun (k : (a, _) Effect.Deep.continuation) ->
+                  fiber.next_access <- None;
+                  fiber.resume <- Paused k)
+          | Yield_access acc ->
+              Some
+                (fun (k : (a, _) Effect.Deep.continuation) ->
+                  fiber.next_access <- Some acc;
                   fiber.resume <- Paused k)
           | _ -> None);
     }
@@ -125,6 +185,9 @@ let start_fiber t fiber thunk =
 let resume_fiber t (fiber : fiber) =
   fiber.steps <- fiber.steps + 1;
   t.total_steps <- t.total_steps + 1;
+  (* If the slice runs to completion without yielding again, no stale
+     pending access must survive. *)
+  fiber.next_access <- None;
   match fiber.resume with
   | Fresh thunk -> start_fiber t fiber thunk
   | Paused k ->
@@ -155,6 +218,9 @@ let index_of_fiber enabled id =
 let choose t enabled =
   let n = List.length enabled in
   let cur = index_of_fiber enabled t.last_run in
+  let enabled_acc =
+    List.map (fun (f : fiber) -> (f.id, f.next_access)) enabled
+  in
   let idx =
     match t.forced with
     | i :: rest ->
@@ -187,10 +253,25 @@ let choose t enabled =
                   best_prio := t.pct_priorities.(f.id)
                 end)
               enabled;
-            !best)
+            !best
+        | Guided g ->
+            let i =
+              g { g_step = t.total_steps; g_enabled = enabled_acc; g_cur = cur }
+            in
+            if i < 0 || i >= n then
+              invalid_arg "Scheduler: guided choice out of range";
+            i)
   in
   t.trace_rev <- (n, idx, cur) :: t.trace_rev;
   let f = List.nth enabled idx in
+  t.decisions_rev <-
+    {
+      d_enabled = enabled_acc;
+      d_chosen = f.id;
+      d_index = idx;
+      d_access = f.next_access;
+    }
+    :: t.decisions_rev;
   t.last_run <- f.id;
   f
 
@@ -212,6 +293,7 @@ let finish t outcome =
     steps = Array.map (fun (f : fiber) -> f.steps) t.fibers;
     total_steps = t.total_steps;
     trace = List.rev t.trace_rev;
+    decisions = List.rev t.decisions_rev;
     error = t.error;
   }
 
@@ -239,10 +321,12 @@ let rec loop t =
           loop t
         end
         else finish t Only_stalled_left
-    | enabled ->
-        let fiber = choose t enabled in
-        resume_fiber t fiber;
-        loop t
+    | enabled -> (
+        match choose t enabled with
+        | exception Abort_run -> finish t Aborted
+        | fiber ->
+            resume_fiber t fiber;
+            loop t)
   end
 
 (** Run [f] with {!Yield} handled as a no-op: lets test code call
@@ -257,6 +341,10 @@ let ignore_yields f =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
           | Yield ->
+              Some
+                (fun (k : (a, _) Effect.Deep.continuation) ->
+                  Effect.Deep.continue k ())
+          | Yield_access _ ->
               Some
                 (fun (k : (a, _) Effect.Deep.continuation) ->
                   Effect.Deep.continue k ())
@@ -277,19 +365,26 @@ let run ?(strategy = First_enabled) ?(step_limit = 1_000_000)
     match strategy with
     | Random_seeded s -> s
     | Pct { seed; _ } -> seed
-    | First_enabled | Round_robin | Nonpreemptive -> 0
+    | First_enabled | Round_robin | Nonpreemptive | Guided _ -> 0
   in
   let t =
     {
       fibers =
         Array.init n (fun id ->
-            { id; resume = Fresh thunks.(id); steps = 0; stalled = false });
+            {
+              id;
+              resume = Fresh thunks.(id);
+              steps = 0;
+              stalled = false;
+              next_access = None;
+            });
       strategy;
       step_limit;
       stall_after;
       resume_stalled;
       forced;
       trace_rev = [];
+      decisions_rev = [];
       last_run = -1;
       total_steps = 0;
       rr_cursor = 0;
@@ -317,5 +412,6 @@ let run ?(strategy = First_enabled) ?(step_limit = 1_000_000)
           (1 + Wfq_primitives.Rng.below t.rng (max 1 expected_length))
           ()
       done
-  | First_enabled | Round_robin | Random_seeded _ | Nonpreemptive -> ());
+  | First_enabled | Round_robin | Random_seeded _ | Nonpreemptive | Guided _ ->
+      ());
   loop t

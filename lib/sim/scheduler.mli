@@ -9,12 +9,45 @@
 
     A run is single-domain and not reentrant. *)
 
+type access_kind = Read | Write | Rmw
+(** [Rmw] covers CAS / exchange / fetch-and-add: conflicts with both
+    reads and writes. A failed CAS is conservatively still [Rmw]. *)
+
+type access = { loc : int; kind : access_kind }
+(** One shared-memory access: [loc] identifies the cell ({!Sim_atomic}
+    numbers cells in allocation order, so ids are only comparable within
+    a single execution). *)
+
+val pp_access : Format.formatter -> access -> unit
+(** Prints e.g. [R#12], [W#3], [U#7] (U = read-modify-write). *)
+
 type _ Effect.t += Yield : unit Effect.t
+type _ Effect.t += Yield_access : access -> unit Effect.t
 
 val yield : unit -> unit
 (** Hand control back to the scheduler. Performed by {!Sim_atomic} before
     every shared access; test fibers may also call it directly to insert
     extra schedule points. *)
+
+val yield_access : access -> unit
+(** Like {!yield}, additionally telling the scheduler which shared
+    access the fiber performs immediately after being resumed — the
+    metadata {!Dpor} computes happens-before from. *)
+
+exception Abort_run
+(** A [Guided] callback may raise this to end the run early with outcome
+    {!Aborted}; paused fibers are still unwound cleanly. *)
+
+type guided_ctx = {
+  g_step : int;  (** scheduling decisions taken so far (0-based index) *)
+  g_enabled : (int * access option) list;
+      (** enabled fibers in ascending id order: (fiber id, the shared
+          access its next slice performs, or [None] for an access-free
+          slice — fiber startup or final return) *)
+  g_cur : int;
+      (** index of the previously-running fiber within [g_enabled], or
+          -1 if it is not enabled *)
+}
 
 type strategy =
   | First_enabled  (** always pick the lowest-id enabled fiber *)
@@ -31,6 +64,11 @@ type strategy =
           priority drops below everyone's. Hits any bug of preemption
           depth [change_points + 1] with probability at least
           1/(n * expected_length^change_points). *)
+  | Guided of (guided_ctx -> int)
+      (** the callback picks the enabled-list index to run at every
+          decision, seeing each enabled fiber's pending shared access —
+          the hook {!Dpor} drives exploration through. It may raise
+          {!Abort_run} to end the run with {!Aborted}. *)
 
 type outcome =
   | All_finished
@@ -38,6 +76,16 @@ type outcome =
       (** the run exceeded its step budget: starvation/deadlock signal *)
   | Only_stalled_left
       (** every non-stalled fiber finished while stalled ones remain *)
+  | Aborted  (** a [Guided] callback raised {!Abort_run} *)
+
+type decision = {
+  d_enabled : (int * access option) list;
+      (** the enabled fibers at this decision, ascending id order, each
+          with the shared access its next slice performs (if any) *)
+  d_chosen : int;  (** fiber id that was resumed *)
+  d_index : int;  (** index of the chosen fiber within [d_enabled] *)
+  d_access : access option;  (** the access the chosen slice performed *)
+}
 
 type result = {
   outcome : outcome;
@@ -49,6 +97,9 @@ type result = {
           of the previously-running fiber within the enabled list, or -1
           if it is not enabled). Replaying the chosen indices through
           [forced] reproduces the run. *)
+  decisions : decision list;
+      (** the same decisions with fiber ids and access metadata — what
+          {!Dpor} analyses and {!Shrink} pretty-prints *)
   error : exn option;  (** first exception raised inside a fiber *)
 }
 

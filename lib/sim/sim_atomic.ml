@@ -1,33 +1,46 @@
 (** Simulator implementation of {!Wfq_primitives.Atomic_intf.ATOMIC}.
 
     Cells are plain references — the simulator is single-domain — but
-    every access first performs {!Scheduler.Yield}, making each shared
-    read/write/CAS an individual scheduling point. Instantiating a queue
-    functor with this module therefore exposes every interleaving of its
-    shared-memory accesses to the scheduler, which is exactly the
-    granularity of the paper's atomic-step model (§5.1).
+    every access first performs {!Scheduler.Yield_access}, making each
+    shared read/write/CAS an individual scheduling point. Instantiating
+    a queue functor with this module therefore exposes every
+    interleaving of its shared-memory accesses to the scheduler, which
+    is exactly the granularity of the paper's atomic-step model (§5.1).
+
+    Each cell carries a unique location id (allocation order within the
+    process), and each access is tagged Read/Write/Rmw — the metadata
+    {!Dpor}'s happens-before analysis keys on. Ids are only comparable
+    within one execution: re-running [make] allocates fresh ids.
 
     [compare_and_set] uses physical equality, like [Stdlib.Atomic] (and
     like Java reference CAS); for immediates such as [int], physical and
-    structural equality coincide. *)
+    structural equality coincide. A failed CAS is conservatively still
+    an Rmw access (sound for DPOR, merely less reduction). *)
 
-type 'a t = { mutable contents : 'a }
+type 'a t = { mutable contents : 'a; loc : int }
 
-let make v = { contents = v }
+let loc_counter = ref 0
+
+let make v =
+  incr loc_counter;
+  { contents = v; loc = !loc_counter }
 
 let get r =
-  Scheduler.yield ();
+  Scheduler.yield_access { Scheduler.loc = r.loc; kind = Scheduler.Read };
   r.contents
 
 (* Non-yielding read for assertions outside a scheduled run. *)
 let peek r = r.contents
 
+(* Location id, for tests that assert on conflict detection. *)
+let loc_id r = r.loc
+
 let set r v =
-  Scheduler.yield ();
+  Scheduler.yield_access { Scheduler.loc = r.loc; kind = Scheduler.Write };
   r.contents <- v
 
 let compare_and_set r expected desired =
-  Scheduler.yield ();
+  Scheduler.yield_access { Scheduler.loc = r.loc; kind = Scheduler.Rmw };
   if r.contents == expected then begin
     r.contents <- desired;
     true
@@ -35,13 +48,13 @@ let compare_and_set r expected desired =
   else false
 
 let exchange r v =
-  Scheduler.yield ();
+  Scheduler.yield_access { Scheduler.loc = r.loc; kind = Scheduler.Rmw };
   let old = r.contents in
   r.contents <- v;
   old
 
 let fetch_and_add r d =
-  Scheduler.yield ();
+  Scheduler.yield_access { Scheduler.loc = r.loc; kind = Scheduler.Rmw };
   let old = r.contents in
   r.contents <- old + d;
   old

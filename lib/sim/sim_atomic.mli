@@ -1,9 +1,17 @@
 (** Simulator implementation of [Wfq_primitives.Atomic_intf.ATOMIC]:
-    plain cells whose every access first performs {!Scheduler.Yield},
-    making each shared read/write/CAS an individual scheduling point —
-    the paper's atomic-step execution model (§5.1), made executable. *)
+    plain cells whose every access first performs
+    {!Scheduler.Yield_access}, making each shared read/write/CAS an
+    individual scheduling point — the paper's atomic-step execution
+    model (§5.1), made executable. Accesses carry a per-cell location id
+    and a Read/Write/Rmw kind, feeding {!Dpor}'s happens-before
+    analysis. *)
 
 include Wfq_primitives.Atomic_intf.ATOMIC
 
 val peek : 'a t -> 'a
 (** Non-yielding read for assertions outside a scheduled run. *)
+
+val loc_id : 'a t -> int
+(** The cell's location id as reported in {!Scheduler.access}. Ids are
+    assigned in allocation order and only comparable within one
+    execution. *)

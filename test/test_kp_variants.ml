@@ -119,6 +119,53 @@ let test_variant_systematic (name, help, phase, tuning) () =
   | None -> ());
   Alcotest.(check bool) (name ^ ": exhausted") true report.E.exhausted
 
+(* Wait-freedom certification: every §3.3 knob, DPOR-exhaustive over the
+   enq|deq scenario, with the per-fiber step bound asserted on every
+   explored schedule (Wfq_sim.Check's certifier — the currency of the
+   paper's step-complexity theorem). A variant that could livelock or
+   starve under some schedule would blow the bound or hit the step
+   limit. *)
+module Ck = Wfq_sim.Check
+
+let certified_step_bound = 64
+
+let variant_sim_ops (help, phase, tuning) : _ Ck.ops =
+  {
+    Ck.create =
+      (fun ~num_threads ->
+        KpSim.create_with ~tuning ~help ~phase ~num_threads ());
+    enqueue = (fun q ~tid v -> KpSim.enqueue q ~tid v);
+    dequeue = (fun q ~tid -> KpSim.dequeue q ~tid);
+    contents = KpSim.to_list;
+  }
+
+let test_variant_certified (name, help, phase, tuning) () =
+  (* Help_all × Phase_scan reads every slot twice per helping round, so
+     its enq|deq trace space runs to ~1M Mazurkiewicz traces (measured:
+     gc-friendly 995,830, validate-cas 406,134 — both clean but tens of
+     seconds). Those two certify under <=3 preemptions instead; the
+     cyclic/chunked variants are cheap enough for full DPOR. *)
+  let mode =
+    match help with
+    | Help_all -> Ck.Preemption_bounded 3
+    | Help_one_cyclic | Help_chunk _ -> Ck.Dpor
+  in
+  let r =
+    Ck.run ~mode ~max_schedules:100_000 ~step_bound:certified_step_bound
+      ~queue:(variant_sim_ops (help, phase, tuning))
+      ~scripts:[ [ `Enq 1 ]; [ `Deq ] ]
+      ()
+  in
+  (match r.Ck.failure with
+  | None -> ()
+  | Some f -> Alcotest.failf "%s: %a" name Ck.pp_failure f);
+  Alcotest.(check bool) (name ^ ": every trace explored") true r.Ck.exhausted;
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: certified bound %d covers the observed max %d" name
+       certified_step_bound r.Ck.max_fiber_steps)
+    true
+    (r.Ck.max_fiber_steps <= certified_step_bound)
+
 (* gc_friendly semantics: the descriptor drops its node reference as soon
    as the operation returns. *)
 let test_gc_friendly_clears_descriptor () =
@@ -202,6 +249,12 @@ let () =
           (fun ((name, _, _, _) as v) ->
             Alcotest.test_case (name ^ " <=2 preemptions") `Quick
               (test_variant_systematic v))
+          variants );
+      ( "certified",
+        List.map
+          (fun ((name, help, phase, tuning) as _v) ->
+            Alcotest.test_case (name ^ " wait-freedom certified") `Quick
+              (test_variant_certified (name, help, phase, tuning)))
           variants );
       ( "gc-friendly",
         [

@@ -256,6 +256,80 @@ let cases =
       ])
     queues
 
+(* Sim-based linearizability rows for the hazard-pointer variant: the
+   recycling protocol mutates node fields, so a protocol race corrupts
+   history observably — exactly what the Explore × Lincheck driver
+   checks on every explored schedule. DPOR covers the one-op-per-fiber
+   scenario exhaustively; the two-op scenarios use bounded-preemption
+   and fuzz modes (their full trace spaces are beyond any budget). Every
+   row also runs the wait-freedom certifier (per-fiber step bound). *)
+module SA = Wfq_sim.Sim_atomic
+module Ck = Wfq_sim.Check
+module Hp_sim = Wfq_core.Kp_queue_hp.Make (SA)
+
+let hp_sim_ops : _ Ck.ops =
+  {
+    Ck.create =
+      (fun ~num_threads ->
+        (* Tiny pool and eager scans: maximum recycling pressure. *)
+        Hp_sim.create ~scan_threshold:1 ~pool_capacity:64 ~num_threads ());
+    enqueue = (fun q ~tid v -> Hp_sim.enqueue q ~tid v);
+    dequeue = (fun q ~tid -> Hp_sim.dequeue q ~tid);
+    contents = Hp_sim.to_list;
+  }
+
+let check_hp_clean name (r : Ck.report) =
+  (match r.Ck.failure with
+  | None -> ()
+  | Some f ->
+      Alcotest.failf "%s: %a" name Ck.pp_failure f);
+  Alcotest.(check bool) (name ^ ": exhausted") true r.Ck.exhausted
+
+let test_hp_sim_enq_deq_dpor () =
+  check_hp_clean "kp-hp enq|deq under dpor"
+    (Ck.run ~mode:Ck.Dpor ~max_schedules:50_000 ~step_bound:100
+       ~queue:hp_sim_ops
+       ~scripts:[ [ `Enq 1 ]; [ `Deq ] ]
+       ())
+
+let test_hp_sim_deq_race_pb () =
+  check_hp_clean "kp-hp deq|deq under <=2 preemptions"
+    (Ck.run ~mode:(Ck.Preemption_bounded 2) ~max_schedules:100_000
+       ~step_bound:160 ~init:[ 1; 2 ] ~queue:hp_sim_ops
+       ~scripts:[ [ `Deq ]; [ `Deq ] ]
+       ())
+
+let test_hp_sim_pairs_pb () =
+  check_hp_clean "kp-hp pairs under <=2 preemptions"
+    (Ck.run ~mode:(Ck.Preemption_bounded 2) ~max_schedules:100_000
+       ~step_bound:200 ~queue:hp_sim_ops
+       ~scripts:[ [ `Enq 1; `Deq ]; [ `Enq 2; `Deq ] ]
+       ())
+
+let test_hp_sim_pairs_fuzz () =
+  let r =
+    Ck.run
+      ~mode:(Ck.Fuzz { seed0 = 17; count = 2_000 })
+      ~step_bound:200 ~queue:hp_sim_ops
+      ~scripts:[ [ `Enq 1; `Deq ]; [ `Enq 2; `Deq ] ]
+      ()
+  in
+  match r.Ck.failure with
+  | None -> ()
+  | Some f -> Alcotest.failf "kp-hp fuzz: %a" Ck.pp_failure f
+
+let hp_sim_cases =
+  [
+    Alcotest.test_case "kp-hp enq|deq: dpor-exhaustive lincheck" `Quick
+      test_hp_sim_enq_deq_dpor;
+    Alcotest.test_case "kp-hp deq|deq: bounded-preemption lincheck" `Quick
+      test_hp_sim_deq_race_pb;
+    Alcotest.test_case "kp-hp pairs: bounded-preemption lincheck" `Quick
+      test_hp_sim_pairs_pb;
+    Alcotest.test_case "kp-hp pairs: fuzz lincheck" `Quick
+      test_hp_sim_pairs_fuzz;
+  ]
+
 (* SPSC gets its own shape: exactly one producer and one consumer. *)
 let test_spsc_stream () =
   let module Spsc = Wfq_core.Spsc_queue.Make (A) in
@@ -290,6 +364,7 @@ let () =
   Alcotest.run "queues-concurrent"
     [
       ("domains", cases);
+      ("sim-lincheck (kp-hp)", hp_sim_cases);
       ( "spsc",
         [ Alcotest.test_case "ordered stream of 50k" `Quick test_spsc_stream ]
       );

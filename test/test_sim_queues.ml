@@ -291,7 +291,8 @@ let test_kp_helping_completes_stalled_enqueue () =
     let res = S.run ~stalls:[ (0, stall_at) ] fibers in
     (match res.S.outcome with
     | S.Only_stalled_left | S.All_finished -> ()
-    | S.Step_limit_hit -> Alcotest.fail "helper failed to make progress");
+    | S.Step_limit_hit | S.Aborted ->
+        Alcotest.fail "helper failed to make progress");
     let contents = S.ignore_yields (fun () -> Kp.to_list q) in
     (* Thread 1's own operation must always complete (wait-freedom). *)
     Alcotest.(check bool)
@@ -336,7 +337,8 @@ let test_kp_helping_completes_stalled_dequeue () =
     let res = S.run ~stalls:[ (0, stall_at) ] fibers in
     (match res.S.outcome with
     | S.Only_stalled_left | S.All_finished -> ()
-    | S.Step_limit_hit -> Alcotest.fail "helper failed to make progress");
+    | S.Step_limit_hit | S.Aborted ->
+        Alcotest.fail "helper failed to make progress");
     incr attempts;
     (* Thread 1's dequeue always completes; if thread 0 stalls after both
        its enqueues finished and its dequeue descriptor was published,

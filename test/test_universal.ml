@@ -131,7 +131,8 @@ let test_stalled_operation_is_threaded () =
     in
     let res = S.run ~stalls:[ (0, stall_at) ] fibers in
     (match res.S.outcome with
-    | S.Step_limit_hit -> Alcotest.fail "peer failed to make progress"
+    | S.Step_limit_hit | S.Aborted ->
+        Alcotest.fail "peer failed to make progress"
     | S.All_finished | S.Only_stalled_left -> ());
     incr total;
     let contents = S.ignore_yields (fun () -> UqSim.to_list q) in
