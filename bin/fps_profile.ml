@@ -21,12 +21,19 @@ module Fps = Wfq_core.Kp_queue_fps.Make (A)
 
 let iters = 1_000_000
 
+(* Words/pair via [Gc.minor_words] deltas: single-domain, so the
+   counter is exact for the loop. The allocation column attributes the
+   heap-churn side of the decomposition the same way the ns column
+   attributes time (and, unlike the times, it is deterministic). *)
 let time name f =
+  let w0 = Gc.minor_words () in
   let t0 = Unix.gettimeofday () in
   f ();
   let t1 = Unix.gettimeofday () in
-  Printf.printf "%-28s %8.1f ns/pair\n%!" name
+  let w1 = Gc.minor_words () in
+  Printf.printf "%-28s %8.1f ns/pair %8.1f words/pair\n%!" name
     ((t1 -. t0) *. 1e9 /. float_of_int iters)
+    ((w1 -. w0) /. float_of_int iters)
 
 (* MS with KP-shaped nodes; [claim] adds the sentinel claim CAS. This is
    a costing rig, not a usable queue (the claim is never consumed by a
@@ -115,6 +122,20 @@ let () =
       done);
   time "FPS (full fast path)" (fun () ->
       let q = Fps.create ~num_threads:1 () in
+      for i = 1 to iters do
+        Fps.enqueue q ~tid:0 i;
+        ignore (Fps.dequeue q ~tid:0)
+      done);
+  (* One more ingredient: the segment pool. Words/pair should collapse
+     to near zero (nodes are recycled, not minted); the ns column prices
+     the pool bookkeeping the recycling costs in exchange. *)
+  time "FPS pooled" (fun () ->
+      let q =
+        Fps.create_with ~pool:true
+          ~max_failures:Wfq_core.Kp_queue_fps.default_max_failures
+          ~help:Wfq_core.Kp_queue_fps.Help_one_cyclic
+          ~phase:Wfq_core.Kp_queue_fps.Phase_counter ~num_threads:1 ()
+      in
       for i = 1 to iters do
         Fps.enqueue q ~tid:0 i;
         ignore (Fps.dequeue q ~tid:0)

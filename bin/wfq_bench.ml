@@ -142,9 +142,13 @@ let run_shard paper threads iters runs sizes csv json =
     print_endline "wrote BENCH_shard.json"
   end
 
-(* Fast-path/slow-path series: WF fps and its max_failures sweep vs the
-   acceptance baselines (LF, base WF, opt WF (1+2)) on the strict pairs
-   workload. Same canonical environment as the shard bench. *)
+let prefix_labels p =
+  List.map (fun s -> { s with R.label = p ^ ":" ^ s.R.label })
+
+(* Fast-path/slow-path series: WF fps (unpooled and pooled) and its
+   max_failures sweep vs the acceptance baselines (LF, base WF, opt WF
+   (1+2)) on the strict pairs workload. Same canonical environment as
+   the shard bench. *)
 let run_fps paper threads iters runs sizes csv json =
   let minor_words = (Gc.get ()).Gc.minor_heap_size in
   if minor_words < canonical_minor_heap_words then
@@ -159,8 +163,10 @@ let run_fps paper threads iters runs sizes csv json =
     else scale
   in
   let title = "Fast-path/slow-path: enqueue-dequeue pairs" in
-  let series = F.fps_scaling ~scale () in
-  emit ~csv ~title ~y_label:"seconds" series;
+  let { F.time; minor_gcs } = F.fps_scaling_gc ~scale () in
+  emit ~csv ~title ~y_label:"seconds" time;
+  emit ~csv ~title:"Fast-path/slow-path: minor collections per run"
+    ~y_label:"minor gcs" minor_gcs;
   if json then begin
     let meta =
       [
@@ -171,12 +177,80 @@ let run_fps paper threads iters runs sizes csv json =
         ("runs", string_of_int scale.runs);
         ("aggregation", "median, interleaved run order");
         ("minor_heap_words", string_of_int minor_words);
-        ("y", "seconds");
+        ("y", "seconds; minor-gcs: series are collections per run");
       ]
     in
-    R.write_json ~path:"BENCH_fps.json" ~title ~meta series;
+    R.write_json ~path:"BENCH_fps.json" ~title ~meta
+      (time @ prefix_labels "minor-gcs" minor_gcs);
     print_endline "wrote BENCH_fps.json"
   end
+
+(* Allocation-rate decomposition: words/op and induced GC work of each
+   family's headline member vs its segment-pooled counterpart. Unlike
+   the timing benches this is robust to host noise — allocation counts
+   are near-deterministic — so it is also the CI guard's data source
+   (pooled must never allocate more words/op than unpooled). *)
+let run_alloc paper threads iters runs sizes csv json =
+  let minor_words = (Gc.get ()).Gc.minor_heap_size in
+  if minor_words < canonical_minor_heap_words then
+    Printf.eprintf
+      "note: minor heap is %d words; the canonical alloc-bench \
+       environment is OCAMLRUNPARAM='s=8M' (see EXPERIMENTS.md).\n%!"
+      minor_words;
+  let scale = build_scale paper threads iters runs sizes in
+  let scale =
+    if threads = None && not paper then
+      { scale with threads = [ 1; 2; 4; 8 ] }
+    else scale
+  in
+  let title = "Allocation decomposition: enqueue-dequeue pairs" in
+  let a = F.alloc_decomposition ~scale () in
+  emit ~csv ~title:"Allocation: minor-heap words per operation"
+    ~y_label:"words/op" a.F.words_per_op;
+  emit ~csv ~title:"Allocation: words promoted to the major heap per op"
+    ~y_label:"promoted/op" a.F.promoted_per_op;
+  emit ~csv ~title:"Allocation: minor collections per run"
+    ~y_label:"minor gcs" a.F.minor_collections;
+  emit ~csv ~title:"Allocation: major collections per run"
+    ~y_label:"major gcs" a.F.major_collections;
+  if json then begin
+    let meta =
+      [
+        ("workload", "pairs");
+        ("threads",
+         String.concat "," (List.map string_of_int scale.threads));
+        ("iters", string_of_int scale.iters);
+        ("runs", string_of_int scale.runs);
+        ("aggregation", "median, interleaved run order");
+        ("minor_heap_words", string_of_int minor_words);
+        ("y",
+         "per series-label prefix: words_per_op, promoted_per_op \
+          (words/operation); minor_gcs, major_gcs (collections/run)");
+      ]
+    in
+    R.write_json ~path:"BENCH_alloc.json" ~title ~meta
+      (prefix_labels "words_per_op" a.F.words_per_op
+      @ prefix_labels "promoted_per_op" a.F.promoted_per_op
+      @ prefix_labels "minor_gcs" a.F.minor_collections
+      @ prefix_labels "major_gcs" a.F.major_collections);
+    print_endline "wrote BENCH_alloc.json"
+  end
+
+let alloc_cmd =
+  let term =
+    Term.(
+      const run_alloc
+      $ paper_arg $ threads_arg $ iters_arg $ runs_arg $ sizes_arg $ csv_arg
+      $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "alloc"
+       ~doc:
+         "Allocation-rate decomposition: minor-heap words/op, promoted \
+          words/op and collection counts for LF / opt WF (1+2) / WF fps \
+          against their segment-pooled counterparts; --json writes \
+          BENCH_alloc.json.")
+    term
 
 let fps_cmd =
   let term =
@@ -199,26 +273,35 @@ let fps_cmd =
 let run_figures paper threads iters runs sizes csv json =
   let minor_words = (Gc.get ()).Gc.minor_heap_size in
   let scale = build_scale paper threads iters runs sizes in
-  let series = F.all_figures ~scale () in
-  let split prefix =
-    List.filter_map
-      (fun s ->
-        let p = prefix ^ ":" in
-        let n = String.length p in
-        if String.length s.R.label > n && String.sub s.R.label 0 n = p then
-          Some { s with R.label = String.sub s.R.label n
-                                    (String.length s.R.label - n) }
-        else None)
-      series
-  in
+  (* The _gc variants project time and GC activity from the same runs,
+     so the GC columns cost no extra benchmarking. *)
+  let f7 = F.fig7_gc ~scale () in
+  let f8 = F.fig8_gc ~scale () in
+  let f9 = F.fig9_gc ~scale () in
+  let f10 = F.fig10 ~scale () in
   emit ~csv ~title:"Figure 7: enqueue-dequeue pairs" ~y_label:"seconds"
-    (split "fig7");
-  emit ~csv ~title:"Figure 8: 50% enqueues" ~y_label:"seconds" (split "fig8");
+    f7.F.time;
+  emit ~csv ~title:"Figure 7 (GC): minor collections per run"
+    ~y_label:"minor gcs" f7.F.minor_gcs;
+  emit ~csv ~title:"Figure 8: 50% enqueues" ~y_label:"seconds" f8.F.time;
+  emit ~csv ~title:"Figure 8 (GC): minor collections per run"
+    ~y_label:"minor gcs" f8.F.minor_gcs;
   emit ~csv ~title:"Figure 9: impact of the optimizations" ~y_label:"seconds"
-    (split "fig9");
+    f9.F.time;
+  emit ~csv ~title:"Figure 9 (GC): minor collections per run"
+    ~y_label:"minor gcs" f9.F.minor_gcs;
   R.print_table ~title:"Figure 10: live space overhead (WF / LF)"
-    ~x_label:"queue size" ~y_label:"live-words ratio" (split "fig10");
+    ~x_label:"queue size" ~y_label:"live-words ratio" f10;
   if json then begin
+    let series =
+      prefix_labels "fig7" f7.F.time
+      @ prefix_labels "fig7-minor-gcs" f7.F.minor_gcs
+      @ prefix_labels "fig8" f8.F.time
+      @ prefix_labels "fig8-minor-gcs" f8.F.minor_gcs
+      @ prefix_labels "fig9" f9.F.time
+      @ prefix_labels "fig9-minor-gcs" f9.F.minor_gcs
+      @ prefix_labels "fig10" f10
+    in
     let meta =
       [
         ("workloads", "fig7/fig9 pairs; fig8 p_enq; fig10 live-space ratio");
@@ -229,7 +312,9 @@ let run_figures paper threads iters runs sizes csv json =
         ("aggregation", "mean, sequential run order");
         ("minor_heap_words", string_of_int minor_words);
         ("x", "threads for fig7-9 labels; initial queue size for fig10");
-        ("y", "seconds for fig7-9; live-words ratio for fig10");
+        ("y",
+         "seconds for fig7-9; live-words ratio for fig10; figN-minor-gcs \
+          series are minor collections per run");
       ]
     in
     R.write_json ~path:"BENCH_figures.json"
@@ -283,6 +368,7 @@ let cmds =
       "All implementations on the pairs benchmark (extension).";
     shard_cmd;
     fps_cmd;
+    alloc_cmd;
     figures_cmd;
     figure_cmd `All "all" "Every figure in sequence.";
   ]

@@ -12,28 +12,108 @@
     descriptor to finish — only [tail] to advance. Slow-path (and all
     base-KP) nodes carry the enqueuer's real tid.
 
+    To support node recycling ([Segment_pool]) the once-written fields
+    ([value], [enq_tid]) are mutable — still written only by the
+    allocating enqueuer before the node is published — and [deq_tid]
+    holds an {e epoch-tagged} word ([Counted_atomic.Epoch]): payload =
+    the claiming tid (or [no_tid]), epoch = the node's incarnation.
+    Epoch 0 packs to the raw value, so unpooled queues (which never
+    recycle and stay at epoch 0) see exactly the historical
+    representation. [recycle] bumps the incarnation, which is what
+    makes a stalled helper's claim CAS on a recycled node fail instead
+    of ABA-claiming the new incarnation.
+
     The traversal observers are quiescent-use-only, exactly as in the
     individual queues' interfaces. *)
 
+module Epoch = Wfq_primitives.Counted_atomic.Epoch
+
 module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   type 'a node = {
-    value : 'a option;
+    mutable value : 'a option;
     next : 'a node option A.t;
-    enq_tid : int;
+    mutable enq_tid : int;
     deq_tid : int A.t;
+    (* Intrusive [Segment_pool] storage: the free-list/quarantine link
+       (self-referential when unlinked) and the retire-epoch stamp.
+       Owned by the pool while the node is retired; dead storage while
+       the node is live. *)
+    mutable pool_next : 'a node;
+    mutable pool_stamp : int;
   }
 
   (** [enq_tid] of the sentinel and of fast-path nodes; also the
-      unclaimed state of every [deq_tid]. *)
+      unclaimed payload of every [deq_tid]. *)
   let no_tid = -1
 
+  (* [pool_next] needs a self-reference at creation (the type has no
+     null); hoisting the [A.make] calls leaves a statically-constructive
+     [let rec]. *)
   let make_sentinel () =
-    { value = None; next = A.make None; enq_tid = no_tid;
-      deq_tid = A.make no_tid }
+    let next = A.make None in
+    let deq_tid = A.make no_tid in
+    let rec n =
+      { value = None; next; enq_tid = no_tid; deq_tid; pool_next = n;
+        pool_stamp = 0 }
+    in
+    n
 
   let make_node ~enq_tid value =
-    { value = Some value; next = A.make None; enq_tid;
-      deq_tid = A.make no_tid }
+    let next = A.make None in
+    let deq_tid = A.make no_tid in
+    let rec n =
+      { value = Some value; next; enq_tid; deq_tid; pool_next = n;
+        pool_stamp = 0 }
+    in
+    n
+
+  let pool_ops =
+    {
+      Wfq_primitives.Segment_pool.get_next = (fun n -> n.pool_next);
+      set_next = (fun n m -> n.pool_next <- m);
+      get_stamp = (fun n -> n.pool_stamp);
+      set_stamp = (fun n s -> n.pool_stamp <- s);
+    }
+
+  (* ------------------------------------------------------------------ *)
+  (* Epoch-tagged claim protocol                                        *)
+  (* ------------------------------------------------------------------ *)
+
+  (** The claiming tid of [node] (or [no_tid]), stripped of its epoch. *)
+  let claimed_tid node = Epoch.value (A.get node.deq_tid)
+
+  (** One claim attempt. [observed] is [node]'s claim word as read {e
+      when the caller obtained its reference to [node]} (i.e. when it
+      read [head]); the CAS expects that exact word, so it validates
+      payload ("still unclaimed") and epoch ("still the incarnation I
+      saw") atomically. A helper that stalled across a recycle holds an
+      old incarnation's word: its CAS fails instead of ABA-claiming the
+      new incarnation. When [observed] is already claimed the CAS is
+      skipped entirely — same single-CAS budget as the historical
+      [compare_and_set deq_tid (-1) tid], keeping the §3.3 RMW cost
+      model intact. *)
+  let try_claim node ~observed ~tid =
+    Epoch.value observed = no_tid
+    && A.compare_and_set node.deq_tid observed (Epoch.with_value observed tid)
+
+  (** Reset a node for its next life: clear the payload fields and bump
+      [deq_tid] to the next incarnation's unclaimed word. Called from
+      the pool's [reset] with the node quiescent (quarantine has proven
+      no thread still holds a reference). *)
+  let recycle node =
+    node.value <- None;
+    node.enq_tid <- no_tid;
+    A.set node.next None;
+    A.set node.deq_tid (Epoch.next_incarnation (A.get node.deq_tid))
+
+  (** Recycle {e without} bumping the incarnation — the seeded fault for
+      the DPOR calibration scenario ([Untagged_pool_claim]): with the
+      tag gone, a stalled helper's claim CAS can ABA a recycled node. *)
+  let recycle_untagged node =
+    node.value <- None;
+    node.enq_tid <- no_tid;
+    A.set node.next None;
+    A.set node.deq_tid no_tid
 
   (* ------------------------------------------------------------------ *)
   (* Quiescent list observers, shared verbatim by every variant.        *)

@@ -85,13 +85,55 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
      line (see lib/primitives/padded.mli). *)
   module P = Wfq_primitives.Padded.Make (A)
 
-  (* Paper Figure 1, lines 13-24. Descriptors are immutable; state slots
-     advance by physical-equality CAS exactly like Java reference CAS. *)
+  module Pool = Wfq_primitives.Segment_pool.Make (A)
+
+  (* Paper Figure 1, lines 13-24. State slots advance by physical-
+     equality CAS exactly like Java reference CAS. The fields are
+     mutable only to support descriptor recycling (the §3.3 gc-friendly
+     reset generalized): a pooled record's fields are written by its
+     allocator {e before} it is published through the slot's atomic
+     CAS/exchange, and never after — so every reader that can reach the
+     record observes frozen values, exactly as with immutable records.
+     Stale readers that still hold a displaced record are covered by the
+     pool's quarantine: the record cannot be recycled (hence re-written)
+     until they finish their operation. *)
   type 'a op_desc = {
-    phase : int;
-    pending : bool;
-    enqueue : bool;
-    node : 'a N.node option;
+    mutable phase : int;
+    mutable pending : bool;
+    mutable enqueue : bool;
+    mutable node : 'a N.node option;
+    (* Intrusive Segment_pool link + retire stamp (see
+       Segment_pool.ops); dead storage while the descriptor is
+       published. *)
+    mutable pool_next : 'a op_desc;
+    mutable pool_stamp : int;
+  }
+
+  let fresh_desc () =
+    let rec d =
+      { phase = -1; pending = false; enqueue = true; node = None;
+        pool_next = d; pool_stamp = 0 }
+    in
+    d
+
+  let desc_ops =
+    {
+      Wfq_primitives.Segment_pool.get_next = (fun d -> d.pool_next);
+      set_next = (fun d e -> d.pool_next <- e);
+      get_stamp = (fun d -> d.pool_stamp);
+      set_stamp = (fun d s -> d.pool_stamp <- s);
+    }
+
+  (* Allocation recycling (the PR's tentpole): one pool of list nodes
+     and one of descriptors, sharing a single epoch clock — one
+     enter/exit announcement per queue operation covers both. [descs]
+     is [None] when quarantine is disabled: descriptor reuse is only
+     sound under quarantine (a stale helper still dereferences the
+     displaced record's fields), whereas node reuse with the epoch tag
+     alone is exactly what the model-checking scenario isolates. *)
+  type 'a pools = {
+    nodes : 'a N.node Pool.t;
+    descs : 'a op_desc Pool.t option;
   }
 
   type 'a t = {
@@ -106,18 +148,46 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
         (* per-tid cyclic cursor for the cyclic helping policies;
            single-writer *)
     num_threads : int;
+    pools : 'a pools option;
+    idle_desc : 'a op_desc;
+        (* the shared construction-time descriptor; never pool-released *)
   }
 
   let name = "kp-wait-free"
 
-  let create_with ?(tuning = default_tuning) ~help ~phase ~num_threads () =
+  let create_with ?(tuning = default_tuning) ?(pool = false)
+      ?pool_segment ?(pool_quarantine = true) ~help ~phase ~num_threads () =
     if num_threads <= 0 then invalid_arg "Kp_queue.create: num_threads";
     (match help with
     | Help_chunk k when k <= 0 ->
         invalid_arg "Kp_queue.create: chunk size must be positive"
     | Help_all | Help_one_cyclic | Help_chunk _ -> ());
+    (match pool_segment with
+    | Some k when k <= 0 ->
+        invalid_arg "Kp_queue.create: pool_segment must be positive"
+    | _ -> ());
     let sentinel = make_sentinel () in
-    let idle = { phase = -1; pending = false; enqueue = true; node = None } in
+    let idle = fresh_desc () in
+    let pools =
+      if not pool then None
+      else begin
+        let clock = Pool.Clock.create ~num_threads in
+        let nodes =
+          Pool.create ?segment_size:pool_segment
+            ~quarantine:pool_quarantine ~clock ~num_threads ~ops:N.pool_ops
+            ~fresh:make_sentinel ~reset:N.recycle ()
+        in
+        let descs =
+          if pool_quarantine then
+            Some
+              (Pool.create ?segment_size:pool_segment ~quarantine:true
+                 ~clock ~num_threads ~ops:desc_ops ~fresh:fresh_desc
+                 ~reset:(fun _ -> ()) ())
+          else None
+        in
+        Some { nodes; descs }
+      end
+    in
     {
       head = A.make sentinel;
       tail = A.make sentinel;
@@ -128,10 +198,84 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
       tuning;
       help_cursor = Array.make num_threads 0;
       num_threads;
+      pools;
+      idle_desc = idle;
     }
 
   let create ~num_threads () =
     create_with ~help:Help_all ~phase:Phase_scan ~num_threads ()
+
+  (* ------------------------------------------------------------------ *)
+  (* Pool plumbing. [self] is always the {e executing} thread's tid —    *)
+  (* a helper allocates and releases through its own pool slot, never    *)
+  (* the helped thread's (the slots are single-owner).                   *)
+  (* ------------------------------------------------------------------ *)
+
+  let op_enter t ~tid =
+    match t.pools with Some p -> Pool.enter p.nodes ~tid | None -> ()
+
+  let op_exit t ~tid =
+    match t.pools with Some p -> Pool.exit p.nodes ~tid | None -> ()
+
+  let alloc_node t ~self ~enq_tid value =
+    match t.pools with
+    | Some p ->
+        let n = Pool.alloc p.nodes ~tid:self in
+        n.N.value <- Some value;
+        n.N.enq_tid <- enq_tid;
+        n
+    | None -> make_node ~enq_tid value
+
+  (* Called by the unique winner of the head-swing CAS: at that point
+     the old sentinel is unreachable from the queue, and the pool's
+     quarantine keeps it intact until every in-flight operation (which
+     may still hold a reference from an earlier head read) finishes. *)
+  let release_node t ~self n =
+    match t.pools with
+    | Some p -> Pool.release p.nodes ~tid:self n
+    | None -> ()
+
+  let mk_desc t ~self ~phase ~pending ~enqueue ~node =
+    match t.pools with
+    | Some { descs = Some dp; _ } ->
+        let d = Pool.alloc dp ~tid:self in
+        d.phase <- phase;
+        d.pending <- pending;
+        d.enqueue <- enqueue;
+        d.node <- node;
+        d
+    | _ ->
+        let rec d =
+          { phase; pending; enqueue; node; pool_next = d; pool_stamp = 0 }
+        in
+        d
+
+  (* A descriptor that lost its publication CAS was never visible to
+     anyone: back to the pool immediately. *)
+  let drop_desc t ~self d =
+    match t.pools with
+    | Some { descs = Some dp; _ } -> Pool.release dp ~tid:self d
+    | _ -> ()
+
+  (* The record displaced by a successful publication. Physical-equality
+     CAS (and the owner's atomic exchange) guarantee a unique displacer
+     per record, so each is retired exactly once. *)
+  let retire_desc t ~self d =
+    if d != t.idle_desc then
+      match t.pools with
+      | Some { descs = Some dp; _ } -> Pool.release dp ~tid:self d
+      | _ -> ()
+
+  (* Owner-side publication. Unpooled: the historical plain store.
+     Pooled: an atomic exchange, so the displaced record is recovered
+     without racing a helper's completion CAS on the same slot (a plain
+     read-then-store pair could retire a record a concurrent helper
+     just displaced, double-releasing it). *)
+  let publish t ~tid d =
+    match t.pools with
+    | Some { descs = Some _; _ } ->
+        retire_desc t ~self:tid (P.exchange t.state.(tid) d)
+    | _ -> P.set t.state.(tid) d
 
   (* L48-57 *)
   let max_phase t =
@@ -162,7 +306,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
      the scheme: flip the owner's pending flag, then advance [tail]. The
      descriptor CAS (L93) can succeed more than once per node — benign,
      because the replacement descriptor is identical each time. *)
-  let help_finish_enq t =
+  let help_finish_enq t ~self =
     let last = A.get t.tail in
     let next_o = A.get last.next in
     match next_o with
@@ -181,10 +325,12 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
              a no-op — and go straight to fixing the tail. *)
           if (not t.tuning.validate_before_cas) || cur_desc.pending then begin
             let new_desc =
-              { phase = cur_desc.phase; pending = false; enqueue = true;
-                node = next_o }
+              mk_desc t ~self ~phase:cur_desc.phase ~pending:false
+                ~enqueue:true ~node:next_o
             in
-            ignore (P.compare_and_set t.state.(tid) cur_desc new_desc)
+            if P.compare_and_set t.state.(tid) cur_desc new_desc then
+              retire_desc t ~self cur_desc
+            else drop_desc t ~self new_desc
           end;
           ignore (A.compare_and_set t.tail last next)
         end
@@ -192,7 +338,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   (* L67-84: drive thread [tid]'s pending enqueue to completion. The outer
      [is_still_pending] check (L68) is what bounds the loop: it fails as
      soon as any helper completes the operation. *)
-  let rec help_enq t tid phase =
+  let rec help_enq t ~self tid phase =
     if is_still_pending t tid phase then begin
       let last = A.get t.tail in
       let next = A.get last.next in
@@ -207,16 +353,16 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
               let node = (P.get t.state.(tid)).node in
               if A.compare_and_set last.next None node then begin
                 (* L74 succeeded: the operation is linearized. *)
-                help_finish_enq t
+                help_finish_enq t ~self
               end
-              else help_enq t tid phase
+              else help_enq t ~self tid phase
             end
-            else help_enq t tid phase
+            else help_enq t ~self tid phase
         | Some _ ->
             (* L79-81: some enqueue is mid-flight; finish it, then retry. *)
-            help_finish_enq t;
-            help_enq t tid phase
-      else help_enq t tid phase
+            help_finish_enq t ~self;
+            help_enq t ~self tid phase
+      else help_enq t ~self tid phase
     end
 
   (* ------------------------------------------------------------------ *)
@@ -225,10 +371,10 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
 
   (* L141-153: finish the dequeue of whichever thread locked the sentinel
      (wrote its tid into [head]'s [deq_tid], L135). *)
-  let help_finish_deq t =
+  let help_finish_deq t ~self =
     let first = A.get t.head in
     let next = A.get first.next in
-    let tid = A.get first.deq_tid in (* L144 *)
+    let tid = N.claimed_tid first in (* L144, epoch tag stripped *)
     if tid <> -1 then begin
       let cur_desc = P.get t.state.(tid) in
       match next with
@@ -236,13 +382,19 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
           if (not t.tuning.validate_before_cas) || cur_desc.pending
           then begin
             let new_desc =
-              { phase = cur_desc.phase; pending = false; enqueue = false;
-                node = cur_desc.node }
+              mk_desc t ~self ~phase:cur_desc.phase ~pending:false
+                ~enqueue:false ~node:cur_desc.node
             in
-            ignore (P.compare_and_set t.state.(tid) cur_desc new_desc)
+            if P.compare_and_set t.state.(tid) cur_desc new_desc then
+              retire_desc t ~self cur_desc
+            else drop_desc t ~self new_desc
           end;
-          (* L150: step (3) — physically remove the old sentinel. *)
-          ignore (A.compare_and_set t.head first next_node)
+          (* L150: step (3) — physically remove the old sentinel. The
+             unique winner retires it into the pool (quarantined until
+             in-flight operations that may still hold a reference to it
+             finish). *)
+          if A.compare_and_set t.head first next_node then
+            release_node t ~self first
       | Some _ | None -> ()
     end
 
@@ -251,9 +403,15 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
      sees an empty queue (L116-121) CASes the owner's descriptor from one
      that does NOT point at the sentinel, so it cannot race with a helper
      that saw a non-empty queue and already performed stage (1). *)
-  let rec help_deq t tid phase =
+  let rec help_deq t ~self tid phase =
     if is_still_pending t tid phase then begin
       let first = A.get t.head in
+      (* Capture the sentinel's claim word {e at the same moment} as the
+         head reference: the later claim CAS expects this exact word, so
+         a node recycled in between (its incarnation epoch bumped)
+         cannot be ABA-claimed. Unpooled queues stay at epoch 0, where
+         the word is literally the historical [-1]/tid value. *)
+      let claim0 = A.get first.deq_tid in
       let last = A.get t.tail in
       let next = A.get first.next in
       if first == A.get t.head then
@@ -268,16 +426,18 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
               if last == A.get t.tail && is_still_pending t tid phase
               then begin
                 let new_desc =
-                  { phase = cur_desc.phase; pending = false;
-                    enqueue = false; node = None }
+                  mk_desc t ~self ~phase:cur_desc.phase ~pending:false
+                    ~enqueue:false ~node:None
                 in
-                ignore (P.compare_and_set t.state.(tid) cur_desc new_desc)
+                if P.compare_and_set t.state.(tid) cur_desc new_desc then
+                  retire_desc t ~self cur_desc
+                else drop_desc t ~self new_desc
               end;
-              help_deq t tid phase
+              help_deq t ~self tid phase
           | Some _ ->
               (* L122-123: an enqueue is in progress; help it first. *)
-              help_finish_enq t;
-              help_deq t tid phase
+              help_finish_enq t ~self;
+              help_deq t ~self tid phase
         end
         else begin
           (* L125-137: queue is not empty *)
@@ -291,37 +451,42 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
             if first == A.get t.head && not points_to_first then begin
               (* L129-133: stage (1) — record the current sentinel. *)
               let new_desc =
-                { phase = cur_desc.phase; pending = true; enqueue = false;
-                  node = Some first }
+                mk_desc t ~self ~phase:cur_desc.phase ~pending:true
+                  ~enqueue:false ~node:(Some first)
               in
               if not (P.compare_and_set t.state.(tid) cur_desc new_desc)
-              then help_deq t tid phase (* L132: continue *)
+              then begin
+                drop_desc t ~self new_desc;
+                help_deq t ~self tid phase (* L132: continue *)
+              end
               else begin
+                retire_desc t ~self cur_desc;
                 (* L135: stage (2) — lock the sentinel; the successful CAS
                    is the linearization point of the dequeue. *)
-                ignore (A.compare_and_set first.deq_tid (-1) tid);
-                help_finish_deq t;
-                help_deq t tid phase
+                ignore (N.try_claim first ~observed:claim0 ~tid);
+                help_finish_deq t ~self;
+                help_deq t ~self tid phase
               end
             end
             else begin
-              ignore (A.compare_and_set first.deq_tid (-1) tid);
-              help_finish_deq t;
-              help_deq t tid phase
+              ignore (N.try_claim first ~observed:claim0 ~tid);
+              help_finish_deq t ~self;
+              help_deq t ~self tid phase
             end
           end
         end
-      else help_deq t tid phase
+      else help_deq t ~self tid phase
     end
 
   (* ------------------------------------------------------------------ *)
   (* Helping policies                                                   *)
   (* ------------------------------------------------------------------ *)
 
-  let help_slot t i phase =
+  let help_slot t ~self i phase =
     let desc = P.get t.state.(i) in
     if desc.pending && desc.phase <= phase then
-      if desc.enqueue then help_enq t i phase else help_deq t i phase
+      if desc.enqueue then help_enq t ~self i phase
+      else help_deq t ~self i phase
 
   (* L36-47, or the §3.3 cyclic variant. Either way the caller's own
      operation is completed before returning. *)
@@ -329,21 +494,21 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
     match t.help_policy with
     | Help_all ->
         for i = 0 to Array.length t.state - 1 do
-          help_slot t i phase
+          help_slot t ~self:tid i phase
         done
     | Help_one_cyclic ->
         let c = t.help_cursor.(tid) in
         t.help_cursor.(tid) <- (c + 1) mod t.num_threads;
-        if c <> tid then help_slot t c phase;
-        help_slot t tid phase
+        if c <> tid then help_slot t ~self:tid c phase;
+        help_slot t ~self:tid tid phase
     | Help_chunk k ->
         let c = t.help_cursor.(tid) in
         t.help_cursor.(tid) <- (c + k) mod t.num_threads;
         for j = 0 to min k t.num_threads - 1 do
           let i = (c + j) mod t.num_threads in
-          if i <> tid then help_slot t i phase
+          if i <> tid then help_slot t ~self:tid i phase
         done;
-        help_slot t tid phase
+        help_slot t ~self:tid tid phase
 
   (* ------------------------------------------------------------------ *)
   (* Public operations                                                  *)
@@ -351,38 +516,44 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
 
   (* L61-66 *)
   let enqueue t ~tid value =
+    op_enter t ~tid;
     let phase = next_phase t in
-    let node = make_node ~enq_tid:tid value in
-    P.set t.state.(tid)
-      { phase; pending = true; enqueue = true; node = Some node };
+    let node = alloc_node t ~self:tid ~enq_tid:tid value in
+    publish t ~tid
+      (mk_desc t ~self:tid ~phase ~pending:true ~enqueue:true
+         ~node:(Some node));
     run_help t ~tid ~phase;
     (* L65: required for wait-freedom — without it a completed-but-
        unfinalized enqueue would block all future enqueues until the
        suspended helper resumes (§3.2). *)
-    help_finish_enq t;
+    help_finish_enq t ~self:tid;
     if t.tuning.gc_friendly then
       (* Enhancement 2 (§3.3): drop the node reference so the descriptor
          cannot keep the node alive once it is dequeued. Safe: the
          operation is finalized (tail advanced past our node), so any
          stale helper's guards fail before it uses this slot. *)
-      P.set t.state.(tid)
-        { phase; pending = false; enqueue = true; node = None }
+      publish t ~tid
+        (mk_desc t ~self:tid ~phase ~pending:false ~enqueue:true ~node:None);
+    op_exit t ~tid
 
   (* L98-108 *)
   let dequeue t ~tid =
+    op_enter t ~tid;
     let phase = next_phase t in
-    P.set t.state.(tid)
-      { phase; pending = true; enqueue = false; node = None };
+    publish t ~tid
+      (mk_desc t ~self:tid ~phase ~pending:true ~enqueue:false ~node:None);
     run_help t ~tid ~phase;
     (* L102: symmetric to the enqueue case — ensure [head] no longer
        refers to a node whose [deq_tid] is ours before returning. *)
-    help_finish_deq t;
+    help_finish_deq t ~self:tid;
     let result =
       match (P.get t.state.(tid)).node with
       | None -> None (* L104-105: linearized on an empty queue *)
       | Some node -> (
           (* L107: the descriptor points at the sentinel that preceded
-             our element at the linearization point. *)
+             our element at the linearization point. [node] may already
+             be pool-released by the head winner, but quarantine keeps
+             its fields intact until we exit below. *)
           match A.get node.next with
           | Some next ->
               assert (next.value <> None);
@@ -390,8 +561,9 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
           | None -> assert false)
     in
     if t.tuning.gc_friendly then
-      P.set t.state.(tid)
-        { phase; pending = false; enqueue = false; node = None };
+      publish t ~tid
+        (mk_desc t ~self:tid ~phase ~pending:false ~enqueue:false ~node:None);
+    op_exit t ~tid;
     result
 
   (* ------------------------------------------------------------------ *)
@@ -424,4 +596,20 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   (* True while the thread's descriptor still references a list node;
      with [gc_friendly] tuning it is false between operations. *)
   let holds_node_reference t ~tid = (P.get t.state.(tid)).node <> None
+
+  (* Pool telemetry (quiescent use): (reused, fresh, parked) for the
+     node pool, and the same for the descriptor pool when recycling
+     descriptors; [None] for unpooled queues. *)
+  let pool_stats t =
+    match t.pools with
+    | None -> None
+    | Some p ->
+        let line pool =
+          ( Pool.reused pool,
+            Pool.allocated_fresh pool,
+            Pool.pooled pool + Pool.quarantined pool )
+        in
+        Some
+          ( line p.nodes,
+            match p.descs with Some dp -> Some (line dp) | None -> None )
 end

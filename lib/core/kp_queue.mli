@@ -61,13 +61,30 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
 
   val create_with :
     ?tuning:tuning ->
+    ?pool:bool ->
+    ?pool_segment:int ->
+    ?pool_quarantine:bool ->
     help:help_policy ->
     phase:phase_policy ->
     num_threads:int ->
     unit ->
     'a t
   (** Full control over the §3.3 policy space. Raises [Invalid_argument]
-      for [num_threads <= 0] or a non-positive chunk size. *)
+      for [num_threads <= 0], a non-positive chunk size, or a
+      non-positive [pool_segment].
+
+      [pool] (default [false]) recycles list nodes {e and} operation
+      descriptors through per-domain {!Wfq_primitives.Segment_pool}s —
+      the §3.3 gc-friendly reset generalized to full reuse — cutting
+      steady-state allocation to the payload boxes. Claim-CAS safety
+      comes from the epoch tag in each node's [deq_tid]; pointer-CAS
+      safety from the pool's quarantine. [pool_quarantine:false]
+      disables the quarantine (and with it descriptor recycling, which
+      is only sound under quarantine), leaving the epoch tag as the sole
+      defense — meant exclusively for model-checking the tag in
+      isolation, never for production use. [pool_segment] sets the
+      carve-batch size (default
+      {!Wfq_primitives.Segment_pool.Make.default_segment_size}). *)
 
   val enqueue : 'a t -> tid:int -> 'a -> unit
   (** Wait-free linearizable FIFO insert, linearized at the successful
@@ -102,4 +119,12 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
   val holds_node_reference : 'a t -> tid:int -> bool
   (** Whether the thread's descriptor still references a list node;
       always false between operations under [gc_friendly] tuning. *)
+
+  val pool_stats :
+    'a t -> ((int * int * int) * (int * int * int) option) option
+  (** Pool telemetry at quiescence, [None] for unpooled queues:
+      [(reused, fresh, parked)] for the node pool, then the same for the
+      descriptor pool when descriptor recycling is active ([None] under
+      [pool_quarantine:false]). [parked] counts objects currently
+      sitting in free lists or quarantine. *)
 end

@@ -68,18 +68,54 @@ type fault =
   | Fast_deq_no_claim
       (* fast-path dequeue swings head MS-style without claiming the
          sentinel's deq_tid — races slow dequeues into duplication *)
+  | Untagged_pool_claim
+      (* pooled-node recycling without the epoch tag: reset restores the
+         plain -1 claim word instead of bumping the incarnation, so a
+         stalled dequeuer's claim CAS can ABA a recycled node (claim it
+         on the strength of a reference captured in its previous life).
+         Only meaningful with ~pool:true. *)
 
 module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   module N = Kp_internals.Make (A)
   open N
 
   module P = Wfq_primitives.Padded.Make (A)
+  module Pool = Wfq_primitives.Segment_pool.Make (A)
 
+  (* Mutable for the same reason as Kp_queue's: pooled records are
+     written by their allocator strictly before atomic publication and
+     never after, and quarantine keeps displaced records frozen while
+     any stale reader is still in an operation. *)
   type 'a op_desc = {
-    phase : int;
-    pending : bool;
-    enqueue : bool;
-    node : 'a N.node option;
+    mutable phase : int;
+    mutable pending : bool;
+    mutable enqueue : bool;
+    mutable node : 'a N.node option;
+    (* Intrusive Segment_pool link + retire stamp (see
+       Segment_pool.ops); dead storage while the descriptor is
+       published. *)
+    mutable pool_next : 'a op_desc;
+    mutable pool_stamp : int;
+  }
+
+  let fresh_desc () =
+    let rec d =
+      { phase = -1; pending = false; enqueue = true; node = None;
+        pool_next = d; pool_stamp = 0 }
+    in
+    d
+
+  let desc_ops =
+    {
+      Wfq_primitives.Segment_pool.get_next = (fun d -> d.pool_next);
+      set_next = (fun d e -> d.pool_next <- e);
+      get_stamp = (fun d -> d.pool_stamp);
+      set_stamp = (fun d s -> d.pool_stamp <- s);
+    }
+
+  type 'a pools = {
+    nodes : 'a N.node Pool.t;
+    descs : 'a op_desc Pool.t option; (* None without quarantine *)
   }
 
   type 'a t = {
@@ -100,6 +136,8 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
     fault : fault option; (* test-only seeded bug, None in production *)
     help_cursor : int array;
     num_threads : int;
+    pools : 'a pools option;
+    idle_desc : 'a op_desc;
     (* Single-writer per-tid statistics (exact at quiescence). *)
     fast_hits : int array;
     slow_entries : int array;
@@ -108,7 +146,8 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   let name = "kp-fps"
 
   let create_with ?(tuning = default_tuning)
-      ?(max_failures = default_max_failures) ?fault ~help ~phase ~num_threads
+      ?(max_failures = default_max_failures) ?fault ?(pool = false)
+      ?pool_segment ?(pool_quarantine = true) ~help ~phase ~num_threads
       () =
     if num_threads <= 0 then invalid_arg "Kp_queue_fps.create: num_threads";
     if max_failures < 0 then
@@ -117,8 +156,38 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
     | Help_chunk k when k <= 0 ->
         invalid_arg "Kp_queue_fps.create: chunk size must be positive"
     | Help_all | Help_one_cyclic | Help_chunk _ -> ());
+    (match pool_segment with
+    | Some k when k <= 0 ->
+        invalid_arg "Kp_queue_fps.create: pool_segment must be positive"
+    | _ -> ());
     let sentinel = make_sentinel () in
-    let idle = { phase = -1; pending = false; enqueue = true; node = None } in
+    let idle = fresh_desc () in
+    let pools =
+      if not pool then None
+      else begin
+        let clock = Pool.Clock.create ~num_threads in
+        let node_reset =
+          (* N.recycle, or the tag-dropping variant under the seeded
+             Untagged_pool_claim fault. *)
+          if fault = Some Untagged_pool_claim then N.recycle_untagged
+          else N.recycle
+        in
+        let nodes =
+          Pool.create ?segment_size:pool_segment
+            ~quarantine:pool_quarantine ~clock ~num_threads ~ops:N.pool_ops
+            ~fresh:make_sentinel ~reset:node_reset ()
+        in
+        let descs =
+          if pool_quarantine then
+            Some
+              (Pool.create ?segment_size:pool_segment ~quarantine:true
+                 ~clock ~num_threads ~ops:desc_ops ~fresh:fresh_desc
+                 ~reset:(fun _ -> ()) ())
+          else None
+        in
+        Some { nodes; descs }
+      end
+    in
     {
       head = A.make sentinel;
       tail = A.make sentinel;
@@ -132,6 +201,8 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
       fault;
       help_cursor = Array.make num_threads 0;
       num_threads;
+      pools;
+      idle_desc = idle;
       fast_hits = Array.make num_threads 0;
       slow_entries = Array.make num_threads 0;
     }
@@ -160,6 +231,65 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
     desc.pending && desc.phase <= phase
 
   (* ------------------------------------------------------------------ *)
+  (* Pool plumbing — identical scheme to Kp_queue's: [self] is the       *)
+  (* executing thread, all alloc/release traffic goes through its own    *)
+  (* single-owner pool slot.                                             *)
+  (* ------------------------------------------------------------------ *)
+
+  let op_enter t ~tid =
+    match t.pools with Some p -> Pool.enter p.nodes ~tid | None -> ()
+
+  let op_exit t ~tid =
+    match t.pools with Some p -> Pool.exit p.nodes ~tid | None -> ()
+
+  let alloc_node t ~self ~enq_tid value =
+    match t.pools with
+    | Some p ->
+        let n = Pool.alloc p.nodes ~tid:self in
+        n.N.value <- Some value;
+        n.N.enq_tid <- enq_tid;
+        n
+    | None -> make_node ~enq_tid value
+
+  (* Unique head-swing winner only (both paths). *)
+  let release_node t ~self n =
+    match t.pools with
+    | Some p -> Pool.release p.nodes ~tid:self n
+    | None -> ()
+
+  let mk_desc t ~self ~phase ~pending ~enqueue ~node =
+    match t.pools with
+    | Some { descs = Some dp; _ } ->
+        let d = Pool.alloc dp ~tid:self in
+        d.phase <- phase;
+        d.pending <- pending;
+        d.enqueue <- enqueue;
+        d.node <- node;
+        d
+    | _ ->
+        let rec d =
+          { phase; pending; enqueue; node; pool_next = d; pool_stamp = 0 }
+        in
+        d
+
+  let drop_desc t ~self d =
+    match t.pools with
+    | Some { descs = Some dp; _ } -> Pool.release dp ~tid:self d
+    | _ -> ()
+
+  let retire_desc t ~self d =
+    if d != t.idle_desc then
+      match t.pools with
+      | Some { descs = Some dp; _ } -> Pool.release dp ~tid:self d
+      | _ -> ()
+
+  let publish t ~tid d =
+    match t.pools with
+    | Some { descs = Some _; _ } ->
+        retire_desc t ~self:tid (P.exchange t.state.(tid) d)
+    | _ -> P.set t.state.(tid) d
+
+  (* ------------------------------------------------------------------ *)
   (* Finishing helpers, shared by both paths                            *)
   (* ------------------------------------------------------------------ *)
 
@@ -167,7 +297,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
      with [enq_tid = -1] was appended by a bounded Michael-Scott attempt
      and has no descriptor — the only thing left to do is advance [tail]
      (the appender itself may have been preempted before its tail CAS). *)
-  let help_finish_enq t =
+  let help_finish_enq t ~self =
     let last = A.get t.tail in
     let next_o = A.get last.next in
     match next_o with
@@ -183,10 +313,12 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
             if (not t.tuning.validate_before_cas) || cur_desc.pending
             then begin
               let new_desc =
-                { phase = cur_desc.phase; pending = false; enqueue = true;
-                  node = next_o }
+                mk_desc t ~self ~phase:cur_desc.phase ~pending:false
+                  ~enqueue:true ~node:next_o
               in
-              ignore (P.compare_and_set t.state.(tid) cur_desc new_desc)
+              if P.compare_and_set t.state.(tid) cur_desc new_desc then
+                retire_desc t ~self cur_desc
+              else drop_desc t ~self new_desc
             end;
             ignore (A.compare_and_set t.tail last next)
           end
@@ -196,15 +328,16 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
      sentinel claimed with [deq_tid >= num_threads] belongs to a
      fast-path dequeue — no descriptor to complete, only [head] to
      swing. *)
-  let help_finish_deq t =
+  let help_finish_deq t ~self =
     let first = A.get t.head in
     let next = A.get first.next in
-    let tid = A.get first.deq_tid in
+    let tid = N.claimed_tid first in
     if tid >= t.num_threads then begin
       (* Fast-path claim. *)
       match next with
       | Some next_node when first == A.get t.head ->
-          ignore (A.compare_and_set t.head first next_node)
+          if A.compare_and_set t.head first next_node then
+            release_node t ~self first
       | Some _ | None -> ()
     end
     else if tid <> -1 then begin
@@ -214,12 +347,15 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
           if (not t.tuning.validate_before_cas) || cur_desc.pending
           then begin
             let new_desc =
-              { phase = cur_desc.phase; pending = false; enqueue = false;
-                node = cur_desc.node }
+              mk_desc t ~self ~phase:cur_desc.phase ~pending:false
+                ~enqueue:false ~node:cur_desc.node
             in
-            ignore (P.compare_and_set t.state.(tid) cur_desc new_desc)
+            if P.compare_and_set t.state.(tid) cur_desc new_desc then
+              retire_desc t ~self cur_desc
+            else drop_desc t ~self new_desc
           end;
-          ignore (A.compare_and_set t.head first next_node)
+          if A.compare_and_set t.head first next_node then
+            release_node t ~self first
       | Some _ | None -> ()
     end
 
@@ -228,7 +364,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   (* extended finishing helpers above                                    *)
   (* ------------------------------------------------------------------ *)
 
-  let rec help_enq t tid phase =
+  let rec help_enq t ~self tid phase =
     if is_still_pending t tid phase then begin
       let last = A.get t.tail in
       let next = A.get last.next in
@@ -238,19 +374,23 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
             if is_still_pending t tid phase then begin
               let node = (P.get t.state.(tid)).node in
               if A.compare_and_set last.next None node then
-                help_finish_enq t
-              else help_enq t tid phase
+                help_finish_enq t ~self
+              else help_enq t ~self tid phase
             end
-            else help_enq t tid phase
+            else help_enq t ~self tid phase
         | Some _ ->
-            help_finish_enq t;
-            help_enq t tid phase
-      else help_enq t tid phase
+            help_finish_enq t ~self;
+            help_enq t ~self tid phase
+      else help_enq t ~self tid phase
     end
 
-  let rec help_deq t tid phase =
+  let rec help_deq t ~self tid phase =
     if is_still_pending t tid phase then begin
       let first = A.get t.head in
+      (* Claim word captured together with the head reference — the
+         epoch half is what makes the later claim CAS recycle-safe (see
+         Kp_internals.try_claim). *)
+      let claim0 = A.get first.deq_tid in
       let last = A.get t.tail in
       let next = A.get first.next in
       if first == A.get t.head then
@@ -261,15 +401,17 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
               if last == A.get t.tail && is_still_pending t tid phase
               then begin
                 let new_desc =
-                  { phase = cur_desc.phase; pending = false;
-                    enqueue = false; node = None }
+                  mk_desc t ~self ~phase:cur_desc.phase ~pending:false
+                    ~enqueue:false ~node:None
                 in
-                ignore (P.compare_and_set t.state.(tid) cur_desc new_desc)
+                if P.compare_and_set t.state.(tid) cur_desc new_desc then
+                  retire_desc t ~self cur_desc
+                else drop_desc t ~self new_desc
               end;
-              help_deq t tid phase
+              help_deq t ~self tid phase
           | Some _ ->
-              help_finish_enq t;
-              help_deq t tid phase
+              help_finish_enq t ~self;
+              help_deq t ~self tid phase
         end
         else begin
           let cur_desc = P.get t.state.(tid) in
@@ -280,25 +422,29 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
             in
             if first == A.get t.head && not points_to_first then begin
               let new_desc =
-                { phase = cur_desc.phase; pending = true; enqueue = false;
-                  node = Some first }
+                mk_desc t ~self ~phase:cur_desc.phase ~pending:true
+                  ~enqueue:false ~node:(Some first)
               in
               if not (P.compare_and_set t.state.(tid) cur_desc new_desc)
-              then help_deq t tid phase
+              then begin
+                drop_desc t ~self new_desc;
+                help_deq t ~self tid phase
+              end
               else begin
-                ignore (A.compare_and_set first.deq_tid (-1) tid);
-                help_finish_deq t;
-                help_deq t tid phase
+                retire_desc t ~self cur_desc;
+                ignore (N.try_claim first ~observed:claim0 ~tid);
+                help_finish_deq t ~self;
+                help_deq t ~self tid phase
               end
             end
             else begin
-              ignore (A.compare_and_set first.deq_tid (-1) tid);
-              help_finish_deq t;
-              help_deq t tid phase
+              ignore (N.try_claim first ~observed:claim0 ~tid);
+              help_finish_deq t ~self;
+              help_deq t ~self tid phase
             end
           end
         end
-      else help_deq t tid phase
+      else help_deq t ~self tid phase
     end
 
   (* The phase passed DOWN is the descriptor's own ([desc.phase]), as in
@@ -312,7 +458,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
      helper, or re-appending a consumed node. The fast path's
      [maybe_help] helps at bound [max_int], which is only safe because
      of this. *)
-  let help_slot t i phase =
+  let help_slot t ~self i phase =
     let desc = P.get t.state.(i) in
     if desc.pending && desc.phase <= phase then begin
       let bound =
@@ -320,28 +466,29 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
         | Some Stale_helper_caller_phase -> phase (* seeded bug *)
         | _ -> desc.phase
       in
-      if desc.enqueue then help_enq t i bound else help_deq t i bound
+      if desc.enqueue then help_enq t ~self i bound
+      else help_deq t ~self i bound
     end
 
   let run_help t ~tid ~phase =
     match t.help_policy with
     | Help_all ->
         for i = 0 to Array.length t.state - 1 do
-          help_slot t i phase
+          help_slot t ~self:tid i phase
         done
     | Help_one_cyclic ->
         let c = t.help_cursor.(tid) in
         t.help_cursor.(tid) <- (c + 1) mod t.num_threads;
-        if c <> tid then help_slot t c phase;
-        help_slot t tid phase
+        if c <> tid then help_slot t ~self:tid c phase;
+        help_slot t ~self:tid tid phase
     | Help_chunk k ->
         let c = t.help_cursor.(tid) in
         t.help_cursor.(tid) <- (c + k) mod t.num_threads;
         for j = 0 to min k t.num_threads - 1 do
           let i = (c + j) mod t.num_threads in
-          if i <> tid then help_slot t i phase
+          if i <> tid then help_slot t ~self:tid i phase
         done;
-        help_slot t tid phase
+        help_slot t ~self:tid tid phase
 
   (* The fast path's helping duty: one atomic load per operation; only
      when some thread is on the slow path, run one cyclic helping round
@@ -354,42 +501,49 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
     if A.get t.slow_pending > 0 then begin
       let c = t.help_cursor.(tid) in
       t.help_cursor.(tid) <- (c + 1) mod t.num_threads;
-      help_slot t c max_int
+      help_slot t ~self:tid c max_int
     end
 
   (* ------------------------------------------------------------------ *)
   (* Slow-path operations (entered after max_failures fast rounds)      *)
   (* ------------------------------------------------------------------ *)
 
-  let slow_enqueue t ~tid value =
+  (* [node] was already allocated by the fast path and never published
+     (every fast append CAS on it failed), so the slow path adopts it —
+     rewriting [enq_tid] from the fast-path marker to the real tid is
+     safe pre-publication — instead of allocating a second node. *)
+  let slow_enqueue t ~tid node =
     t.slow_entries.(tid) <- t.slow_entries.(tid) + 1;
     (* Raise the flag before publishing so that any fast-path operation
        starting after our descriptor is visible also sees the flag. *)
     ignore (A.fetch_and_add t.slow_pending 1);
     let phase = next_phase t in
-    let node = make_node ~enq_tid:tid value in
-    P.set t.state.(tid)
-      { phase; pending = true; enqueue = true; node = Some node };
+    node.N.enq_tid <- tid;
+    publish t ~tid
+      (mk_desc t ~self:tid ~phase ~pending:true ~enqueue:true
+         ~node:(Some node));
     run_help t ~tid ~phase;
-    help_finish_enq t;
+    help_finish_enq t ~self:tid;
     ignore (A.fetch_and_add t.slow_pending (-1));
     if t.tuning.gc_friendly then
-      P.set t.state.(tid)
-        { phase; pending = false; enqueue = true; node = None }
+      publish t ~tid
+        (mk_desc t ~self:tid ~phase ~pending:false ~enqueue:true ~node:None)
 
   let slow_dequeue t ~tid =
     t.slow_entries.(tid) <- t.slow_entries.(tid) + 1;
     ignore (A.fetch_and_add t.slow_pending 1);
     let phase = next_phase t in
-    P.set t.state.(tid)
-      { phase; pending = true; enqueue = false; node = None };
+    publish t ~tid
+      (mk_desc t ~self:tid ~phase ~pending:true ~enqueue:false ~node:None);
     run_help t ~tid ~phase;
-    help_finish_deq t;
+    help_finish_deq t ~self:tid;
     ignore (A.fetch_and_add t.slow_pending (-1));
     let result =
       match (P.get t.state.(tid)).node with
       | None -> None
       | Some node -> (
+          (* [node] may already be pool-released by the head winner;
+             quarantine keeps it intact until our op_exit. *)
           match A.get node.next with
           | Some next ->
               assert (next.value <> None);
@@ -397,8 +551,8 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
           | None -> assert false)
     in
     if t.tuning.gc_friendly then
-      P.set t.state.(tid)
-        { phase; pending = false; enqueue = false; node = None };
+      publish t ~tid
+        (mk_desc t ~self:tid ~phase ~pending:false ~enqueue:false ~node:None);
     result
 
   (* ------------------------------------------------------------------ *)
@@ -406,13 +560,14 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   (* ------------------------------------------------------------------ *)
 
   let enqueue t ~tid value =
+    op_enter t ~tid;
     maybe_help t ~tid;
     (* Fast-path nodes are marked [enq_tid = -1]: were a fast node to
        carry a real tid, a slow-path helper would wait forever for a
        descriptor that was never published (see help_finish_enq). *)
-    let node = make_node ~enq_tid:(-1) value in
+    let node = alloc_node t ~self:tid ~enq_tid:(-1) value in
     let rec attempt failures =
-      if failures >= t.max_failures then slow_enqueue t ~tid value
+      if failures >= t.max_failures then slow_enqueue t ~tid node
       else
         let last = A.get t.tail in
         let next = A.get last.next in
@@ -429,18 +584,23 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
           | Some _ ->
               (* Tail lagging behind a fast or slow append: finish it
                  (either kind) and retry. *)
-              help_finish_enq t;
+              help_finish_enq t ~self:tid;
               attempt (failures + 1)
         else attempt (failures + 1)
     in
-    attempt 0
+    attempt 0;
+    op_exit t ~tid
 
   let dequeue t ~tid =
+    op_enter t ~tid;
     maybe_help t ~tid;
     let rec attempt failures =
       if failures >= t.max_failures then slow_dequeue t ~tid
       else
         let first = A.get t.head in
+        (* Claim word captured with the head reference (epoch ABA
+           defense; see Kp_internals.try_claim). *)
+        let claim0 = A.get first.deq_tid in
         let last = A.get t.tail in
         let next = A.get first.next in
         if first == A.get t.head then
@@ -452,7 +612,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
                 t.fast_hits.(tid) <- t.fast_hits.(tid) + 1;
                 None
             | Some _ ->
-                help_finish_enq t;
+                help_finish_enq t ~self:tid;
                 attempt (failures + 1)
           else
             match next with
@@ -471,22 +631,26 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
                      successful CAS is the linearization point — shared
                      with slow-path dequeues, which claim with their
                      tid. *)
-                  A.compare_and_set first.deq_tid (-1)
-                    (t.num_threads + tid)
+                  N.try_claim first ~observed:claim0
+                    ~tid:(t.num_threads + tid)
                 then begin
-                  ignore (A.compare_and_set t.head first n);
+                  let v = n.value in
+                  if A.compare_and_set t.head first n then
+                    release_node t ~self:tid first;
                   t.fast_hits.(tid) <- t.fast_hits.(tid) + 1;
-                  n.value
+                  v
                 end
                 else begin
                   (* Someone else's dequeue is mid-flight on this
                      sentinel; finish it and retry. *)
-                  help_finish_deq t;
+                  help_finish_deq t ~self:tid;
                   attempt (failures + 1)
                 end
         else attempt (failures + 1)
     in
-    attempt 0
+    let result = attempt 0 in
+    op_exit t ~tid;
+    result
 
   (* ------------------------------------------------------------------ *)
   (* Observers (quiescent use)                                          *)
@@ -526,16 +690,29 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   let pending_of t ~tid = (P.get t.state.(tid)).pending
   let phase_of t ~tid = (P.get t.state.(tid)).phase
 
+  let pool_stats t =
+    match t.pools with
+    | None -> None
+    | Some p ->
+        let line pool =
+          ( Pool.reused pool,
+            Pool.allocated_fresh pool,
+            Pool.pooled pool + Pool.quarantined pool )
+        in
+        Some
+          ( line p.nodes,
+            match p.descs with Some dp -> Some (line dp) | None -> None )
+
   let debug_dump t =
     let head = A.get t.head and tail = A.get t.tail in
     let node_id (n : 'a node) = Hashtbl.hash n in
     Printf.printf "head=%d (deq_tid=%d) tail=%d tail.next=%s\n"
-      (node_id head) (A.get head.deq_tid) (node_id tail)
+      (node_id head) (N.claimed_tid head) (node_id tail)
       (match A.get tail.next with
       | None -> "None"
       | Some n ->
           Printf.sprintf "Some %d (enq_tid=%d, deq_tid=%d)" (node_id n)
-            n.enq_tid (A.get n.deq_tid));
+            n.enq_tid (N.claimed_tid n));
     Printf.printf "head==tail: %b; slow_pending=%d\n" (head == tail)
       (A.get t.slow_pending);
     Array.iteri
@@ -552,7 +729,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
     let rec walk i n =
       if i < 8 then begin
         Printf.printf "  list[%d]: node %d enq_tid=%d deq_tid=%d%s%s\n" i
-          (node_id n) n.enq_tid (A.get n.deq_tid)
+          (node_id n) n.enq_tid (N.claimed_tid n)
           (if n == head then " <-head" else "")
           (if n == tail then " <-tail" else "");
         match A.get n.next with None -> () | Some nx -> walk (i + 1) nx

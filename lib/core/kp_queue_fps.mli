@@ -50,6 +50,13 @@ type fault =
       (** fast-path dequeues swing [head] without claiming the
           sentinel's [deq_tid] — races a slow dequeue that already
           claimed the same sentinel into delivering one element twice *)
+  | Untagged_pool_claim
+      (** node recycling without the epoch tag: the pool reset restores
+          the plain [-1] claim word instead of bumping the node's
+          incarnation, so a dequeuer that stalled across the node's
+          recycle can claim its next incarnation with a stale reference
+          (the recycle-ABA the tag exists to prevent). Only meaningful
+          together with [~pool:true]. *)
 
 module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
   type 'a t
@@ -65,6 +72,9 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
     ?tuning:tuning ->
     ?max_failures:int ->
     ?fault:fault ->
+    ?pool:bool ->
+    ?pool_segment:int ->
+    ?pool_quarantine:bool ->
     help:help_policy ->
     phase:phase_policy ->
     num_threads:int ->
@@ -73,9 +83,17 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
   (** [max_failures] is the number of failed fast-path rounds tolerated
       before falling back (default {!default_max_failures}); [0] skips
       the fast path entirely, degenerating to {!Kp_queue} behaviour.
-      [fault] (default [None]) injects a {!fault} — tests only. Raises
-      [Invalid_argument] for [num_threads <= 0], negative
-      [max_failures], or a non-positive chunk size. *)
+      [fault] (default [None]) injects a {!fault} — tests only.
+
+      [pool] (default [false]) recycles nodes and descriptors through
+      per-domain {!Wfq_primitives.Segment_pool}s exactly as in
+      {!Kp_queue.Make.create_with}: epoch tags defend the claim CAS,
+      quarantine defends the pointer CASes. [pool_quarantine:false]
+      (sim/model-checking only) leaves the tag as the sole defense and
+      disables descriptor recycling; [pool_segment] sets the carve-batch
+      size. Raises [Invalid_argument] for [num_threads <= 0], negative
+      [max_failures], a non-positive chunk size, or a non-positive
+      [pool_segment]. *)
 
   val enqueue : 'a t -> tid:int -> 'a -> unit
   (** Wait-free linearizable FIFO insert; linearizes at the successful
@@ -116,6 +134,13 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
 
   val phase_of : 'a t -> tid:int -> int
   (** Phase of [tid]'s latest slow-path operation ([-1] if none). *)
+
+  val pool_stats :
+    'a t -> ((int * int * int) * (int * int * int) option) option
+  (** Pool telemetry at quiescence, [None] for unpooled queues:
+      [(reused, fresh, parked)] for the node pool, then the same for the
+      descriptor pool when descriptor recycling is active ([None] under
+      [pool_quarantine:false]). *)
 
   val debug_dump : 'a t -> unit
   (** Print head/tail/descriptor state to stdout (quiescent debugging). *)

@@ -7,24 +7,87 @@
     last node (the "dangling" node), and every operation that observes the
     lag first helps advance [tail].
 
+    [create_pooled] recycles nodes through a per-domain
+    {!Wfq_primitives.Segment_pool} with quarantine {e always} on: MS has
+    no claim word to carry an epoch tag, so quarantine (no reuse until
+    every operation concurrent with the retirement has finished) is the
+    only thing standing between a recycled node and the classic MS
+    head-CAS ABA. The node's [value] is mutable for the same
+    write-before-publication discipline as {!Kp_internals}.
+
     Progress: lock-free, not wait-free — an enqueuer whose CAS on
     [last.next] keeps losing can be starved forever (demonstrated by a
     simulator test in [test/test_sim_queues.ml]). *)
 
-module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) :
-  Queue_intf.CHECKABLE_QUEUE = struct
-  type 'a node = { value : 'a option; next : 'a node option A.t }
+module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
+  module Pool = Wfq_primitives.Segment_pool.Make (A)
 
-  type 'a t = { head : 'a node A.t; tail : 'a node A.t }
+  type 'a node = {
+    mutable value : 'a option;
+    next : 'a node option A.t;
+    (* Intrusive Segment_pool link + retire stamp; dead storage while
+       the node is live (see Segment_pool.ops). *)
+    mutable pool_next : 'a node;
+    mutable pool_stamp : int;
+  }
+
+  type 'a t = {
+    head : 'a node A.t;
+    tail : 'a node A.t;
+    pool : 'a node Pool.t option;
+  }
 
   let name = "ms-lock-free"
 
-  let create ~num_threads:_ () =
-    let sentinel = { value = None; next = A.make None } in
-    { head = A.make sentinel; tail = A.make sentinel }
+  let fresh_node' value =
+    let next = A.make None in
+    let rec n = { value; next; pool_next = n; pool_stamp = 0 } in
+    n
 
-  let enqueue t ~tid:_ value =
-    let node = { value = Some value; next = A.make None } in
+  let fresh_node () = fresh_node' None
+
+  let reset_node n =
+    n.value <- None;
+    A.set n.next None
+
+  let pool_ops =
+    {
+      Wfq_primitives.Segment_pool.get_next = (fun n -> n.pool_next);
+      set_next = (fun n m -> n.pool_next <- m);
+      get_stamp = (fun n -> n.pool_stamp);
+      set_stamp = (fun n s -> n.pool_stamp <- s);
+    }
+
+  let create ~num_threads:_ () =
+    let sentinel = fresh_node () in
+    { head = A.make sentinel; tail = A.make sentinel; pool = None }
+
+  let create_pooled ?segment_size ~num_threads () =
+    let sentinel = fresh_node () in
+    let clock = Pool.Clock.create ~num_threads in
+    let pool =
+      Pool.create ?segment_size ~quarantine:true ~clock ~num_threads
+        ~ops:pool_ops ~fresh:fresh_node ~reset:reset_node ()
+    in
+    { head = A.make sentinel; tail = A.make sentinel; pool = Some pool }
+
+  let op_enter t ~tid =
+    match t.pool with Some p -> Pool.enter p ~tid | None -> ()
+
+  let op_exit t ~tid =
+    match t.pool with Some p -> Pool.exit p ~tid | None -> ()
+
+  let alloc_node t ~tid value =
+    match t.pool with
+    | Some p ->
+        let n = Pool.alloc p ~tid in
+        n.value <- Some value;
+        n
+    | None -> fresh_node' (Some value)
+
+  let enqueue t ~tid value =
+    op_enter t ~tid;
+    let node = alloc_node t ~tid value in
     let rec loop () =
       let last = A.get t.tail in
       let next = A.get last.next in
@@ -41,9 +104,11 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) :
             loop ()
       else loop ()
     in
-    loop ()
+    loop ();
+    op_exit t ~tid
 
-  let dequeue t ~tid:_ =
+  let dequeue t ~tid =
+    op_enter t ~tid;
     let rec loop () =
       let first = A.get t.head in
       let last = A.get t.tail in
@@ -63,10 +128,21 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) :
               loop ()
           | Some n ->
               let v = n.value in
-              if A.compare_and_set t.head first n then v else loop ()
+              if A.compare_and_set t.head first n then begin
+                (* Unique head winner retires the old sentinel; the
+                   quarantine keeps it intact for every operation that
+                   started before this point. *)
+                (match t.pool with
+                | Some p -> Pool.release p ~tid first
+                | None -> ());
+                v
+              end
+              else loop ()
       else loop ()
     in
-    loop ()
+    let result = loop () in
+    op_exit t ~tid;
+    result
 
   let to_list t =
     let rec collect acc node =
@@ -96,4 +172,13 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) :
     if not (reaches head) then Error "tail not reachable from head"
     else if A.get tail.next <> None then Error "dangling node after tail"
     else Ok ()
+
+  let pool_stats t =
+    match t.pool with
+    | None -> None
+    | Some p ->
+        Some
+          ( Pool.reused p,
+            Pool.allocated_fresh p,
+            Pool.pooled p + Pool.quarantined p )
 end

@@ -33,49 +33,83 @@ let paper =
     sizes = [ 1; 10; 100; 1_000; 10_000; 100_000; 1_000_000; 10_000_000 ];
   }
 
-let mean_time ~runs f = Wfq_primitives.Stats.mean (Workload.repeat ~runs f)
+(** Time and GC activity extracted from the same runs: every run already
+    carries its [Workload.gc_stats], so the GC columns of a figure cost
+    nothing extra — projecting twice from one collection, never
+    re-running. *)
+type with_gc = {
+  time : Report.series list;  (** seconds (the figure itself) *)
+  minor_gcs : Report.series list;
+      (** stop-the-world minor collections per run — the GC column *)
+}
 
-let completion_series ~scale ~workload impls =
-  List.map
-    (fun impl ->
-      {
-        Report.label = Impls.name impl;
-        points =
-          List.map
-            (fun threads ->
-              let seconds =
-                mean_time ~runs:scale.runs (fun () ->
-                    workload impl ~threads ~iters:scale.iters ())
-              in
-              (float_of_int threads, seconds))
-            scale.threads;
-      })
-    impls
+let series_from ~scale impls per_threads ~aggregate ~project =
+  Array.to_list
+    (Array.mapi
+       (fun i impl ->
+         {
+           Report.label = Impls.name impl;
+           points =
+             List.map2
+               (fun threads (samples : Workload.run_result list array) ->
+                 (float_of_int threads, aggregate (List.map project samples.(i))))
+               scale.threads per_threads;
+         })
+       impls)
+
+let seconds (r : Workload.run_result) = r.Workload.seconds
+
+let minor_gcs_of (r : Workload.run_result) =
+  float_of_int r.Workload.gc.Workload.minor_collections
+
+let completion_series_gc ~scale ~workload impls =
+  let impls = Array.of_list impls in
+  let per_threads =
+    List.map
+      (fun threads ->
+        Array.map
+          (fun impl ->
+            List.init scale.runs (fun _ ->
+                workload impl ~threads ~iters:scale.iters ()))
+          impls)
+      scale.threads
+  in
+  let mk project =
+    series_from ~scale impls per_threads ~aggregate:Wfq_primitives.Stats.mean
+      ~project
+  in
+  { time = mk seconds; minor_gcs = mk minor_gcs_of }
 
 (** Figure 7: enqueue-dequeue pairs — completion time vs thread count for
     the lock-free baseline, the base wait-free queue and the fully
     optimized wait-free queue. *)
-let fig7 ?(scale = quick) () =
-  completion_series ~scale
+let fig7_gc ?(scale = quick) () =
+  completion_series_gc ~scale
     ~workload:(fun impl ~threads ~iters () ->
       Workload.pairs impl ~threads ~iters ())
     [ Impls.lf; Impls.wf_base; Impls.wf_opt12 ]
 
+let fig7 ?scale () = (fig7_gc ?scale ()).time
+
 (** Figure 8: 50% enqueues — same series over the randomized workload
     with a 1000-element prefill. *)
-let fig8 ?(scale = quick) () =
-  completion_series ~scale
+let fig8_gc ?(scale = quick) () =
+  completion_series_gc ~scale
     ~workload:(fun impl ~threads ~iters () ->
       Workload.p_enq impl ~threads ~iters ())
     [ Impls.lf; Impls.wf_base; Impls.wf_opt12 ]
 
+let fig8 ?scale () = (fig8_gc ?scale ()).time
+
 (** Figure 9: the impact of each §3.3 optimization in isolation, on the
     enqueue-dequeue benchmark. *)
-let fig9 ?(scale = quick) () =
-  completion_series ~scale
+let fig9_gc ?(scale = quick) () =
+  completion_series_gc ~scale
     ~workload:(fun impl ~threads ~iters () ->
       Workload.pairs impl ~threads ~iters ())
     [ Impls.wf_base; Impls.wf_opt12; Impls.wf_opt1; Impls.wf_opt2 ]
+
+let fig9 ?scale () = (fig9_gc ?scale ()).time
 
 (** Figure 10: live-space overhead of the wait-free queues relative to
     the lock-free one, as a function of the initial queue size. *)
@@ -106,12 +140,13 @@ let fig10 ?(scale = quick) () =
     benchmark, including the blocking queues, the HP-reclaiming wait-free
     queue, and both partial optimizations. *)
 let extended_pairs ?(scale = quick) () =
-  completion_series ~scale
-    ~workload:(fun impl ~threads ~iters () ->
-      Workload.pairs impl ~threads ~iters ())
-    Impls.all
+  (completion_series_gc ~scale
+     ~workload:(fun impl ~threads ~iters () ->
+       Workload.pairs impl ~threads ~iters ())
+     Impls.all)
+    .time
 
-(* Like {!completion_series}, but the repetitions of all series are
+(* Like {!completion_series_gc}, but the repetitions of all series are
    interleaved in rotating order instead of completing one series before
    starting the next. Sequential completion biases later series: heap
    and allocator state accumulated by earlier measurements (major-heap
@@ -121,34 +156,29 @@ let extended_pairs ?(scale = quick) () =
    rather than means: on small single-core hosts the dominant noise is
    multiplicative interference spikes (scheduler, co-tenants), which a
    mean smears over whichever series they happened to hit. *)
-let interleaved_series ~scale ~workload impls =
-  let impls = Array.of_list impls in
+let interleaved_collect ~scale ~workload impls =
   let k = Array.length impls in
-  let means_per_threads =
-    List.map
-      (fun threads ->
-        let samples = Array.make k [] in
-        for run = 0 to scale.runs - 1 do
-          for j = 0 to k - 1 do
-            let i = (run + j) mod k in
-            let s = workload impls.(i) ~threads ~iters:scale.iters () in
-            samples.(i) <- s :: samples.(i)
-          done
-        done;
-        Array.map Wfq_primitives.Stats.median samples)
-      scale.threads
+  List.map
+    (fun threads ->
+      let samples = Array.make k [] in
+      for run = 0 to scale.runs - 1 do
+        for j = 0 to k - 1 do
+          let i = (run + j) mod k in
+          let s = workload impls.(i) ~threads ~iters:scale.iters () in
+          samples.(i) <- s :: samples.(i)
+        done
+      done;
+      samples)
+    scale.threads
+
+let interleaved_series_gc ~scale ~workload impls =
+  let impls = Array.of_list impls in
+  let per_threads = interleaved_collect ~scale ~workload impls in
+  let mk project =
+    series_from ~scale impls per_threads
+      ~aggregate:Wfq_primitives.Stats.median ~project
   in
-  Array.to_list
-    (Array.mapi
-       (fun i impl ->
-         {
-           Report.label = Impls.name impl;
-           points =
-             List.map2
-               (fun threads means -> (float_of_int threads, means.(i)))
-               scale.threads means_per_threads;
-         })
-       impls)
+  { time = mk seconds; minor_gcs = mk minor_gcs_of }
 
 (** Extension (lib/shard): shard-count scaling of the sharded front-end
     against the best unsharded variant, on the enqueue-dequeue-pairs
@@ -157,10 +187,11 @@ let interleaved_series ~scale ~workload impls =
     than treated as impossible — and interleaved repetitions so that
     run-order heap effects do not bias the comparison. *)
 let shard_scaling ?(scale = quick) () =
-  interleaved_series ~scale
-    ~workload:(fun impl ~threads ~iters () ->
-      (Workload.pairs_relaxed impl ~threads ~iters ()).Workload.seconds)
-    Impls.shard_series
+  (interleaved_series_gc ~scale
+     ~workload:(fun impl ~threads ~iters () ->
+       Workload.pairs_relaxed impl ~threads ~iters ())
+     Impls.shard_series)
+    .time
 
 (** Extension (Kp_queue_fps): the fast-path/slow-path queue against the
     acceptance baselines (raw LF, base WF, best unsharded WF) plus the
@@ -168,11 +199,46 @@ let shard_scaling ?(scale = quick) () =
     the fps queue is strict FIFO, so the "impossible empty" invariant
     holds and doubles as a correctness check on every measurement.
     Interleaved repetitions, as for {!shard_scaling}. *)
-let fps_scaling ?(scale = quick) () =
-  interleaved_series ~scale
+let fps_scaling_gc ?(scale = quick) () =
+  interleaved_series_gc ~scale
     ~workload:(fun impl ~threads ~iters () ->
-      (Workload.pairs impl ~threads ~iters ()).Workload.seconds)
+      Workload.pairs impl ~threads ~iters ())
     Impls.fps_bench_series
+
+let fps_scaling ?scale () = (fps_scaling_gc ?scale ()).time
+
+(** Allocation-rate decomposition (the [wfq_bench alloc] dataset): each
+    family's headline member next to its pooled counterpart on the
+    enqueue-dequeue-pairs workload, interleaved repetitions, per-series
+    medians. Allocation counts are near-deterministic per run (unlike
+    times), so the medians are tight; repetitions mostly guard against
+    helping-path variance. *)
+type alloc_report = {
+  words_per_op : Report.series list;
+  promoted_per_op : Report.series list;
+  minor_collections : Report.series list;
+  major_collections : Report.series list;
+}
+
+let alloc_decomposition ?(scale = quick) () =
+  let impls = Array.of_list Impls.alloc_series in
+  let per_threads =
+    interleaved_collect ~scale
+      ~workload:(fun impl ~threads ~iters () ->
+        Workload.pairs impl ~threads ~iters ())
+      impls
+  in
+  let mk project =
+    series_from ~scale impls per_threads
+      ~aggregate:Wfq_primitives.Stats.median
+      ~project:(fun r -> project (Space.profile_of_result r))
+  in
+  {
+    words_per_op = mk (fun p -> p.Space.words_per_op);
+    promoted_per_op = mk (fun p -> p.Space.promoted_per_op);
+    minor_collections = mk (fun p -> float_of_int p.Space.minor_collections);
+    major_collections = mk (fun p -> float_of_int p.Space.major_collections);
+  }
 
 (** One combined dataset of every paper figure, each series label
     prefixed with its figure ("fig7:LF", ...). Points keep their native
@@ -191,10 +257,11 @@ let all_figures ?(scale = quick) () =
     evaluate: helping-chunk size (1 = the paper's optimization 1) and the
     tuning enhancements (descriptor reset + pre-CAS validation). *)
 let ablation ?(scale = quick) () =
-  completion_series ~scale
-    ~workload:(fun impl ~threads ~iters () ->
-      Workload.pairs impl ~threads ~iters ())
-    Impls.ablation
+  (completion_series_gc ~scale
+     ~workload:(fun impl ~threads ~iters () ->
+       Workload.pairs impl ~threads ~iters ())
+     Impls.ablation)
+    .time
 
 let print_fig ~title ~y_label series =
   Report.print_table ~title ~x_label:"threads" ~y_label series

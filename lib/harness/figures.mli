@@ -16,15 +16,30 @@ val paper : scale
 (** The paper's parameters: 1..16 threads, 1M iterations, 10 runs,
     queue sizes 10^0..10^7. *)
 
+type with_gc = {
+  time : Report.series list;  (** seconds — the figure itself *)
+  minor_gcs : Report.series list;
+      (** stop-the-world minor collections per run, projected from the
+          same measurements (no re-running) *)
+}
+(** A figure together with its GC column. *)
+
 val fig7 : ?scale:scale -> unit -> Report.series list
 (** Enqueue-dequeue pairs: completion time vs threads for LF, base WF,
     opt WF (1+2). *)
 
+val fig7_gc : ?scale:scale -> unit -> with_gc
+(** {!fig7} with the minor-collection counts of the same runs. *)
+
 val fig8 : ?scale:scale -> unit -> Report.series list
 (** 50% enqueues: same series over the randomized workload. *)
 
+val fig8_gc : ?scale:scale -> unit -> with_gc
+
 val fig9 : ?scale:scale -> unit -> Report.series list
 (** Optimization ablation: base WF vs opt (1), opt (2), opt (1+2). *)
+
+val fig9_gc : ?scale:scale -> unit -> with_gc
 
 val fig10 : ?scale:scale -> unit -> Report.series list
 (** Live-space ratio (wait-free / lock-free) vs initial queue size. *)
@@ -38,8 +53,29 @@ val shard_scaling : ?scale:scale -> unit -> Report.series list
     1/2/4/8 shards on the relaxed enqueue-dequeue-pairs workload. *)
 
 val fps_scaling : ?scale:scale -> unit -> Report.series list
-(** Extension (Kp_queue_fps): LF, base WF, opt WF (1+2), WF fps and the
-    max_failures sweep on the strict enqueue-dequeue-pairs workload. *)
+(** Extension (Kp_queue_fps): LF, base WF, opt WF (1+2), WF fps
+    (unpooled and pooled) and the max_failures sweep on the strict
+    enqueue-dequeue-pairs workload. *)
+
+val fps_scaling_gc : ?scale:scale -> unit -> with_gc
+(** {!fps_scaling} with the minor-collection counts of the same runs. *)
+
+type alloc_report = {
+  words_per_op : Report.series list;
+      (** minor-heap words allocated per operation *)
+  promoted_per_op : Report.series list;
+      (** words promoted to the major heap per operation *)
+  minor_collections : Report.series list;
+  major_collections : Report.series list;
+}
+(** The allocation-rate decomposition — four projections of one
+    interleaved measurement over {!Impls.alloc_series}. *)
+
+val alloc_decomposition : ?scale:scale -> unit -> alloc_report
+(** Extension ([wfq_bench alloc]): allocation rate and induced GC work
+    of each family's headline member vs its segment-pooled counterpart,
+    on the enqueue-dequeue-pairs workload (medians over interleaved
+    repetitions). *)
 
 val all_figures : ?scale:scale -> unit -> Report.series list
 (** Every paper figure in one dataset, labels prefixed "figN:". Fig. 10

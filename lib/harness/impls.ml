@@ -35,6 +35,23 @@ let lf : impl =
     let dequeue = Ms.dequeue
   end)
 
+(* Pooled (segment-pool node recycling) counterpart of each family's
+   headline member: same algorithm, allocation routed through
+   Segment_pool so steady-state operations reuse retired nodes (and,
+   for the KP family, retired operation descriptors) instead of minting
+   fresh ones. These exist for the allocation-rate decomposition
+   ([alloc_series]); they are also regular registry members so every
+   correctness-checking workload exercises the recycling paths. *)
+let lf_pooled : impl =
+  (module struct
+    type t = int Ms.t
+
+    let name = "LF pooled"
+    let create ~num_threads = Ms.create_pooled ~num_threads ()
+    let enqueue = Ms.enqueue
+    let dequeue = Ms.dequeue
+  end)
+
 let lms : impl =
   (module struct
     type t = int Lms.t
@@ -66,6 +83,20 @@ let wf_opt2 = kp_variant "opt WF (2)" Wfq_core.Kp_queue.Help_all
 
 let wf_opt12 = kp_variant "opt WF (1+2)" Wfq_core.Kp_queue.Help_one_cyclic
     Wfq_core.Kp_queue.Phase_counter
+
+let wf_pooled : impl =
+  (module struct
+    type t = int Kp.t
+
+    let name = "opt WF (1+2) pooled"
+
+    let create ~num_threads =
+      Kp.create_with ~pool:true ~help:Wfq_core.Kp_queue.Help_one_cyclic
+        ~phase:Wfq_core.Kp_queue.Phase_counter ~num_threads ()
+
+    let enqueue = Kp.enqueue
+    let dequeue = Kp.dequeue
+  end)
 
 (* §3.3 extension variants (not in the paper's evaluation): chunked
    cyclic helping and the further tuning enhancements. *)
@@ -135,14 +166,14 @@ let shard_series =
    Michael-Scott rounds until [max_failures] failures, then the KP
    helping slow path. The slow path runs the paper's fastest variant
    (opt 1+2), matching [Fps.create]'s default. *)
-let fps_variant variant_name ~max_failures : impl =
+let fps_variant ?(pool = false) variant_name ~max_failures : impl =
   (module struct
     type t = int Fps.t
 
     let name = variant_name
 
     let create ~num_threads =
-      Fps.create_with ~max_failures
+      Fps.create_with ~pool ~max_failures
         ~help:Wfq_core.Kp_queue_fps.Help_one_cyclic
         ~phase:Wfq_core.Kp_queue_fps.Phase_counter ~num_threads ()
 
@@ -154,6 +185,10 @@ let wf_fps =
   fps_variant "WF fps"
     ~max_failures:Wfq_core.Kp_queue_fps.default_max_failures
 
+let wf_fps_pooled =
+  fps_variant ~pool:true "WF fps pooled"
+    ~max_failures:Wfq_core.Kp_queue_fps.default_max_failures
+
 let wf_fps_mf k = fps_variant (Printf.sprintf "WF fps mf=%d" k) ~max_failures:k
 
 (* The issue's sweep: how quickly does throughput degrade as the
@@ -162,8 +197,14 @@ let wf_fps_series = [ wf_fps_mf 1; wf_fps_mf 8; wf_fps_mf 64; wf_fps_mf 1024 ]
 
 (* Series for the fps bench: baselines the acceptance criteria compare
    against (raw LF, base WF, best unsharded WF) plus the headline fps
-   queue and the max_failures sweep. *)
-let fps_bench_series = [ lf; wf_base; wf_opt12; wf_fps ] @ wf_fps_series
+   queue (unpooled and pooled) and the max_failures sweep. *)
+let fps_bench_series =
+  [ lf; wf_base; wf_opt12; wf_fps; wf_fps_pooled ] @ wf_fps_series
+
+(* Series for the allocation-rate bench (wfq_bench alloc): each family's
+   headline member next to its pooled counterpart, so the words/op delta
+   isolates what segment-pool recycling saves. *)
+let alloc_series = [ lf; lf_pooled; wf_opt12; wf_pooled; wf_fps; wf_fps_pooled ]
 
 let wf_hp : impl =
   (module struct
@@ -216,8 +257,9 @@ let mutex : impl =
   end)
 
 let all =
-  [ lf; lms; wf_base; wf_opt1; wf_opt2; wf_opt12; wf_fps; wf_hp;
-    wf_universal; flat_combining; two_lock; mutex ]
+  [ lf; lf_pooled; lms; wf_base; wf_opt1; wf_opt2; wf_opt12; wf_pooled;
+    wf_fps; wf_fps_pooled; wf_hp; wf_universal; flat_combining; two_lock;
+    mutex ]
 
 (* Variants for the ablation bench: helping-chunk size sweep plus the
    tuning enhancements. *)

@@ -16,6 +16,12 @@ type impl = (module BENCH_QUEUE)
 val lf : impl
 (** Michael-Scott lock-free queue — the paper's baseline ("LF"). *)
 
+val lf_pooled : impl
+(** Michael-Scott with segment-pool node recycling ("LF pooled"):
+    retired nodes are reused through per-domain
+    {!Wfq_primitives.Segment_pool} free lists (epoch quarantine always
+    on — the MS head CAS has no claim word to tag). *)
+
 val lms : impl
 (** Ladan-Mozes & Shavit optimistic lock-free queue (related work
     [14]). *)
@@ -31,6 +37,11 @@ val wf_opt2 : impl
 
 val wf_opt12 : impl
 (** Both optimizations ("opt WF (1+2)"). *)
+
+val wf_pooled : impl
+(** opt WF (1+2) with node and descriptor recycling through
+    {!Wfq_primitives.Segment_pool} ("opt WF (1+2) pooled"):
+    [Kp_queue.create_with ~pool:true]. *)
 
 val wf_chunk : int -> impl
 (** §3.3 extension: cyclic chunk helping of the given size. *)
@@ -59,6 +70,10 @@ val wf_fps : impl
     then the KP helping slow path (opt 1+2). Wait-free, linearizable,
     strict FIFO — safe with {!Workload.pairs}. *)
 
+val wf_fps_pooled : impl
+(** {!wf_fps} with node and descriptor recycling ("WF fps pooled"):
+    [Kp_queue_fps.create_with ~pool:true]. *)
+
 val wf_fps_mf : int -> impl
 (** Same with an explicit [max_failures] budget ("WF fps mf=K"). *)
 
@@ -66,8 +81,13 @@ val wf_fps_series : impl list
 (** The fast-path budget sweep: max_failures ∈ 1, 8, 64, 1024. *)
 
 val fps_bench_series : impl list
-(** Series for the fps bench: LF, base WF, opt WF (1+2), WF fps, plus
-    {!wf_fps_series}. *)
+(** Series for the fps bench: LF, base WF, opt WF (1+2), WF fps, WF fps
+    pooled, plus {!wf_fps_series}. *)
+
+val alloc_series : impl list
+(** Series for the allocation-rate bench ([wfq_bench alloc]): LF,
+    opt WF (1+2) and WF fps, each next to its pooled counterpart, so
+    the words/op delta isolates segment-pool recycling. *)
 
 val wf_hp : impl
 (** Wait-free queue with hazard-pointer reclamation (§3.4). *)

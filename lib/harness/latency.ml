@@ -6,6 +6,7 @@ type summary = {
   p999 : float;
   max : float;
   samples : int;
+  minor_collections : int;
 }
 
 let measure ?(threads = 4) ?(iters = 10_000) (module Q : Impls.BENCH_QUEUE) =
@@ -26,7 +27,13 @@ let measure ?(threads = 4) ?(iters = 10_000) (module Q : Impls.BENCH_QUEUE) =
   in
   let domains = List.init threads (fun tid -> Domain.spawn (worker tid)) in
   Barrier.wait barrier;
+  (* Minor collections are stop-the-world events: every one inside the
+     measured window is a latency spike shared by all domains, so the
+     count contextualizes the tail percentiles (a p999 dominated by GC
+     pauses is an allocation-rate problem, not a queue-algorithm one). *)
+  let g0 = (Gc.quick_stat ()).Gc.minor_collections in
   List.iter Domain.join domains;
+  let g1 = (Gc.quick_stat ()).Gc.minor_collections in
   let xs = Array.to_list latencies in
   {
     p50 = Wfq_primitives.Stats.median xs;
@@ -34,4 +41,5 @@ let measure ?(threads = 4) ?(iters = 10_000) (module Q : Impls.BENCH_QUEUE) =
     p999 = Wfq_primitives.Stats.percentile xs 99.9;
     max = Wfq_primitives.Stats.maximum xs;
     samples = threads * iters;
+    minor_collections = g1 - g0;
   }

@@ -8,6 +8,10 @@ type summary = {
   p999 : float;
   max : float;
   samples : int;
+  minor_collections : int;
+      (** stop-the-world minor collections inside the measured window —
+          each is a shared latency spike, so a GC-dominated tail is
+          distinguishable from a helping-dominated one *)
 }
 
 val measure : ?threads:int -> ?iters:int -> Impls.impl -> summary

@@ -19,10 +19,19 @@ type counters = {
   mutable deq_empties : int;
 }
 
+type gc_stats = {
+  minor_words : float;
+      (** words allocated through the minor heaps of all workers *)
+  promoted_words : float;  (** of those, words that survived to the major heap *)
+  minor_collections : int;  (** global stop-the-world minor collections *)
+  major_collections : int;  (** major cycles completed *)
+}
+
 type run_result = {
   seconds : float;
   total_ops : int;
   per_thread : counters array;
+  gc : gc_stats;
 }
 
 let now = Unix.gettimeofday
@@ -35,17 +44,44 @@ let spawn_and_time ~threads worker =
   (* The main domain is barrier participant [threads]: it records t0 the
      instant all workers are released and t1 when the last one joins. *)
   let barrier = Barrier.create (threads + 1) in
+  (* Allocation counters are per-domain in OCaml 5, so each worker
+     samples its own deltas around the loop and the deltas are summed.
+     [minor_words] must come from [Gc.minor_words] (which reads the
+     live allocation pointer) — the [Gc.quick_stat] field is only
+     flushed at the domain's minor collections, so a worker whose whole
+     run fits in one young generation would report 0. [promoted_words]
+     has no such gap: promotion happens only during a minor collection,
+     exactly when the stat is flushed. Collection counts are global
+     events (a minor collection stops the world across domains) and are
+     therefore deltaed once, from the main domain, around the whole
+     run. *)
+  let minor_w = Array.make threads 0.0 in
+  let promoted_w = Array.make threads 0.0 in
   let domains =
     Array.init threads (fun tid ->
         Domain.spawn (fun () ->
             Barrier.wait barrier;
-            worker tid))
+            let w0 = Gc.minor_words () in
+            let s0 = Gc.quick_stat () in
+            worker tid;
+            let s1 = Gc.quick_stat () in
+            minor_w.(tid) <- Gc.minor_words () -. w0;
+            promoted_w.(tid) <- s1.Gc.promoted_words -. s0.Gc.promoted_words))
   in
   Barrier.wait barrier;
+  let g0 = Gc.quick_stat () in
   let t0 = now () in
   Array.iter Domain.join domains;
   let t1 = now () in
-  t1 -. t0
+  let g1 = Gc.quick_stat () in
+  let sum a = Array.fold_left ( +. ) 0.0 a in
+  ( t1 -. t0,
+    {
+      minor_words = sum minor_w;
+      promoted_words = sum promoted_w;
+      minor_collections = g1.Gc.minor_collections - g0.Gc.minor_collections;
+      major_collections = g1.Gc.major_collections - g0.Gc.major_collections;
+    } )
 
 let fresh_counters threads =
   Array.init threads (fun _ -> { enqs = 0; deq_hits = 0; deq_empties = 0 })
@@ -74,7 +110,7 @@ let pairs ?(check = true) (module Q : Impls.BENCH_QUEUE) ~threads ~iters () =
       | None -> c.deq_empties <- c.deq_empties + 1
     done
   in
-  let seconds = spawn_and_time ~threads worker in
+  let seconds, gc = spawn_and_time ~threads worker in
   if check then begin
     let empties = sum_by counters (fun c -> c.deq_empties) in
     if empties > 0 then
@@ -87,7 +123,7 @@ let pairs ?(check = true) (module Q : Impls.BENCH_QUEUE) ~threads ~iters () =
         (Printf.sprintf "%s: %d elements left after balanced pairs workload"
            Q.name leftover)
   end;
-  { seconds; total_ops = 2 * threads * iters; per_thread = counters }
+  { seconds; total_ops = 2 * threads * iters; per_thread = counters; gc }
 
 (* Pairs for relaxed queues (the sharded front-end): each iteration
    still enqueues then dequeues, but a [None] is retried rather than
@@ -120,7 +156,7 @@ let pairs_relaxed ?(check = true) ?(max_retries = 10_000_000)
       take 0
     done
   in
-  let seconds = spawn_and_time ~threads worker in
+  let seconds, gc = spawn_and_time ~threads worker in
   if check then begin
     let enqs = sum_by counters (fun c -> c.enqs) in
     let hits = sum_by counters (fun c -> c.deq_hits) in
@@ -135,7 +171,7 @@ let pairs_relaxed ?(check = true) ?(max_retries = 10_000_000)
            "%s: %d elements left after balanced relaxed-pairs workload"
            Q.name leftover)
   end;
-  { seconds; total_ops = 2 * threads * iters; per_thread = counters }
+  { seconds; total_ops = 2 * threads * iters; per_thread = counters; gc }
 
 let p_enq ?(check = true) ?(prefill = 1000) ?(seed = 42)
     (module Q : Impls.BENCH_QUEUE) ~threads ~iters () =
@@ -159,7 +195,7 @@ let p_enq ?(check = true) ?(prefill = 1000) ?(seed = 42)
         | None -> c.deq_empties <- c.deq_empties + 1
     done
   in
-  let seconds = spawn_and_time ~threads worker in
+  let seconds, gc = spawn_and_time ~threads worker in
   if check then begin
     let enqs = sum_by counters (fun c -> c.enqs) in
     let hits = sum_by counters (fun c -> c.deq_hits) in
@@ -170,7 +206,7 @@ let p_enq ?(check = true) ?(prefill = 1000) ?(seed = 42)
            "%s: conservation violated (prefill %d + enq %d - deq %d <> left %d)"
            Q.name prefill enqs hits leftover)
   end;
-  { seconds; total_ops = threads * iters; per_thread = counters }
+  { seconds; total_ops = threads * iters; per_thread = counters; gc }
 
 (** Repeat a measurement [runs] times (paper: ten) and return the list of
     completion times in seconds. *)

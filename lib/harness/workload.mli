@@ -9,10 +9,24 @@ type counters = {
   mutable deq_empties : int;
 }
 
+type gc_stats = {
+  minor_words : float;
+      (** words allocated through the minor heap, summed over the worker
+          domains' own [Gc.quick_stat] deltas (allocation counters are
+          per-domain in OCaml 5) *)
+  promoted_words : float;
+      (** of those, words that survived into the major heap *)
+  minor_collections : int;
+      (** stop-the-world minor collections during the measured window
+          (global events, deltaed once from the coordinating domain) *)
+  major_collections : int;  (** major cycles completed in the window *)
+}
+
 type run_result = {
   seconds : float;  (** wall-clock completion time of all threads *)
   total_ops : int;
   per_thread : counters array;
+  gc : gc_stats;  (** GC activity inside the measured window *)
 }
 
 val pairs :

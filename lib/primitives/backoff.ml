@@ -20,14 +20,19 @@ let create ?(min_spins = default_min) ?(max_spins = default_max) () =
     invalid_arg "Backoff.create: max_spins must be >= min_spins";
   { min_spins; max_spins; spins = min_spins }
 
-(* A data dependency the compiler cannot remove, so the loop really spins. *)
-let spin_sink = ref 0
-
 let once t =
-  for i = 1 to t.spins do
-    spin_sink := !spin_sink + i
+  (* [Domain.cpu_relax] compiles to the architecture's spin-wait hint
+     (PAUSE on x86, YIELD on arm64): it frees pipeline resources for the
+     sibling hyperthread and cuts the memory-order-violation penalty
+     when the awaited line arrives, which a plain arithmetic spin loop
+     does neither of. *)
+  for _ = 1 to t.spins do
+    Domain.cpu_relax ()
   done;
-  if t.spins < t.max_spins then t.spins <- t.spins * 2
+  (* Clamped doubling: [max_spins] is a true ceiling even when it is not
+     on the doubling ladder (previously 3 -> 6 -> 12 could overshoot a
+     cap of 10). *)
+  if t.spins < t.max_spins then t.spins <- min (t.spins * 2) t.max_spins
 
 let reset t = t.spins <- t.min_spins
 let current_spins t = t.spins

@@ -5,15 +5,22 @@
 
 type t
 
+val default_min : int
+(** 16 — the [create] default for [min_spins]. *)
+
+val default_max : int
+(** 4096 — the [create] default for [max_spins]. *)
+
 val create : ?min_spins:int -> ?max_spins:int -> unit -> t
-(** [create ()] makes a backoff starting at [min_spins] (default 16)
-    and doubling up to [max_spins] (default 4096) busy-work iterations.
-    Raises [Invalid_argument] if [min_spins <= 0] or
-    [max_spins < min_spins]. *)
+(** [create ()] makes a backoff starting at [min_spins] (default
+    {!default_min}) and doubling up to [max_spins] (default
+    {!default_max}) spin-wait-hint iterations. Raises
+    [Invalid_argument] if [min_spins <= 0] or [max_spins < min_spins]. *)
 
 val once : t -> unit
-(** Spin for the current duration, then double it (up to the cap). Call
-    after a failed CAS. *)
+(** Spin for the current duration — each iteration is a
+    [Domain.cpu_relax] architecture spin-wait hint — then double it,
+    clamped to the cap. Call after a failed CAS. *)
 
 val reset : t -> unit
 (** Return to [min_spins]. Call after a successful operation. *)

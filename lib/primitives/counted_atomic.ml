@@ -35,6 +35,42 @@ let pp fmt c =
     c.reads c.writes c.cas_success c.cas_failure c.exchanges c.fetch_adds
     (total c)
 
+(* ------------------------------------------------------------------ *)
+(* Epoch tags: version-stamped integers for ABA-safe recycling         *)
+(* ------------------------------------------------------------------ *)
+
+module Epoch = struct
+  (* A small signed payload (>= -1) and an incarnation counter packed
+     into one immediate int, so a CAS on an [int A.t] cell compares both
+     at once. Used by the node pools ([Segment_pool]): a recycled node's
+     claim word carries the next incarnation's epoch, so a stalled
+     helper's CAS — expecting the previous incarnation's packed word —
+     fails instead of ABA-claiming the fresh incarnation.
+
+     Layout: [epoch lsl bits + value]. Epoch 0 packs to the raw value,
+     so untagged code and tagged code agree on the initial state
+     (pack ~epoch:0 (-1) = -1, the queues' unclaimed marker). *)
+
+  let bits = 20
+  let max_value = (1 lsl (bits - 1)) - 1
+
+  let pack ~epoch value =
+    if value < -1 || value > max_value then
+      invalid_arg "Counted_atomic.Epoch.pack: value out of range";
+    (epoch lsl bits) + value
+
+  (* [p + 1 = epoch lsl bits + (value + 1)] with [value + 1] in
+     [0, 2^bits): the shift separates the fields exactly. *)
+  let epoch p = (p + 1) asr bits
+  let value p = ((p + 1) land ((1 lsl bits) - 1)) - 1
+
+  let with_value p v = pack ~epoch:(epoch p) v
+
+  (** The unclaimed word of the next incarnation: bump the epoch, reset
+      the payload to -1. Applied when a pooled node is recycled. *)
+  let next_incarnation p = pack ~epoch:(epoch p + 1) (-1)
+end
+
 module Make (Base : Atomic_intf.ATOMIC) = struct
   type 'a t = 'a Base.t
 

@@ -77,6 +77,33 @@ let test_backoff_growth () =
   Backoff.reset b;
   Alcotest.(check int) "reset to min" 4 (Backoff.current_spins b)
 
+(* Pin the full cap/growth schedule (the satellite contract for the
+   Domain.cpu_relax spin body): doubling from min, saturating exactly at
+   max, including a non-power-of-two cap, plus the library defaults. *)
+let test_backoff_schedule () =
+  let schedule b n =
+    List.init n (fun _ ->
+        let s = Backoff.current_spins b in
+        Backoff.once b;
+        s)
+  in
+  let b = Backoff.create ~min_spins:4 ~max_spins:64 () in
+  Alcotest.(check (list int))
+    "doubling schedule, saturated at the cap"
+    [ 4; 8; 16; 32; 64; 64; 64 ]
+    (schedule b 7);
+  (* A cap off the doubling ladder is still a true ceiling. *)
+  let b = Backoff.create ~min_spins:3 ~max_spins:10 () in
+  Alcotest.(check (list int)) "cap off the doubling ladder" [ 3; 6; 10; 10 ]
+    (schedule b 4);
+  Alcotest.(check int) "default min is 16" 16 Backoff.default_min;
+  Alcotest.(check int) "default max is 4096" 4096 Backoff.default_max;
+  let b = Backoff.create () in
+  Alcotest.(check int) "defaults start at min" 16 (Backoff.current_spins b);
+  Backoff.once b;
+  Backoff.reset b;
+  Alcotest.(check int) "reset returns to min" 16 (Backoff.current_spins b)
+
 let test_backoff_validation () =
   Alcotest.check_raises "min must be positive"
     (Invalid_argument "Backoff.create: min_spins must be > 0") (fun () ->
@@ -180,6 +207,8 @@ let () =
         [
           Alcotest.test_case "exponential growth and reset" `Quick
             test_backoff_growth;
+          Alcotest.test_case "full cap/growth schedule" `Quick
+            test_backoff_schedule;
           Alcotest.test_case "argument validation" `Quick
             test_backoff_validation;
         ] );
