@@ -23,6 +23,13 @@ let iters_arg =
   let doc = "Iterations per thread." in
   Arg.(value & opt (some int) None & info [ "iters" ] ~docv:"N" ~doc)
 
+(* The stats subcommand runs at one domain count (it snapshots one
+   configuration, it does not sweep an axis), so --threads is a single
+   int there rather than the comma list of the figure commands. *)
+let threads_single_arg =
+  let doc = "Number of worker domains (default 4)." in
+  Arg.(value & opt (some int) None & info [ "threads" ] ~docv:"N" ~doc)
+
 let runs_arg =
   let doc = "Repetitions averaged per data point (paper: 10)." in
   Arg.(value & opt (some int) None & info [ "runs" ] ~docv:"N" ~doc)
@@ -236,6 +243,102 @@ let run_alloc paper threads iters runs sizes csv json =
     print_endline "wrote BENCH_alloc.json"
   end
 
+(* Observability snapshot: instrumented multi-domain runs populating the
+   Wfq_obsv metric registry (phase lag, slow-path rate, pool hit rate,
+   shard steals, ...), a human report, the disabled-vs-enabled overhead
+   guard, and --json for the BENCH_stats.json artifact CI diffs. *)
+let run_stats threads iters runs json =
+  let module OB = Wfq_harness.Obsv_bench in
+  let threads = Option.value threads ~default:4 in
+  let iters = Option.value iters ~default:20_000 in
+  let runs = Option.value runs ~default:50 in
+  Printf.printf
+    "collecting instrumented runs (%d domains x %d iters per queue)...\n%!"
+    threads iters;
+  let reg, lines = OB.collect ~threads ~iters () in
+  print_endline "";
+  print_endline "=== metric registry ===";
+  Wfq_obsv.Metrics.dump reg stdout;
+  print_endline "";
+  print_endline "=== per-queue timings ===";
+  List.iter
+    (fun l ->
+      Printf.printf "%-12s %d domains  %9d ops  %8.3f s  %10.0f ops/s\n"
+        l.OB.queue l.OB.threads l.OB.ops l.OB.seconds
+        (float_of_int l.OB.ops /. l.OB.seconds))
+    lines;
+  print_endline "";
+  Printf.printf "=== overhead guard (budget: enabled/disabled <= %.2f) ===\n%!"
+    OB.overhead_budget;
+  let overheads = OB.measure_overhead ~iters ~runs () in
+  List.iter
+    (fun o ->
+      Printf.printf
+        "%-12s disabled %8.1f ns/op   enabled %8.1f ns/op   ratio %.4f%s\n"
+        o.OB.oh_queue o.OB.disabled_ns_per_op o.OB.enabled_ns_per_op
+        o.OB.ratio
+        (if o.OB.ratio > OB.overhead_budget then "  ** OVER BUDGET **"
+         else ""))
+    overheads;
+  if json then begin
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\n";
+    Buffer.add_string buf
+      "  \"title\": \"Observability snapshot: instrumented pairs runs\",\n";
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"meta\": {\"threads\": %d, \"iters\": %d, \"runs\": %d, \
+          \"workload\": \"pairs (shard_rr4: relaxed)\", \
+          \"latency_unit\": \"ns (bechamel monotonic clock)\", \
+          \"minor_heap_words\": %d},\n"
+         threads iters runs (Gc.get ()).Gc.minor_heap_size);
+    Buffer.add_string buf "  \"runs\": [\n";
+    List.iteri
+      (fun i l ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"queue\": \"%s\", \"threads\": %d, \"iters\": %d, \
+              \"seconds\": %g, \"ops\": %d}"
+             l.OB.queue l.OB.threads l.OB.iters l.OB.seconds l.OB.ops))
+      lines;
+    Buffer.add_string buf "\n  ],\n";
+    Buffer.add_string buf
+      (Printf.sprintf "  \"overhead\": {\"budget\": %g, \"queues\": [\n"
+         OB.overhead_budget);
+    List.iteri
+      (fun i o ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"queue\": \"%s\", \"disabled_ns_per_op\": %g, \
+              \"enabled_ns_per_op\": %g, \"ratio\": %g}"
+             o.OB.oh_queue o.OB.disabled_ns_per_op o.OB.enabled_ns_per_op
+             o.OB.ratio))
+      overheads;
+    Buffer.add_string buf "\n  ]},\n  ";
+    Wfq_obsv.Metrics.to_json_body buf reg;
+    Buffer.add_string buf "\n}\n";
+    let oc = open_out "BENCH_stats.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    print_endline "wrote BENCH_stats.json"
+  end
+
+let stats_cmd =
+  let term =
+    Term.(const run_stats $ threads_single_arg $ iters_arg $ runs_arg $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Observability snapshot (Wfq_obsv): run instrumented pairs \
+          workloads over opt WF (1+2), WF fps (pooled and forced-slow), \
+          the sharded front-end and the tid registry; print the metric \
+          registry and the 2% overhead guard; --json writes \
+          BENCH_stats.json.")
+    term
+
 let alloc_cmd =
   let term =
     Term.(
@@ -369,6 +472,7 @@ let cmds =
     shard_cmd;
     fps_cmd;
     alloc_cmd;
+    stats_cmd;
     figures_cmd;
     figure_cmd `All "all" "Every figure in sequence.";
   ]

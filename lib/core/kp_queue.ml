@@ -76,6 +76,39 @@ type tuning = {
 
 let default_tuning = { gc_friendly = false; validate_before_cas = false }
 
+(* Instrumentation handle (Wfq_obsv): per-tid single-writer cells only,
+   so an instrumented queue performs no extra shared-cell traffic — the
+   protocol's atomic-step traces are identical with and without it
+   (test/test_obsv.ml pins this under DPOR). [None] compiles the hot
+   paths down to the uninstrumented match arm. *)
+type metrics = {
+  m_help : Wfq_obsv.Counter.t;
+      (* peer-help dispatches, per helper tid (paper L36-47 scans that
+         found a pending peer; self-dispatches are not counted) *)
+  m_phase_lag : Wfq_obsv.Histogram.t;
+      (* helper's phase minus the helped peer descriptor's phase at
+         dispatch time: how far behind the operations we rescue are *)
+  m_desc_cas_fail : Wfq_obsv.Counter.t;
+      (* descriptor-completion/publication CASes lost to a racing
+         helper (every [drop_desc] site) *)
+  m_phase_cas_lost : Wfq_obsv.Counter.t;
+      (* Phase_counter bumps whose CAS failed (footnote 3): the bump is
+         lost, the phase is shared with the winner — harmless for
+         correctness, but previously invisible *)
+}
+
+let metrics registry ~prefix ~slots =
+  let open Wfq_obsv in
+  {
+    m_help = Metrics.counter registry ~name:(prefix ^ ".help_events") ~slots;
+    m_phase_lag =
+      Metrics.histogram registry ~name:(prefix ^ ".phase_lag") ~slots;
+    m_desc_cas_fail =
+      Metrics.counter registry ~name:(prefix ^ ".desc_cas_failures") ~slots;
+    m_phase_cas_lost =
+      Metrics.counter registry ~name:(prefix ^ ".phase_cas_lost") ~slots;
+  }
+
 module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   module N = Kp_internals.Make (A)
   open N
@@ -149,6 +182,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
            single-writer *)
     num_threads : int;
     pools : 'a pools option;
+    obsv : metrics option;
     idle_desc : 'a op_desc;
         (* the shared construction-time descriptor; never pool-released *)
   }
@@ -156,7 +190,8 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   let name = "kp-wait-free"
 
   let create_with ?(tuning = default_tuning) ?(pool = false)
-      ?pool_segment ?(pool_quarantine = true) ~help ~phase ~num_threads () =
+      ?pool_segment ?(pool_quarantine = true) ?obsv ~help ~phase
+      ~num_threads () =
     if num_threads <= 0 then invalid_arg "Kp_queue.create: num_threads";
     (match help with
     | Help_chunk k when k <= 0 ->
@@ -199,6 +234,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
       help_cursor = Array.make num_threads 0;
       num_threads;
       pools;
+      obsv;
       idle_desc = idle;
     }
 
@@ -251,8 +287,12 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
         d
 
   (* A descriptor that lost its publication CAS was never visible to
-     anyone: back to the pool immediately. *)
+     anyone: back to the pool immediately. Every call site is a lost
+     descriptor CAS, so this is also the counting point. *)
   let drop_desc t ~self d =
+    (match t.obsv with
+    | Some m -> Wfq_obsv.Counter.incr m.m_desc_cas_fail ~slot:self
+    | None -> ());
     match t.pools with
     | Some { descs = Some dp; _ } -> Pool.release dp ~tid:self d
     | _ -> ()
@@ -283,14 +323,22 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
       (fun acc slot -> max acc (P.get slot).phase)
       (-1) t.state
 
-  let next_phase t =
+  let next_phase t ~tid =
     match t.phase_policy with
     | Phase_scan -> max_phase t + 1
     | Phase_counter ->
         (* Footnote 3: a failed CAS just means another thread picked the
-           same phase, which is harmless, so the result is ignored. *)
+           same phase, which is harmless for correctness — the phase
+           need not be unique, only non-decreasing — so the bump is
+           dropped rather than retried. The drop used to be silent;
+           [m_phase_cas_lost] now counts it (the satellite bugfix:
+           duplicated phases mean extra helping traffic, worth seeing). *)
         let cur = A.get t.phase_counter in
-        ignore (A.compare_and_set t.phase_counter cur (cur + 1));
+        if not (A.compare_and_set t.phase_counter cur (cur + 1)) then begin
+          match t.obsv with
+          | Some m -> Wfq_obsv.Counter.incr m.m_phase_cas_lost ~slot:tid
+          | None -> ()
+        end;
         cur + 1
 
   (* L58-60 *)
@@ -484,9 +532,24 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
 
   let help_slot t ~self i phase =
     let desc = P.get t.state.(i) in
-    if desc.pending && desc.phase <= phase then
+    if desc.pending && desc.phase <= phase then begin
+      (* Peer helps only: dispatching your own freshly-published op is
+         the common uncontended path (lag 0 by construction), so
+         counting it would bury the signal and put a histogram record
+         on every operation. A help event is rescuing someone else. *)
+      (if i <> self then
+         match t.obsv with
+         | Some m ->
+             Wfq_obsv.Counter.incr m.m_help ~slot:self;
+             (* How stale is the operation we are about to rescue?
+                Large lags mean threads are falling behind their
+                helpers (scheduling pressure). *)
+             Wfq_obsv.Histogram.record m.m_phase_lag ~slot:self
+               (phase - desc.phase)
+         | None -> ());
       if desc.enqueue then help_enq t ~self i phase
       else help_deq t ~self i phase
+    end
 
   (* L36-47, or the §3.3 cyclic variant. Either way the caller's own
      operation is completed before returning. *)
@@ -517,7 +580,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   (* L61-66 *)
   let enqueue t ~tid value =
     op_enter t ~tid;
-    let phase = next_phase t in
+    let phase = next_phase t ~tid in
     let node = alloc_node t ~self:tid ~enq_tid:tid value in
     publish t ~tid
       (mk_desc t ~self:tid ~phase ~pending:true ~enqueue:true
@@ -539,7 +602,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   (* L98-108 *)
   let dequeue t ~tid =
     op_enter t ~tid;
-    let phase = next_phase t in
+    let phase = next_phase t ~tid in
     publish t ~tid
       (mk_desc t ~self:tid ~phase ~pending:true ~enqueue:false ~node:None);
     run_help t ~tid ~phase;
@@ -612,4 +675,17 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
         Some
           ( line p.nodes,
             match p.descs with Some dp -> Some (line dp) | None -> None )
+
+  (* Attach the node (and descriptor) pools' live counters to a metrics
+     registry; no-op for unpooled queues. Composes with the [?obsv]
+     handle: together they cover every diagnostic the queue produces. *)
+  let register_pool_metrics t registry ~prefix =
+    match t.pools with
+    | None -> ()
+    | Some p ->
+        Pool.register_metrics p.nodes registry ~prefix:(prefix ^ ".nodes");
+        (match p.descs with
+        | Some dp ->
+            Pool.register_metrics dp registry ~prefix:(prefix ^ ".descs")
+        | None -> ())
 end

@@ -49,6 +49,19 @@ type tuning = {
 
 val default_tuning : tuning
 
+type metrics
+(** Instrumentation handle ({!Wfq_obsv}): help-event and
+    descriptor-CAS-failure counters, a phase-lag histogram, and the
+    lost-Phase_counter-bump counter. Writes are per-tid single-writer
+    plain cells only — an instrumented queue performs no extra
+    shared-cell (atomic) traffic, so its DPOR traces are identical to an
+    uninstrumented one's. *)
+
+val metrics : Wfq_obsv.Metrics.t -> prefix:string -> slots:int -> metrics
+(** Create the handle and register its metrics under
+    [prefix ^ ".help_events"/".phase_lag"/".desc_cas_failures"/
+    ".phase_cas_lost"]. [slots] must be the queue's [num_threads]. *)
+
 module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
   type 'a t
 
@@ -64,6 +77,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
     ?pool:bool ->
     ?pool_segment:int ->
     ?pool_quarantine:bool ->
+    ?obsv:metrics ->
     help:help_policy ->
     phase:phase_policy ->
     num_threads:int ->
@@ -84,7 +98,11 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
       defense — meant exclusively for model-checking the tag in
       isolation, never for production use. [pool_segment] sets the
       carve-batch size (default
-      {!Wfq_primitives.Segment_pool.Make.default_segment_size}). *)
+      {!Wfq_primitives.Segment_pool.Make.default_segment_size}).
+
+      [obsv] (default: none) attaches an instrumentation handle built
+      with {!metrics}; omitting it compiles every instrumentation site
+      down to a no-op match arm. *)
 
   val enqueue : 'a t -> tid:int -> 'a -> unit
   (** Wait-free linearizable FIFO insert, linearized at the successful
@@ -127,4 +145,10 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
       descriptor pool when descriptor recycling is active ([None] under
       [pool_quarantine:false]). [parked] counts objects currently
       sitting in free lists or quarantine. *)
+
+  val register_pool_metrics :
+    'a t -> Wfq_obsv.Metrics.t -> prefix:string -> unit
+  (** Attach the node (and, when active, descriptor) pools' live
+      counters and gauges under [prefix ^ ".nodes.*"] / [".descs.*"];
+      no-op for unpooled queues. *)
 end

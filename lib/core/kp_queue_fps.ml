@@ -58,6 +58,33 @@ let default_tuning = Kp_queue.default_tuning
 
 let default_max_failures = 64
 
+(* Instrumentation handle (Wfq_obsv), same discipline as
+   {!Kp_queue.metrics}: per-tid single-writer plain cells, zero extra
+   shared-cell traffic, [None] compiles to the uninstrumented arm. The
+   always-on fast/slow counters live in ['a t] directly (they predate
+   the obsv layer and every probe reads them); this record carries the
+   finer-grained path diagnostics. *)
+type metrics = {
+  m_fast_rounds : Wfq_obsv.Counter.t;
+      (* fast-path CAS rounds consumed by *contended* attempts, per
+         tid: ops that needed more than one round, plus rounds burned
+         before a slow fallback. First-try successes are one round each
+         and already counted by [fast_hits], so the uncontended path
+         records nothing — total rounds = fast_hits + fast_rounds. *)
+  m_claim_handoff : Wfq_obsv.Counter.t;
+      (* fast dequeues that lost the sentinel claim and handed off by
+         finishing the winner's operation (help_finish_deq) instead *)
+}
+
+let metrics registry ~prefix ~slots =
+  let open Wfq_obsv in
+  {
+    m_fast_rounds =
+      Metrics.counter registry ~name:(prefix ^ ".fast_rounds") ~slots;
+    m_claim_handoff =
+      Metrics.counter registry ~name:(prefix ^ ".claim_handoffs") ~slots;
+  }
+
 (* Test-only seeded bugs (model-checker calibration): each reinstates a
    known-fatal deviation from the protocol so the test suite can prove
    the checker finds it. Never set in production code. *)
@@ -138,17 +165,21 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
     num_threads : int;
     pools : 'a pools option;
     idle_desc : 'a op_desc;
-    (* Single-writer per-tid statistics (exact at quiescence). *)
-    fast_hits : int array;
-    slow_entries : int array;
+    (* Single-writer per-tid statistics (exact at quiescence); always on
+       — the probes below and debug_dump read them — and padded, unlike
+       the plain int arrays they replace, which false-shared adjacent
+       tids' cells. *)
+    fast_hits : Wfq_obsv.Counter.t;
+    slow_entries : Wfq_obsv.Counter.t;
+    obsv : metrics option;
   }
 
   let name = "kp-fps"
 
   let create_with ?(tuning = default_tuning)
       ?(max_failures = default_max_failures) ?fault ?(pool = false)
-      ?pool_segment ?(pool_quarantine = true) ~help ~phase ~num_threads
-      () =
+      ?pool_segment ?(pool_quarantine = true) ?obsv ~help ~phase
+      ~num_threads () =
     if num_threads <= 0 then invalid_arg "Kp_queue_fps.create: num_threads";
     if max_failures < 0 then
       invalid_arg "Kp_queue_fps.create: max_failures must be >= 0";
@@ -203,8 +234,9 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
       num_threads;
       pools;
       idle_desc = idle;
-      fast_hits = Array.make num_threads 0;
-      slow_entries = Array.make num_threads 0;
+      fast_hits = Wfq_obsv.Counter.create ~slots:num_threads ();
+      slow_entries = Wfq_obsv.Counter.create ~slots:num_threads ();
+      obsv;
     }
 
   (* The default slow path uses the paper's fastest configuration (both
@@ -229,6 +261,18 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   let is_still_pending t tid phase =
     let desc = P.get t.state.(tid) in
     desc.pending && desc.phase <= phase
+
+  (* Optional-instrumentation writes, factored so the operation bodies
+     stay readable. All single-writer tid-local stores. *)
+  let note_fast_rounds t ~tid n =
+    match t.obsv with
+    | Some m -> Wfq_obsv.Counter.add m.m_fast_rounds ~slot:tid n
+    | None -> ()
+
+  let note_claim_handoff t ~tid =
+    match t.obsv with
+    | Some m -> Wfq_obsv.Counter.incr m.m_claim_handoff ~slot:tid
+    | None -> ()
 
   (* ------------------------------------------------------------------ *)
   (* Pool plumbing — identical scheme to Kp_queue's: [self] is the       *)
@@ -513,7 +557,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
      rewriting [enq_tid] from the fast-path marker to the real tid is
      safe pre-publication — instead of allocating a second node. *)
   let slow_enqueue t ~tid node =
-    t.slow_entries.(tid) <- t.slow_entries.(tid) + 1;
+    Wfq_obsv.Counter.incr t.slow_entries ~slot:tid;
     (* Raise the flag before publishing so that any fast-path operation
        starting after our descriptor is visible also sees the flag. *)
     ignore (A.fetch_and_add t.slow_pending 1);
@@ -530,7 +574,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
         (mk_desc t ~self:tid ~phase ~pending:false ~enqueue:true ~node:None)
 
   let slow_dequeue t ~tid =
-    t.slow_entries.(tid) <- t.slow_entries.(tid) + 1;
+    Wfq_obsv.Counter.incr t.slow_entries ~slot:tid;
     ignore (A.fetch_and_add t.slow_pending 1);
     let phase = next_phase t in
     publish t ~tid
@@ -567,7 +611,10 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
        descriptor that was never published (see help_finish_enq). *)
     let node = alloc_node t ~self:tid ~enq_tid:(-1) value in
     let rec attempt failures =
-      if failures >= t.max_failures then slow_enqueue t ~tid node
+      if failures >= t.max_failures then begin
+        note_fast_rounds t ~tid failures;
+        slow_enqueue t ~tid node
+      end
       else
         let last = A.get t.tail in
         let next = A.get last.next in
@@ -578,7 +625,8 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
                 (* Linearized; fix tail lazily, MS-style (failure means
                    someone helped us). *)
                 ignore (A.compare_and_set t.tail last node);
-                t.fast_hits.(tid) <- t.fast_hits.(tid) + 1
+                if failures > 0 then note_fast_rounds t ~tid (failures + 1);
+                Wfq_obsv.Counter.incr t.fast_hits ~slot:tid
               end
               else attempt (failures + 1)
           | Some _ ->
@@ -595,7 +643,10 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
     op_enter t ~tid;
     maybe_help t ~tid;
     let rec attempt failures =
-      if failures >= t.max_failures then slow_dequeue t ~tid
+      if failures >= t.max_failures then begin
+        note_fast_rounds t ~tid failures;
+        slow_dequeue t ~tid
+      end
       else
         let first = A.get t.head in
         (* Claim word captured with the head reference (epoch ABA
@@ -609,7 +660,8 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
             | None ->
                 (* Observed empty — linearizable and free of descriptor
                    traffic on both paths. *)
-                t.fast_hits.(tid) <- t.fast_hits.(tid) + 1;
+                if failures > 0 then note_fast_rounds t ~tid (failures + 1);
+                Wfq_obsv.Counter.incr t.fast_hits ~slot:tid;
                 None
             | Some _ ->
                 help_finish_enq t ~self:tid;
@@ -622,7 +674,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
                   (* Seeded bug: pure MS dequeue, no deq_tid claim — can
                      deliver an element a slow dequeue already owns. *)
                   if A.compare_and_set t.head first n then begin
-                    t.fast_hits.(tid) <- t.fast_hits.(tid) + 1;
+                    Wfq_obsv.Counter.incr t.fast_hits ~slot:tid;
                     n.value
                   end
                   else attempt (failures + 1)
@@ -637,12 +689,14 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
                   let v = n.value in
                   if A.compare_and_set t.head first n then
                     release_node t ~self:tid first;
-                  t.fast_hits.(tid) <- t.fast_hits.(tid) + 1;
+                  if failures > 0 then note_fast_rounds t ~tid (failures + 1);
+                  Wfq_obsv.Counter.incr t.fast_hits ~slot:tid;
                   v
                 end
                 else begin
                   (* Someone else's dequeue is mid-flight on this
                      sentinel; finish it and retry. *)
+                  note_claim_handoff t ~tid;
                   help_finish_deq t ~self:tid;
                   attempt (failures + 1)
                 end
@@ -683,10 +737,11 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   (* ------------------------------------------------------------------ *)
 
   let max_failures t = t.max_failures
-  let fast_path_hits_of t ~tid = t.fast_hits.(tid)
-  let slow_path_entries_of t ~tid = t.slow_entries.(tid)
-  let fast_path_hits t = Array.fold_left ( + ) 0 t.fast_hits
-  let slow_path_entries t = Array.fold_left ( + ) 0 t.slow_entries
+  let fast_path_hits_of t ~tid = Wfq_obsv.Counter.slot_value t.fast_hits ~slot:tid
+  let slow_path_entries_of t ~tid =
+    Wfq_obsv.Counter.slot_value t.slow_entries ~slot:tid
+  let fast_path_hits t = Wfq_obsv.Counter.total t.fast_hits
+  let slow_path_entries t = Wfq_obsv.Counter.total t.slow_entries
   let pending_of t ~tid = (P.get t.state.(tid)).pending
   let phase_of t ~tid = (P.get t.state.(tid)).phase
 
@@ -724,7 +779,8 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
           (match d.node with
           | None -> "None"
           | Some n -> Printf.sprintf "Some %d" (node_id n))
-          t.fast_hits.(tid) t.slow_entries.(tid))
+          (Wfq_obsv.Counter.slot_value t.fast_hits ~slot:tid)
+          (Wfq_obsv.Counter.slot_value t.slow_entries ~slot:tid))
       t.state;
     let rec walk i n =
       if i < 8 then begin
@@ -736,4 +792,22 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
       end
     in
     walk 0 head
+
+  (* Attach the always-on path counters (and, when pooled, the pools'
+     counters and gauges) to a metrics registry. The optional [?obsv]
+     handle registers itself at construction; this covers the rest. *)
+  let register_metrics t registry ~prefix =
+    let open Wfq_obsv in
+    Metrics.register registry (prefix ^ ".fast_hits")
+      (Metrics.Counter t.fast_hits);
+    Metrics.register registry (prefix ^ ".slow_entries")
+      (Metrics.Counter t.slow_entries);
+    match t.pools with
+    | None -> ()
+    | Some p ->
+        Pool.register_metrics p.nodes registry ~prefix:(prefix ^ ".nodes");
+        (match p.descs with
+        | Some dp ->
+            Pool.register_metrics dp registry ~prefix:(prefix ^ ".descs")
+        | None -> ())
 end

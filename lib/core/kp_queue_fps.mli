@@ -37,6 +37,17 @@ val default_max_failures : int
     of failed CAS rounds the helping scheme is cheaper than continued
     spinning, and a small budget keeps the worst-case latency tight). *)
 
+type metrics
+(** Instrumentation handle ({!Wfq_obsv}) for the path diagnostics the
+    always-on hit/entry counters don't capture: fast-path CAS rounds
+    consumed per operation and fast-dequeue claim handoffs. Writes are
+    per-tid single-writer plain cells — no extra shared-cell traffic. *)
+
+val metrics : Wfq_obsv.Metrics.t -> prefix:string -> slots:int -> metrics
+(** Create the handle and register its metrics under
+    [prefix ^ ".fast_rounds"/".claim_handoffs"]. [slots] must be the
+    queue's [num_threads]. *)
+
 (** Test-only seeded bugs: each reinstates a known-fatal deviation from
     the fast/slow compatibility handshake (docs/FASTPATH.md), so the
     model checker's ability to find and shrink them is itself testable.
@@ -75,6 +86,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
     ?pool:bool ->
     ?pool_segment:int ->
     ?pool_quarantine:bool ->
+    ?obsv:metrics ->
     help:help_policy ->
     phase:phase_policy ->
     num_threads:int ->
@@ -93,7 +105,11 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
       disables descriptor recycling; [pool_segment] sets the carve-batch
       size. Raises [Invalid_argument] for [num_threads <= 0], negative
       [max_failures], a non-positive chunk size, or a non-positive
-      [pool_segment]. *)
+      [pool_segment].
+
+      [obsv] (default: none) attaches an instrumentation handle built
+      with {!metrics}; omitting it compiles every instrumentation site
+      down to a no-op match arm. *)
 
   val enqueue : 'a t -> tid:int -> 'a -> unit
   (** Wait-free linearizable FIFO insert; linearizes at the successful
@@ -144,4 +160,10 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
 
   val debug_dump : 'a t -> unit
   (** Print head/tail/descriptor state to stdout (quiescent debugging). *)
+
+  val register_metrics :
+    'a t -> Wfq_obsv.Metrics.t -> prefix:string -> unit
+  (** Attach the always-on path counters ([prefix ^ ".fast_hits"] /
+      [".slow_entries"]) and, when pooled, the node/descriptor pools'
+      counters and gauges ([".nodes.*"] / [".descs.*"]). *)
 end

@@ -1,0 +1,62 @@
+(** Per-slot, cache-padded, single-writer event counters.
+
+    The queue stack's diagnostic counters were ad-hoc plain [int array]s
+    before this module existed, and two of them were racy (multi-domain
+    writers with no synchronization — see docs/OBSERVABILITY.md). This
+    module is the single replacement mechanism. Its contract:
+
+    {b Single-writer rule.} Each slot is written by exactly one domain
+    at a time. Queue code indexes slots by the {e executing} thread's
+    tid, so helper traffic is accounted to the helper — which keeps the
+    rule intact even though operations are completed cooperatively.
+    When slot ownership migrates between domains (e.g. the tid registry
+    hands a slot to a new domain), the migration must happen through a
+    synchronizing operation (a CAS on the slot's ownership word);
+    writers that cannot guarantee that must use {!Shared_counter}
+    instead.
+
+    {b Racy reads.} [total] / [snapshot] read the slots with plain
+    loads, concurrently with the writers. OCaml immediate ints are
+    word-sized, so a racing read returns some previously-written value
+    of that slot — never a torn word. Sums are therefore per-slot
+    consistent, monotone under monotone writers, and exact once the
+    writers are quiescent. They are {e not} a linearizable cut across
+    slots, and must not be used for control decisions, only reporting.
+
+    {b Cost.} An increment is one bounds-checked array load + store to a
+    slot that no other domain writes; slots are strided one cache line
+    apart so concurrent writers never share a line. No RMW, no fence:
+    this is deliberately {e cheaper} than an [Atomic.t] and is what lets
+    instrumentation sit on queue hot paths within the ≤2% overhead
+    budget. *)
+
+type t = { cells : int array; slots : int }
+
+(* One slot per 16 words = 128 bytes: a cache line on x86-64 plus guard
+   against adjacent-line prefetch pairing. *)
+let stride = 16
+
+let create ~slots () =
+  if slots <= 0 then invalid_arg "Obsv.Counter.create: slots";
+  { cells = Array.make (slots * stride) 0; slots }
+
+let slots t = t.slots
+
+let incr t ~slot =
+  let i = slot * stride in
+  t.cells.(i) <- t.cells.(i) + 1
+
+let add t ~slot n =
+  let i = slot * stride in
+  t.cells.(i) <- t.cells.(i) + n
+
+let slot_value t ~slot = t.cells.(slot * stride)
+
+let snapshot t = Array.init t.slots (fun i -> t.cells.(i * stride))
+
+let total t =
+  let acc = ref 0 in
+  for i = 0 to t.slots - 1 do
+    acc := !acc + t.cells.(i * stride)
+  done;
+  !acc

@@ -1,0 +1,34 @@
+(** Power-of-two-bucket histograms (48 buckets: bucket [b] holds
+    [2^b <= v < 2^(b+1)], bucket 0 absorbs [v <= 1]) under the
+    single-writer-per-slot rule of {!Counter}. Record cost is two plain
+    slot-local stores; quantiles are within 1.5x (bucket geometric
+    representative), maxima exact. *)
+
+type t
+
+val buckets : int
+
+val create : slots:int -> unit -> t
+(** Raises [Invalid_argument] for [slots <= 0]. *)
+
+val slots : t -> int
+
+val bucket_of : int -> int
+(** The bucket a value lands in (exposed for tests). *)
+
+val record : t -> slot:int -> int -> unit
+(** Record one sample (any non-negative int: latencies in ns, phase
+    lags, ...). Caller must be the slot's unique current writer. *)
+
+val merged : t -> int array
+(** Racy merged bucket counts, index = bucket. *)
+
+type summary = {
+  count : int;
+  p50 : float;  (** bucket representative: within 1.5x *)
+  p99 : float;  (** bucket representative: within 1.5x *)
+  max : int;  (** exact largest recorded sample *)
+}
+
+val summary : t -> summary
+(** Racy merge of all slots; exact at writer quiescence. *)

@@ -1,0 +1,170 @@
+(** Named-metric registry: the reporting surface over {!Counter},
+    {!Shared_counter}, {!Histogram} and polled gauges.
+
+    Registration happens at construction time (queue/pool/shard create
+    paths) under a mutex; reading ([to_json], [dump], [value]) takes
+    racy snapshots through each metric's own aggregate API and never
+    blocks writers — snapshots are exact at quiescence, indicative under
+    load, and by design invisible to the queue protocol (no shared-cell
+    traffic the model checker would schedule; test/test_obsv.ml pins
+    that). *)
+
+type metric =
+  | Counter of Counter.t
+  | Shared of Shared_counter.t
+  | Histogram of Histogram.t
+  | Gauge of (unit -> int)
+
+type t = {
+  mutable entries : (string * metric) list; (* newest first *)
+  lock : Mutex.t;
+}
+
+let create () = { entries = []; lock = Mutex.create () }
+
+let register t name m =
+  Mutex.protect t.lock (fun () ->
+      if List.mem_assoc name t.entries then
+        invalid_arg ("Obsv.Metrics.register: duplicate metric " ^ name);
+      t.entries <- (name, m) :: t.entries)
+
+let counter t ~name ~slots =
+  let c = Counter.create ~slots () in
+  register t name (Counter c);
+  c
+
+let shared_counter t ~name ~slots =
+  let c = Shared_counter.create ~slots () in
+  register t name (Shared c);
+  c
+
+let histogram t ~name ~slots =
+  let h = Histogram.create ~slots () in
+  register t name (Histogram h);
+  h
+
+let gauge t ~name f = register t name (Gauge f)
+
+let entries t =
+  Mutex.protect t.lock (fun () -> List.rev t.entries)
+
+let find t name =
+  Mutex.protect t.lock (fun () -> List.assoc_opt name t.entries)
+
+(** Scalar view of a metric: counter/shared total, gauge poll,
+    histogram sample count. [None] for unregistered names. *)
+let value t name =
+  match find t name with
+  | None -> None
+  | Some (Counter c) -> Some (Counter.total c)
+  | Some (Shared c) -> Some (Shared_counter.total c)
+  | Some (Gauge f) -> Some (f ())
+  | Some (Histogram h) -> Some (Histogram.summary h).Histogram.count
+
+let histogram_summary t name =
+  match find t name with
+  | Some (Histogram h) -> Some (Histogram.summary h)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let add_ints buf a =
+  Buffer.add_char buf '[';
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (string_of_int v))
+    a;
+  Buffer.add_char buf ']'
+
+(** One JSON object per metric, under a ["metrics"] array:
+    [{"name", "type", ...}] with [total]+[slots] for counters,
+    [count]/[p50]/[p99]/[max]+non-empty [buckets] ([[lower_bound,
+    count], ...]) for histograms, [value] for gauges. *)
+let to_json_body buf t =
+  Buffer.add_string buf "\"metrics\": [\n";
+  List.iteri
+    (fun i (name, m) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"name\": \"%s\", " (json_escape name));
+      (match m with
+      | Counter c ->
+          Buffer.add_string buf
+            (Printf.sprintf "\"type\": \"counter\", \"total\": %d, \"slots\": "
+               (Counter.total c));
+          add_ints buf (Counter.snapshot c)
+      | Shared c ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "\"type\": \"shared_counter\", \"total\": %d, \"slots\": "
+               (Shared_counter.total c));
+          add_ints buf (Shared_counter.snapshot c)
+      | Histogram h ->
+          let s = Histogram.summary h in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "\"type\": \"histogram\", \"count\": %d, \"p50\": %g, \
+                \"p99\": %g, \"max\": %d, \"buckets\": ["
+               s.Histogram.count s.Histogram.p50 s.Histogram.p99
+               s.Histogram.max);
+          let m = Histogram.merged h in
+          let first = ref true in
+          Array.iteri
+            (fun b n ->
+              if n > 0 then begin
+                if not !first then Buffer.add_string buf ", ";
+                first := false;
+                Buffer.add_string buf
+                  (Printf.sprintf "[%d, %d]" (if b = 0 then 0 else 1 lsl b) n)
+              end)
+            m;
+          Buffer.add_char buf ']'
+      | Gauge f ->
+          Buffer.add_string buf
+            (Printf.sprintf "\"type\": \"gauge\", \"value\": %d" (f ())));
+      Buffer.add_char buf '}')
+    (entries t);
+  Buffer.add_string buf "\n  ]"
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  ";
+  to_json_body buf t;
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf
+
+(** Human report, one metric per line (the [debug_dump] analogue). *)
+let dump t out =
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Counter c ->
+          Printf.fprintf out "%-40s counter  total=%d\n" name
+            (Counter.total c)
+      | Shared c ->
+          Printf.fprintf out "%-40s counter* total=%d\n" name
+            (Shared_counter.total c)
+      | Histogram h ->
+          let s = Histogram.summary h in
+          Printf.fprintf out
+            "%-40s histo    count=%d p50=%.0f p99=%.0f max=%d\n" name
+            s.Histogram.count s.Histogram.p50 s.Histogram.p99 s.Histogram.max
+      | Gauge f -> Printf.fprintf out "%-40s gauge    value=%d\n" name (f ()))
+    (entries t)

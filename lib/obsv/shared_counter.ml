@@ -1,0 +1,41 @@
+(** Multi-writer atomic counters, for slots whose writer changes domains
+    without a synchronizing hand-off the single-writer {!Counter} could
+    piggyback on.
+
+    The motivating client is [Wfq_registry]: its per-slot acquisition
+    counter is bumped by whichever domain just won the slot, and across
+    release/re-acquire churn the writer changes arbitrarily often. The
+    original plain [int array] could lose increments under that churn;
+    here each bump is a [fetch_and_add], so totals are exact — the churn
+    test in test/test_registry.ml asserts equality with a
+    domain-local reference count.
+
+    Cells are strided so concurrent writers of {e different} slots do
+    not false-share; same-slot contention pays the usual RMW price,
+    which is acceptable because every client bump already sits next to
+    a CAS (slot acquisition) on its path. *)
+
+type t = { cells : int Atomic.t array; slots : int }
+
+(* 8 pointers per slot: the pointed-to atomic records are allocated
+   back-to-back at create time, so spacing the *used* ones 8 records
+   apart keeps their mutable words on distinct cache lines. *)
+let stride = 8
+
+let create ~slots () =
+  if slots <= 0 then invalid_arg "Obsv.Shared_counter.create: slots";
+  { cells = Array.init (slots * stride) (fun _ -> Atomic.make 0); slots }
+
+let slots t = t.slots
+let incr t ~slot = ignore (Atomic.fetch_and_add t.cells.(slot * stride) 1)
+let add t ~slot n = ignore (Atomic.fetch_and_add t.cells.(slot * stride) n)
+let slot_value t ~slot = Atomic.get t.cells.(slot * stride)
+
+let snapshot t = Array.init t.slots (fun i -> Atomic.get t.cells.(i * stride))
+
+let total t =
+  let acc = ref 0 in
+  for i = 0 to t.slots - 1 do
+    acc := !acc + Atomic.get t.cells.(i * stride)
+  done;
+  !acc

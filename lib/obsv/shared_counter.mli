@@ -1,0 +1,21 @@
+(** Multi-writer atomic counters: exact totals under arbitrary writer
+    churn, at fetch-and-add cost per bump. Use {!Counter} whenever the
+    single-writer rule can be met — it is strictly cheaper. *)
+
+type t
+
+val create : slots:int -> unit -> t
+(** Raises [Invalid_argument] for [slots <= 0]. *)
+
+val slots : t -> int
+
+val incr : t -> slot:int -> unit
+(** Atomic fetch-and-add; any domain may bump any slot. *)
+
+val add : t -> slot:int -> int -> unit
+val slot_value : t -> slot:int -> int
+val snapshot : t -> int array
+
+val total : t -> int
+(** Sum of atomic per-slot reads: every completed bump is counted;
+    concurrent bumps may or may not be. Exact at quiescence. *)

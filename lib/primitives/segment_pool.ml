@@ -121,9 +121,6 @@ module Make (A : Atomic_intf.ATOMIC) = struct
     mutable q_head : 'a;
     mutable q_tail : 'a;
     mutable quarantine_len : int;
-    mutable reused : int;
-    mutable fresh : int;
-    mutable segments : int;
     _p0 : int;
     _p1 : int;
   }
@@ -137,6 +134,15 @@ module Make (A : Atomic_intf.ATOMIC) = struct
     ops : 'a ops;
     fresh_obj : unit -> 'a;
     reset : 'a -> unit;
+    (* Hit/miss accounting through the stack-wide observability layer
+       (Wfq_obsv): per-tid single-writer cells, exactly the discipline
+       the old plain slot fields followed, now with a uniform
+       snapshot/registry surface. Plain cells — invisible to the
+       simulated-atomic plane, so pooled queues model-check with
+       unchanged traces. *)
+    c_reused : Wfq_obsv.Counter.t;
+    c_fresh : Wfq_obsv.Counter.t;
+    c_segments : Wfq_obsv.Counter.t;
     (* Never handed out; only an end-of-chain marker compared with
        [==]. *)
     dummy : 'a;
@@ -162,9 +168,6 @@ module Make (A : Atomic_intf.ATOMIC) = struct
               q_head = dummy;
               q_tail = dummy;
               quarantine_len = 0;
-              reused = 0;
-              fresh = 0;
-              segments = 0;
               _p0 = 0;
               _p1 = 0;
             });
@@ -174,6 +177,9 @@ module Make (A : Atomic_intf.ATOMIC) = struct
       ops;
       fresh_obj = fresh;
       reset;
+      c_reused = Wfq_obsv.Counter.create ~slots:num_threads ();
+      c_fresh = Wfq_obsv.Counter.create ~slots:num_threads ();
+      c_segments = Wfq_obsv.Counter.create ~slots:num_threads ();
       dummy;
     }
 
@@ -222,7 +228,7 @@ module Make (A : Atomic_intf.ATOMIC) = struct
       t.ops.set_stamp obj fresh_mark;
       push_free t s obj
     done;
-    s.segments <- s.segments + 1
+    Wfq_obsv.Counter.incr t.c_segments ~slot:tid
 
   let alloc t ~tid =
     let s = t.slots.(tid) in
@@ -236,8 +242,9 @@ module Make (A : Atomic_intf.ATOMIC) = struct
     let obj = s.free in
     s.free <- t.ops.get_next obj;
     s.free_len <- s.free_len - 1;
-    if t.ops.get_stamp obj = fresh_mark then s.fresh <- s.fresh + 1
-    else s.reused <- s.reused + 1;
+    if t.ops.get_stamp obj = fresh_mark then
+      Wfq_obsv.Counter.incr t.c_fresh ~slot:tid
+    else Wfq_obsv.Counter.incr t.c_reused ~slot:tid;
     t.reset obj;
     obj
 
@@ -264,9 +271,23 @@ module Make (A : Atomic_intf.ATOMIC) = struct
   (* ------------------------------------------------------------------ *)
 
   let sum t f = Array.fold_left (fun acc s -> acc + f s) 0 t.slots
-  let reused t = sum t (fun s -> s.reused)
-  let allocated_fresh t = sum t (fun s -> s.fresh)
-  let segments t = sum t (fun s -> s.segments)
+  let reused t = Wfq_obsv.Counter.total t.c_reused
+  let allocated_fresh t = Wfq_obsv.Counter.total t.c_fresh
+  let segments t = Wfq_obsv.Counter.total t.c_segments
   let pooled t = sum t (fun s -> s.free_len)
   let quarantined t = sum t (fun s -> s.quarantine_len)
+
+  (* Attach this pool's counters (and depth gauges) to a metrics
+     registry under [prefix ^ ".reused"], [".fresh"], [".segments"],
+     [".pooled"], [".quarantined"]. The counters are live — registration
+     shares them, it does not copy. *)
+  let register_metrics t metrics ~prefix =
+    let open Wfq_obsv in
+    Metrics.register metrics (prefix ^ ".reused") (Metrics.Counter t.c_reused);
+    Metrics.register metrics (prefix ^ ".fresh") (Metrics.Counter t.c_fresh);
+    Metrics.register metrics (prefix ^ ".segments")
+      (Metrics.Counter t.c_segments);
+    Metrics.gauge metrics ~name:(prefix ^ ".pooled") (fun () -> pooled t);
+    Metrics.gauge metrics ~name:(prefix ^ ".quarantined") (fun () ->
+        quarantined t)
 end

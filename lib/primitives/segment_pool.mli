@@ -104,4 +104,11 @@ module Make (A : Atomic_intf.ATOMIC) : sig
   val segments : 'a t -> int
   val pooled : 'a t -> int
   val quarantined : 'a t -> int
+
+  val register_metrics :
+    'a t -> Wfq_obsv.Metrics.t -> prefix:string -> unit
+  (** Attach the pool's live counters and depth gauges to [metrics]
+      under [prefix ^ ".reused"/".fresh"/".segments"/".pooled"/
+      ".quarantined"]. Raises [Invalid_argument] if any of those names
+      is already registered. *)
 end

@@ -17,8 +17,15 @@
 
 type t = {
   slots : bool Atomic.t array;
-  (* Diagnostic counters, per-slot single-writer after acquisition. *)
-  acquisitions : int array;
+  (* Per-slot acquisition counts. Slot [i] is bumped by whichever
+     thread just won the CAS on [slots.(i)] — a different thread after
+     every release/re-acquire — so these cells are multi-writer and
+     must be atomic: the plain [int array] this replaces could lose a
+     bump when a release/re-acquire pair raced the previous holder's
+     increment (two plain read-modify-writes of the same cell). Exact
+     totals are the point of the counter, so the 1.3x-slower RMW cell
+     is the right trade here (see lib/obsv/shared_counter.mli). *)
+  acquisitions : Wfq_obsv.Shared_counter.t;
 }
 
 exception Exhausted
@@ -27,7 +34,7 @@ let create ~capacity =
   if capacity <= 0 then invalid_arg "Registry.create: capacity";
   {
     slots = Array.init capacity (fun _ -> Atomic.make false);
-    acquisitions = Array.make capacity 0;
+    acquisitions = Wfq_obsv.Shared_counter.create ~slots:capacity ();
   }
 
 let capacity t = Array.length t.slots
@@ -45,7 +52,7 @@ let acquire t =
       (not (Atomic.get t.slots.(i)))
       && Atomic.compare_and_set t.slots.(i) false true
     then begin
-      t.acquisitions.(i) <- t.acquisitions.(i) + 1;
+      Wfq_obsv.Shared_counter.incr t.acquisitions ~slot:i;
       i
     end
     else scan (i + 1) failures
@@ -67,4 +74,10 @@ let with_tid t f =
 let held t =
   Array.fold_left (fun acc s -> if Atomic.get s then acc + 1 else acc) 0 t.slots
 
-let total_acquisitions t = Array.fold_left ( + ) 0 t.acquisitions
+let total_acquisitions t = Wfq_obsv.Shared_counter.total t.acquisitions
+
+let register_metrics t metrics ~prefix =
+  Wfq_obsv.Metrics.register metrics
+    (prefix ^ ".acquisitions")
+    (Wfq_obsv.Metrics.Shared t.acquisitions);
+  Wfq_obsv.Metrics.gauge metrics ~name:(prefix ^ ".held") (fun () -> held t)

@@ -34,4 +34,12 @@ val held : t -> int
 (** Number of currently held IDs (snapshot). *)
 
 val total_acquisitions : t -> int
-(** Total successful acquisitions since creation (diagnostics). *)
+(** Total successful acquisitions since creation. {b Exact} even under
+    churn: the per-slot counters are atomic ({!Wfq_obsv.Shared_counter})
+    because consecutive holders of the same slot are different threads —
+    a plain cell could lose increments across a release/re-acquire
+    race. *)
+
+val register_metrics : t -> Wfq_obsv.Metrics.t -> prefix:string -> unit
+(** Attach the live acquisition counter and a held-count gauge under
+    [prefix ^ ".acquisitions"] / [".held"]. *)

@@ -11,13 +11,22 @@
 
     Hot-path discipline: everything the front-end adds per operation
     must stay cheaper than the contention it removes. Statistics are
-    therefore plain single-writer ints indexed [shard][tid] (exact at
-    quiescence, no shared cache line, no RMW), and the approximate size
-    counters that drive [Length_aware] are maintained only under that
-    policy. The size counters use [Stdlib.Atomic] rather than the [A]
-    functor argument deliberately: they never affect correctness, and
-    keeping them off the simulated-atomic plane means model checking
-    explores only algorithm-relevant interleavings. *)
+    therefore [Wfq_obsv.Counter] cells — per-tid single-writer padded
+    plain ints, one counter per shard (exact at quiescence, no shared
+    cache line, no RMW) — and the approximate size counters that drive
+    [Length_aware] are maintained only under that policy. The size
+    counters use [Stdlib.Atomic] rather than the [A] functor argument
+    deliberately: they never affect correctness, and keeping them (and
+    the obsv cells) off the simulated-atomic plane means model checking
+    explores only algorithm-relevant interleavings.
+
+    Quiescence detection: every public operation bumps its tid's
+    [op_seq] cell on entry (to odd) and exit (to even).
+    [check_quiescent_invariants] uses the cells to make its stats/length
+    cross-checks {e vacuously true} unless the whole check ran inside a
+    quiescent window — so it can never fail spuriously when called
+    concurrently with operations, which the racy snapshot-vs-length
+    comparison it replaces could. *)
 
 type policy = Round_robin | Tid_affine | Length_aware
 
@@ -73,11 +82,15 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
     deq_ticket : int A.t;
     track_sizes : bool;  (** only [Length_aware] pays for size upkeep *)
     sizes : int Atomic.t array;
-    (* Per-[shard][tid] single-writer counters. *)
-    s_enq : int array array;
-    s_deq : int array array;
-    s_steal : int array array;
-    s_sweep : int array array;
+    (* Per-shard counters, each with one single-writer slot per tid. *)
+    s_enq : Wfq_obsv.Counter.t array;
+    s_deq : Wfq_obsv.Counter.t array;
+    s_steal : Wfq_obsv.Counter.t array;
+    s_sweep : Wfq_obsv.Counter.t array;
+    (* Per-tid operation sequence: odd while an operation is in flight,
+       even between operations (two plain stores per op). The explicit
+       quiescence witness for [check_quiescent_invariants]. *)
+    op_seq : Wfq_obsv.Counter.t;
     (* Single-writer probe slots, indexed by tid. *)
     last_enq_shard : int array;
     last_deq_shard : int array;
@@ -90,7 +103,8 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
     if shards <= 0 then invalid_arg "Shard.create: shards must be positive";
     if num_threads <= 0 then invalid_arg "Shard.create: num_threads";
     let per_shard_tids () =
-      Array.init shards (fun _ -> Array.make num_threads 0)
+      Array.init shards (fun _ ->
+          Wfq_obsv.Counter.create ~slots:num_threads ())
     in
     (* Every thread may touch every shard (stealing), so each shard is
        sized for the full thread population. Both backends run the slow
@@ -122,6 +136,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
       s_deq = per_shard_tids ();
       s_steal = per_shard_tids ();
       s_sweep = per_shard_tids ();
+      op_seq = Wfq_obsv.Counter.create ~slots:num_threads ();
       last_enq_shard = Array.make num_threads (-1);
       last_deq_shard = Array.make num_threads (-1);
     }
@@ -161,19 +176,27 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
 
   (* --- core operations ------------------------------------------- *)
 
+  (* Quiescence witness: odd while [tid] is inside an operation. One
+     plain padded store each, dwarfed by the shard op they bracket. *)
+  let seq_enter t ~tid = Wfq_obsv.Counter.incr t.op_seq ~slot:tid
+  let seq_exit t ~tid = Wfq_obsv.Counter.incr t.op_seq ~slot:tid
+
   let enqueue_to t ~tid s v =
     q_enqueue t.shards.(s) ~tid v;
     if t.track_sizes then Atomic.incr t.sizes.(s);
-    t.s_enq.(s).(tid) <- t.s_enq.(s).(tid) + 1;
+    Wfq_obsv.Counter.incr t.s_enq.(s) ~slot:tid;
     t.last_enq_shard.(tid) <- s
 
-  let enqueue t ~tid v = enqueue_to t ~tid (start_enq t ~tid) v
+  let enqueue t ~tid v =
+    seq_enter t ~tid;
+    enqueue_to t ~tid (start_enq t ~tid) v;
+    seq_exit t ~tid
 
   (* Account a successful dequeue served by shard [s]. *)
   let took t ~tid ~stolen s =
     if t.track_sizes then Atomic.decr t.sizes.(s);
-    t.s_deq.(s).(tid) <- t.s_deq.(s).(tid) + 1;
-    if stolen then t.s_steal.(s).(tid) <- t.s_steal.(s).(tid) + 1;
+    Wfq_obsv.Counter.incr t.s_deq.(s) ~slot:tid;
+    if stolen then Wfq_obsv.Counter.incr t.s_steal.(s) ~slot:tid;
     t.last_deq_shard.(tid) <- s
 
   (* Steal visits pre-check [is_empty] (two atomic reads) before paying
@@ -185,7 +208,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
      unconditionally (it is the most likely hit). *)
   let rec sweep t ~tid s0 i =
     if i = t.n then begin
-      t.s_sweep.(s0).(tid) <- t.s_sweep.(s0).(tid) + 1;
+      Wfq_obsv.Counter.incr t.s_sweep.(s0) ~slot:tid;
       t.last_deq_shard.(tid) <- -1;
       None
     end
@@ -199,32 +222,43 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
             r
         | None -> sweep t ~tid s0 (i + 1)
 
-  let dequeue t ~tid = sweep t ~tid (start_deq t ~tid) 0
+  let dequeue t ~tid =
+    seq_enter t ~tid;
+    let r = sweep t ~tid (start_deq t ~tid) 0 in
+    seq_exit t ~tid;
+    r
 
   (* --- batch operations ------------------------------------------ *)
 
   let enqueue_batch t ~tid vs =
     match vs with
     | [] -> ()
-    | [ v ] -> enqueue t ~tid v
-    | vs -> (
-        match t.policy with
-        | Round_robin when t.n > 1 ->
-            (* One fetch-and-add claims the whole ticket range; item [i]
-               lands on the shard ticket [t0 + i] would have selected. *)
-            let k = List.length vs in
-            let t0 = A.fetch_and_add t.enq_ticket k in
-            List.iteri
-              (fun i v -> enqueue_to t ~tid ((t0 + i) mod t.n) v)
-              vs
-        | Round_robin | Tid_affine | Length_aware ->
-            (* Contiguous batch: a single selection places the whole
-               batch in one shard, preserving intra-batch FIFO order. *)
-            let s = start_enq t ~tid in
-            List.iter (fun v -> enqueue_to t ~tid s v) vs)
+    | vs ->
+        seq_enter t ~tid;
+        (match vs with
+        | [ v ] -> enqueue_to t ~tid (start_enq t ~tid) v
+        | vs -> (
+            match t.policy with
+            | Round_robin when t.n > 1 ->
+                (* One fetch-and-add claims the whole ticket range; item
+                   [i] lands on the shard ticket [t0 + i] would have
+                   selected. *)
+                let k = List.length vs in
+                let t0 = A.fetch_and_add t.enq_ticket k in
+                List.iteri
+                  (fun i v -> enqueue_to t ~tid ((t0 + i) mod t.n) v)
+                  vs
+            | Round_robin | Tid_affine | Length_aware ->
+                (* Contiguous batch: a single selection places the whole
+                   batch in one shard, preserving intra-batch FIFO
+                   order. *)
+                let s = start_enq t ~tid in
+                List.iter (fun v -> enqueue_to t ~tid s v) vs));
+        seq_exit t ~tid
 
   let dequeue_batch t ~tid ~n =
     if n < 0 then invalid_arg "Shard.dequeue_batch: n";
+    seq_enter t ~tid;
     let s0 = start_deq t ~tid in
     (* Drain the current shard until empty, then advance; a full lap of
        consecutive empty shards terminates the sweep. Bounded by
@@ -243,9 +277,10 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
     in
     let out = go [] 0 0 s0 in
     if out = [] && n > 0 then begin
-      t.s_sweep.(s0).(tid) <- t.s_sweep.(s0).(tid) + 1;
+      Wfq_obsv.Counter.incr t.s_sweep.(s0) ~slot:tid;
       t.last_deq_shard.(tid) <- -1
     end;
+    seq_exit t ~tid;
     out
 
   (* --- quiescent observers --------------------------------------- *)
@@ -258,42 +293,74 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
     if s < 0 || s >= t.n then invalid_arg "Shard.shard_length: shard";
     q_length t.shards.(s)
 
-  let sum = Array.fold_left ( + ) 0
-
   let stats t =
     Array.init t.n (fun s ->
         {
-          enqueues = sum t.s_enq.(s);
-          dequeues = sum t.s_deq.(s);
-          steals = sum t.s_steal.(s);
-          empty_sweeps = sum t.s_sweep.(s);
+          enqueues = Wfq_obsv.Counter.total t.s_enq.(s);
+          dequeues = Wfq_obsv.Counter.total t.s_deq.(s);
+          steals = Wfq_obsv.Counter.total t.s_steal.(s);
+          empty_sweeps = Wfq_obsv.Counter.total t.s_sweep.(s);
         })
 
+  (* The stats/length and approx-size/length cross-checks are only
+     meaningful at quiescence: under concurrency a thread can sit
+     between its shard dequeue and its counter bump, making the honest
+     snapshots disagree with the honest lengths. The [op_seq] witness
+     makes the guarantee explicit: the verdict is reported only when no
+     operation was in flight at the start of the check AND no operation
+     started or finished while it ran — otherwise the check is vacuously
+     [Ok] (we learned nothing, we claim nothing). A concurrent caller
+     can therefore never see a spurious [Error]; a quiescent caller gets
+     the exact check, as before. *)
   let check_quiescent_invariants t =
-    let st = stats t in
-    let rec shards_ok s =
-      if s = t.n then Ok ()
-      else
-        match q_check t.shards.(s) with
-        | Error e -> Error (Printf.sprintf "shard %d: %s" s e)
-        | Ok () ->
-            let len = q_length t.shards.(s) in
-            if st.(s).enqueues - st.(s).dequeues <> len then
-              Error
-                (Printf.sprintf
-                   "shard %d: stats imbalance (enq %d - deq %d <> len %d)" s
-                   st.(s).enqueues st.(s).dequeues len)
-            else if t.track_sizes && size t s <> len then
-              Error
-                (Printf.sprintf
-                   "shard %d: approx size %d <> actual length %d" s
-                   (size t s) len)
-            else shards_ok (s + 1)
-    in
-    shards_ok 0
+    let seq0 = Wfq_obsv.Counter.snapshot t.op_seq in
+    if Array.exists (fun c -> c land 1 = 1) seq0 then Ok ()
+    else
+      let st = stats t in
+      let rec shards_ok s =
+        if s = t.n then Ok ()
+        else
+          match q_check t.shards.(s) with
+          | Error e -> Error (Printf.sprintf "shard %d: %s" s e)
+          | Ok () ->
+              let len = q_length t.shards.(s) in
+              if st.(s).enqueues - st.(s).dequeues <> len then
+                Error
+                  (Printf.sprintf
+                     "shard %d: stats imbalance (enq %d - deq %d <> len %d)"
+                     s st.(s).enqueues st.(s).dequeues len)
+              else if t.track_sizes && size t s <> len then
+                Error
+                  (Printf.sprintf
+                     "shard %d: approx size %d <> actual length %d" s
+                     (size t s) len)
+              else shards_ok (s + 1)
+      in
+      let verdict = shards_ok 0 in
+      if Wfq_obsv.Counter.snapshot t.op_seq <> seq0 then Ok () else verdict
 
   (* --- probes ----------------------------------------------------- *)
 
   let last_enqueue_shard t ~tid = t.last_enq_shard.(tid)
   let last_dequeue_shard t ~tid = t.last_deq_shard.(tid)
+
+  let in_flight t =
+    Array.exists
+      (fun c -> c land 1 = 1)
+      (Wfq_obsv.Counter.snapshot t.op_seq)
+
+  (* Attach the per-shard counters and live depth gauges to a metrics
+     registry under [prefix ^ ".shard<i>.<metric>"]. *)
+  let register_metrics t registry ~prefix =
+    let open Wfq_obsv in
+    for s = 0 to t.n - 1 do
+      let p = Printf.sprintf "%s.shard%d" prefix s in
+      Metrics.register registry (p ^ ".enqueues") (Metrics.Counter t.s_enq.(s));
+      Metrics.register registry (p ^ ".dequeues") (Metrics.Counter t.s_deq.(s));
+      Metrics.register registry (p ^ ".steals") (Metrics.Counter t.s_steal.(s));
+      Metrics.register registry (p ^ ".empty_sweeps")
+        (Metrics.Counter t.s_sweep.(s));
+      Metrics.gauge registry ~name:(p ^ ".depth") (fun () ->
+          q_length t.shards.(s))
+    done
 end

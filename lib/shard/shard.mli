@@ -151,7 +151,15 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
   val check_quiescent_invariants : 'a t -> (unit, string) result
   (** Every shard's KP invariants, plus agreement between the stats
       counters, the approximate size counters and the actual shard
-      lengths. *)
+      lengths.
+
+      {b Explicit quiescence guarantee}: the cross-checks are reported
+      only if no operation was in flight when the check started and
+      none started or finished while it ran (witnessed by per-tid
+      operation-sequence cells each operation bumps on entry and exit).
+      When concurrency is detected the check returns [Ok ()] vacuously —
+      it can never fail spuriously under load. A genuinely quiescent
+      caller always gets the real verdict. *)
 
   (** {2 White-box probes (tests)} *)
 
@@ -163,4 +171,15 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
   (** Shard that served [tid]'s most recent successful dequeue (or the
       last element of its most recent non-empty batch); [-1] before
       any, and [-1] again after an empty sweep. *)
+
+  val in_flight : 'a t -> bool
+  (** Whether any thread's operation-sequence cell is currently odd,
+      i.e. some operation is observed mid-flight. Racy (a snapshot);
+      exact at quiescence. *)
+
+  val register_metrics :
+    'a t -> Wfq_obsv.Metrics.t -> prefix:string -> unit
+  (** Attach each shard's live counters and a depth gauge under
+      [prefix ^ ".shard<i>.enqueues"/".dequeues"/".steals"/
+      ".empty_sweeps"/".depth"]. *)
 end
