@@ -325,6 +325,93 @@ let run_stats threads iters runs json =
     print_endline "wrote BENCH_stats.json"
   end
 
+(* Scheduler service scenario (lib/sched): request fan-out with mixed
+   CPU work and queue hops over the effect-based fiber scheduler, swept
+   across run-queue backends and domain counts. *)
+let domains_arg =
+  let doc = "Comma-separated worker-domain counts (default 1,2,4)." in
+  Arg.(value & opt (some string) None & info [ "domains" ] ~docv:"LIST" ~doc)
+
+let requests_arg =
+  let doc = "Request fibers per run (default 200)." in
+  Arg.(value & opt (some int) None & info [ "requests" ] ~docv:"N" ~doc)
+
+let fanout_arg =
+  let doc = "Subfibers spawned and awaited per request (default 8)." in
+  Arg.(value & opt (some int) None & info [ "fanout" ] ~docv:"N" ~doc)
+
+let work_arg =
+  let doc = "CPU-burn loop iterations per request stage (default 400)." in
+  Arg.(value & opt (some int) None & info [ "work" ] ~docv:"N" ~doc)
+
+let run_sched domains requests fanout work runs csv json =
+  let module SB = Wfq_harness.Sched_bench in
+  let scale =
+    {
+      SB.domains =
+        (match domains with
+        | Some d -> ints_of_string d
+        | None -> SB.default.SB.domains);
+      requests = Option.value requests ~default:SB.default.SB.requests;
+      fanout = Option.value fanout ~default:SB.default.SB.fanout;
+      work = Option.value work ~default:SB.default.SB.work;
+      runs = Option.value runs ~default:SB.default.SB.runs;
+    }
+  in
+  let lines = SB.service ~scale () in
+  Printf.printf
+    "%-12s %7s %9s %12s %12s %12s %8s\n" "backend" "domains" "fibers"
+    "req/s" "p50 ns" "p99 ns" "steals";
+  List.iter
+    (fun l ->
+      Printf.printf "%-12s %7d %9d %12.0f %12.0f %12.0f %8d\n"
+        l.SB.backend l.SB.domains l.SB.fibers l.SB.throughput
+        l.SB.fiber_p50_ns l.SB.fiber_p99_ns l.SB.steals_won)
+    lines;
+  let title = "Scheduler service scenario: request fan-out" in
+  let series = SB.series lines in
+  if csv then R.print_csv ~title series;
+  if json then begin
+    let meta =
+      [
+        ("workload", "request fan-out; subfibers yield once + cpu burn");
+        ("domains",
+         String.concat ","
+           (List.map string_of_int scale.SB.domains));
+        ("requests", string_of_int scale.SB.requests);
+        ("fanout", string_of_int scale.SB.fanout);
+        ("work", string_of_int scale.SB.work);
+        ("runs", string_of_int scale.SB.runs);
+        ("aggregation", "median over runs, per field");
+        ("minor_heap_words",
+         string_of_int (Gc.get ()).Gc.minor_heap_size);
+        ("x", "worker domains");
+        ("y",
+         "per series-label prefix: throughput (requests/s), \
+          fiber_p50_ns / fiber_p99_ns (spawn-to-completion), steals \
+          (tasks stolen per run)");
+      ]
+    in
+    R.write_json ~path:"BENCH_sched.json" ~title ~meta series;
+    print_endline "wrote BENCH_sched.json"
+  end
+
+let sched_cmd =
+  let term =
+    Term.(
+      const run_sched
+      $ domains_arg $ requests_arg $ fanout_arg $ work_arg $ runs_arg
+      $ csv_arg $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "sched"
+       ~doc:
+         "End-to-end service scenario on the effect-based fiber scheduler \
+          (lib/sched): request fan-out with CPU work and queue hops over \
+          the kp_opt12 / fps_pooled / shard_rr2 run-queue backends; \
+          --json writes BENCH_sched.json.")
+    term
+
 let stats_cmd =
   let term =
     Term.(const run_stats $ threads_single_arg $ iters_arg $ runs_arg $ json_arg)
@@ -470,6 +557,7 @@ let cmds =
     figure_cmd `Extended "extended"
       "All implementations on the pairs benchmark (extension).";
     shard_cmd;
+    sched_cmd;
     fps_cmd;
     alloc_cmd;
     stats_cmd;

@@ -688,4 +688,14 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
         | Some dp ->
             Pool.register_metrics dp registry ~prefix:(prefix ^ ".descs")
         | None -> ())
+
+  (* The uniform RUN_QUEUE registration (Queue_intf.RUN_QUEUE): the
+     depth gauge every backend exposes, plus whatever always-on
+     diagnostics this queue owns — here the pool counters when pooled.
+     The gauge polls [length] (a traversal), which only runs at
+     snapshot time, never on the hot path. *)
+  let register_metrics t registry ~prefix =
+    Wfq_obsv.Metrics.gauge registry ~name:(prefix ^ ".depth") (fun () ->
+        length t);
+    register_pool_metrics t registry ~prefix
 end

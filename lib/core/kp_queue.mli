@@ -151,4 +151,12 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
   (** Attach the node (and, when active, descriptor) pools' live
       counters and gauges under [prefix ^ ".nodes.*"] / [".descs.*"];
       no-op for unpooled queues. *)
+
+  val register_metrics :
+    'a t -> Wfq_obsv.Metrics.t -> prefix:string -> unit
+  (** The uniform {!Queue_intf.RUN_QUEUE} registration: a
+      [prefix ^ ".depth"] gauge (polls [length] at snapshot time only)
+      plus {!register_pool_metrics}. The [?obsv] handle registers its
+      own metrics at construction; together they cover every diagnostic
+      the queue produces. *)
 end

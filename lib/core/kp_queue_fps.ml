@@ -798,6 +798,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
      handle registers itself at construction; this covers the rest. *)
   let register_metrics t registry ~prefix =
     let open Wfq_obsv in
+    Metrics.gauge registry ~name:(prefix ^ ".depth") (fun () -> length t);
     Metrics.register registry (prefix ^ ".fast_hits")
       (Metrics.Counter t.fast_hits);
     Metrics.register registry (prefix ^ ".slow_entries")

@@ -163,7 +163,9 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
 
   val register_metrics :
     'a t -> Wfq_obsv.Metrics.t -> prefix:string -> unit
-  (** Attach the always-on path counters ([prefix ^ ".fast_hits"] /
+  (** The uniform {!Queue_intf.RUN_QUEUE} registration: a
+      [prefix ^ ".depth"] gauge (polls [length] at snapshot time only),
+      the always-on path counters ([prefix ^ ".fast_hits"] /
       [".slow_entries"]) and, when pooled, the node/descriptor pools'
       counters and gauges ([".nodes.*"] / [".descs.*"]). *)
 end

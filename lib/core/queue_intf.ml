@@ -44,3 +44,21 @@ module type CHECKABLE_QUEUE = sig
       operations have returned (e.g. [tail] points at the last node, no
       dangling node, [head] reaches [tail]). *)
 end
+
+(** Queues usable as scheduler run-queues ([Wfq_sched]): the core
+    operations plus the uniform observability hookup. Every backend the
+    scheduler can select (KP, fast-path/slow-path, the sharded
+    front-end) satisfies this signature, so the scheduler — and any
+    other client — gets the full metrics battery from any of them with
+    one call. *)
+module type RUN_QUEUE = sig
+  include QUEUE
+
+  val register_metrics : 'a t -> Wfq_obsv.Metrics.t -> prefix:string -> unit
+  (** Attach the queue's always-on diagnostics to [registry] under
+      [prefix ^ ".<metric>"]. Uniform contract: at minimum a
+      [prefix ^ ".depth"] gauge (polled at snapshot time only — may
+      traverse), plus whatever counters the backend owns (path
+      counters, pool stats, per-shard matrices). Registration is
+      construction-path only; it must never add hot-path work. *)
+end

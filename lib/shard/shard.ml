@@ -160,7 +160,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
           (* Two-choice: sample the ticket shard and its neighbour,
              enqueue to the (approximately) shorter. *)
           let s1 = A.fetch_and_add t.enq_ticket 1 mod t.n in
-          let s2 = if s1 + 1 = t.n then 0 else s1 + 1 in
+          let s2 = Steal_order.next ~n:t.n s1 in
           if size t s2 < size t s1 then s2 else s1
 
   let start_deq t ~tid =
@@ -171,7 +171,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
       | Tid_affine -> tid mod t.n
       | Length_aware ->
           let s1 = A.fetch_and_add t.deq_ticket 1 mod t.n in
-          let s2 = if s1 + 1 = t.n then 0 else s1 + 1 in
+          let s2 = Steal_order.next ~n:t.n s1 in
           if size t s2 > size t s1 then s2 else s1
 
   (* --- core operations ------------------------------------------- *)
@@ -205,7 +205,8 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
      phase/descriptor/helping ceremony. The quiescent no-false-empty
      guarantee survives: at quiescence [is_empty] is exact, so the shard
      holding an element is never skipped. The start shard is attempted
-     unconditionally (it is the most likely hit). *)
+     unconditionally (it is the most likely hit). The visiting order is
+     {!Steal_order}'s single lap, shared with the scheduler's steal. *)
   let rec sweep t ~tid s0 i =
     if i = t.n then begin
       Wfq_obsv.Counter.incr t.s_sweep.(s0) ~slot:tid;
@@ -213,7 +214,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
       None
     end
     else
-      let s = if s0 + i >= t.n then s0 + i - t.n else s0 + i in
+      let s = Steal_order.visit ~n:t.n ~start:s0 i in
       if i > 0 && q_is_empty t.shards.(s) then sweep t ~tid s0 (i + 1)
       else
         match q_dequeue t.shards.(s) ~tid with
@@ -266,14 +267,13 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
     let rec go acc got misses s =
       if got = n || misses = t.n then List.rev acc
       else if s <> s0 && misses > 0 && q_is_empty t.shards.(s) then
-        go acc got (misses + 1) (if s + 1 = t.n then 0 else s + 1)
+        go acc got (misses + 1) (Steal_order.next ~n:t.n s)
       else
         match q_dequeue t.shards.(s) ~tid with
         | Some v ->
             took t ~tid ~stolen:(s <> s0) s;
             go (v :: acc) (got + 1) 0 s
-        | None ->
-            go acc got (misses + 1) (if s + 1 = t.n then 0 else s + 1)
+        | None -> go acc got (misses + 1) (Steal_order.next ~n:t.n s)
     in
     let out = go [] 0 0 s0 in
     if out = [] && n > 0 then begin
@@ -350,9 +350,12 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
       (Wfq_obsv.Counter.snapshot t.op_seq)
 
   (* Attach the per-shard counters and live depth gauges to a metrics
-     registry under [prefix ^ ".shard<i>.<metric>"]. *)
+     registry under [prefix ^ ".shard<i>.<metric>"], plus the
+     whole-queue [prefix ^ ".depth"] gauge every RUN_QUEUE backend
+     exposes (see [Wfq_core.Queue_intf.RUN_QUEUE]). *)
   let register_metrics t registry ~prefix =
     let open Wfq_obsv in
+    Metrics.gauge registry ~name:(prefix ^ ".depth") (fun () -> length t);
     for s = 0 to t.n - 1 do
       let p = Printf.sprintf "%s.shard%d" prefix s in
       Metrics.register registry (p ^ ".enqueues") (Metrics.Counter t.s_enq.(s));

@@ -179,7 +179,9 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
 
   val register_metrics :
     'a t -> Wfq_obsv.Metrics.t -> prefix:string -> unit
-  (** Attach each shard's live counters and a depth gauge under
+  (** Attach the whole-queue depth gauge under [prefix ^ ".depth"] (the
+      uniform [Wfq_core.Queue_intf.RUN_QUEUE] contract) plus each
+      shard's live counters and depth gauge under
       [prefix ^ ".shard<i>.enqueues"/".dequeues"/".steals"/
       ".empty_sweeps"/".depth"]. *)
 end

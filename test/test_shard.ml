@@ -475,6 +475,75 @@ let fuzz_tests =
   ]
 
 (* ---------------------------------------------------------------- *)
+(* Steal_order: the sweep-order contract, pinned                     *)
+(* ---------------------------------------------------------------- *)
+
+(* The sweep order is a contract shared between the shard dequeue
+   sweep and the scheduler's steal ([Wfq_sched]): one full lap from
+   the start queue, neighbours first, wrapping once. Pin it exactly. *)
+let test_steal_order_pinned () =
+  let module SO = Wfq_shard.Steal_order in
+  Alcotest.(check (list int)) "n=4 start=0" [ 0; 1; 2; 3 ]
+    (SO.order ~n:4 ~start:0);
+  Alcotest.(check (list int)) "n=4 start=2" [ 2; 3; 0; 1 ]
+    (SO.order ~n:4 ~start:2);
+  Alcotest.(check (list int)) "n=1 start=0" [ 0 ] (SO.order ~n:1 ~start:0);
+  Alcotest.(check (list int)) "n=5 start=4" [ 4; 0; 1; 2; 3 ]
+    (SO.order ~n:5 ~start:4);
+  (* Position arithmetic agrees with the list form everywhere. *)
+  for n = 1 to 6 do
+    for start = 0 to n - 1 do
+      Alcotest.(check (list int))
+        (Printf.sprintf "visit = order (n=%d start=%d)" n start)
+        (SO.order ~n ~start)
+        (List.init n (fun i -> SO.visit ~n ~start i));
+      (* Every queue visited exactly once: the lap is a permutation. *)
+      Alcotest.(check (list int))
+        (Printf.sprintf "permutation (n=%d start=%d)" n start)
+        (List.init n Fun.id)
+        (List.sort compare (SO.order ~n ~start));
+      (* [next] is the step the lap takes between positions. *)
+      for i = 0 to n - 2 do
+        Alcotest.(check int)
+          (Printf.sprintf "next chains (n=%d start=%d i=%d)" n start i)
+          (SO.visit ~n ~start (i + 1))
+          (SO.next ~n (SO.visit ~n ~start i))
+      done
+    done
+  done;
+  Alcotest.check_raises "n=0 rejected"
+    (Invalid_argument "Steal_order: n must be positive") (fun () ->
+      ignore (SO.order ~n:0 ~start:0));
+  Alcotest.check_raises "start out of range"
+    (Invalid_argument "Steal_order: start") (fun () ->
+      ignore (SO.visit ~n:3 ~start:3 0));
+  Alcotest.check_raises "position out of range"
+    (Invalid_argument "Steal_order: position") (fun () ->
+      ignore (SO.visit ~n:3 ~start:0 3))
+
+(* The shard dequeue sweep serves shards in Steal_order: with every
+   shard non-empty except the start, the first steal comes from the
+   start's ring successor, then its successor, ... — observed through
+   the last_dequeue_shard probe with a Tid_affine start pinned to 0. *)
+let test_sweep_follows_steal_order () =
+  let module SO = Wfq_shard.Steal_order in
+  (* A 4-shard front-end with num_threads = 4; tid [s] (Tid_affine)
+     fills shard [s]. Dequeues by tid 0 must then drain shard 0 first,
+     then 1, 2, 3 — the pinned lap from start 0. *)
+  let shards = 4 in
+  let t = Sh.create ~policy:P.Tid_affine ~shards ~num_threads:4 () in
+  for s = 0 to shards - 1 do
+    Sh.enqueue t ~tid:s s
+  done;
+  List.iter
+    (fun expect ->
+      match Sh.dequeue t ~tid:0 with
+      | None -> Alcotest.fail "sweep reported empty with elements present"
+      | Some v ->
+          Alcotest.(check int) "sweep order value" expect v;
+          Alcotest.(check int) "sweep order shard" expect
+            (Sh.last_dequeue_shard t ~tid:0))
+    (SO.order ~n:shards ~start:0)
 
 let seq_cases =
   test_create_validation
@@ -509,6 +578,12 @@ let () =
   Alcotest.run "shard"
     [
       ("sequential", seq_cases);
+      ( "steal order",
+        [
+          Alcotest.test_case "lap pinned" `Quick test_steal_order_pinned;
+          Alcotest.test_case "sweep follows the lap" `Quick
+            test_sweep_follows_steal_order;
+        ] );
       ("quiescent sweep", sweep_cases);
       ( "batches",
         [
