@@ -243,6 +243,56 @@ let run_alloc paper threads iters runs sizes csv json =
     print_endline "wrote BENCH_alloc.json"
   end
 
+(* Bounded-memory ring decomposition: the ring backend vs the linked
+   families' pooled floor on the strict pairs workload — completion
+   time, words/op and minor collections from one interleaved
+   collection. The words/op series is the ring-smoke CI guard's data
+   source: the ring's steady state allocates nothing, so its words/op
+   must sit strictly below "opt WF (1+2) pooled" (the BENCH_alloc
+   floor) at every thread count. *)
+let run_ring paper threads iters runs sizes csv json =
+  let minor_words = (Gc.get ()).Gc.minor_heap_size in
+  if minor_words < canonical_minor_heap_words then
+    Printf.eprintf
+      "note: minor heap is %d words; the canonical ring-bench \
+       environment is OCAMLRUNPARAM='s=8M' (see EXPERIMENTS.md).\n%!"
+      minor_words;
+  let scale = build_scale paper threads iters runs sizes in
+  let scale =
+    if threads = None && not paper then
+      { scale with threads = [ 1; 2; 4; 8 ] }
+    else scale
+  in
+  let r = F.ring_decomposition ~scale () in
+  emit ~csv ~title:"Ring: enqueue-dequeue pairs" ~y_label:"seconds"
+    r.F.ring_time;
+  emit ~csv ~title:"Ring: minor-heap words per operation"
+    ~y_label:"words/op" r.F.ring_words_per_op;
+  emit ~csv ~title:"Ring: minor collections per run" ~y_label:"minor gcs"
+    r.F.ring_minor_gcs;
+  if json then begin
+    let meta =
+      [
+        ("workload", "pairs");
+        ("threads",
+         String.concat "," (List.map string_of_int scale.threads));
+        ("iters", string_of_int scale.iters);
+        ("runs", string_of_int scale.runs);
+        ("aggregation", "median, interleaved run order");
+        ("minor_heap_words", string_of_int minor_words);
+        ("y",
+         "per series-label prefix: time (seconds), words_per_op \
+          (words/operation), minor_gcs (collections/run)");
+      ]
+    in
+    R.write_json ~path:"BENCH_ring.json"
+      ~title:"Bounded ring vs pooled linked queues (pairs)" ~meta
+      (prefix_labels "time" r.F.ring_time
+      @ prefix_labels "words_per_op" r.F.ring_words_per_op
+      @ prefix_labels "minor_gcs" r.F.ring_minor_gcs);
+    print_endline "wrote BENCH_ring.json"
+  end
+
 (* Observability snapshot: instrumented multi-domain runs populating the
    Wfq_obsv metric registry (phase lag, slow-path rate, pool hit rate,
    shard steals, ...), a human report, the disabled-vs-enabled overhead
@@ -408,8 +458,8 @@ let sched_cmd =
        ~doc:
          "End-to-end service scenario on the effect-based fiber scheduler \
           (lib/sched): request fan-out with CPU work and queue hops over \
-          the kp_opt12 / fps_pooled / shard_rr2 run-queue backends; \
-          --json writes BENCH_sched.json.")
+          the kp_opt12 / fps_pooled / shard_rr2 / ring run-queue \
+          backends; --json writes BENCH_sched.json.")
     term
 
 let stats_cmd =
@@ -440,6 +490,22 @@ let alloc_cmd =
           words/op and collection counts for LF / opt WF (1+2) / WF fps \
           against their segment-pooled counterparts; --json writes \
           BENCH_alloc.json.")
+    term
+
+let ring_cmd =
+  let term =
+    Term.(
+      const run_ring
+      $ paper_arg $ threads_arg $ iters_arg $ runs_arg $ sizes_arg $ csv_arg
+      $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "ring"
+       ~doc:
+         "Bounded-memory ring (Ring_queue) vs opt WF (1+2), its pooled \
+          counterpart and WF fps pooled: completion time, words/op and \
+          minor collections on the pairs workload; --json writes \
+          BENCH_ring.json (the ring-smoke CI guard's input).")
     term
 
 let fps_cmd =
@@ -559,6 +625,7 @@ let cmds =
     shard_cmd;
     sched_cmd;
     fps_cmd;
+    ring_cmd;
     alloc_cmd;
     stats_cmd;
     figures_cmd;

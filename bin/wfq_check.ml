@@ -25,19 +25,24 @@ module Kp = Wfq_core.Kp_queue.Make (SA)
 module Kp_hp = Wfq_core.Kp_queue_hp.Make (SA)
 
 module Fps = Wfq_core.Kp_queue_fps.Make (SA)
+module Ring = Wfq_core.Ring_queue.Make (SA)
 
-type script = [ `Enq of int | `Deq ] list
+type script = Ck.script
 
 type 'q sim_queue = {
   make : num_threads:int -> 'q;
   enq : 'q -> tid:int -> int -> unit;
   deq : 'q -> tid:int -> int option;
   contents : 'q -> int list;
+  try_enq : ('q -> tid:int -> int -> bool) option;
+      (* bounded queues only: the [`Try_enq] script op *)
+  capacity : int option;
+      (* bounded queues only: switches lincheck to the bounded spec *)
 }
 
 type packed = Q : 'q sim_queue -> packed
 
-let queue_of_name = function
+let rec queue_of_name = function
   | "ms" ->
       Q
         {
@@ -45,6 +50,8 @@ let queue_of_name = function
           enq = (fun q ~tid v -> Ms.enqueue q ~tid v);
           deq = (fun q ~tid -> Ms.dequeue q ~tid);
           contents = Ms.to_list;
+          try_enq = None;
+          capacity = None;
         }
   | "kp-base" ->
       Q
@@ -56,6 +63,8 @@ let queue_of_name = function
           enq = (fun q ~tid v -> Kp.enqueue q ~tid v);
           deq = (fun q ~tid -> Kp.dequeue q ~tid);
           contents = Kp.to_list;
+          try_enq = None;
+          capacity = None;
         }
   | "kp-opt12" ->
       Q
@@ -67,6 +76,8 @@ let queue_of_name = function
           enq = (fun q ~tid v -> Kp.enqueue q ~tid v);
           deq = (fun q ~tid -> Kp.dequeue q ~tid);
           contents = Kp.to_list;
+          try_enq = None;
+          capacity = None;
         }
   | "kp-hp" ->
       Q
@@ -78,8 +89,28 @@ let queue_of_name = function
           enq = (fun q ~tid v -> Kp_hp.enqueue q ~tid v);
           deq = (fun q ~tid -> Kp_hp.dequeue q ~tid);
           contents = Kp_hp.to_list;
+          try_enq = None;
+          capacity = None;
         }
+  | "ring" ->
+      (* capacity 2 so the standard scenarios (<= 2 values in flight)
+         never overflow; max_failures 1 so DPOR explores one fast round
+         plus the helping slow path in every operation *)
+      ring_packed ~capacity:2 ~max_failures:1
   | other -> failwith ("unknown queue: " ^ other)
+
+and ring_packed ~capacity ~max_failures =
+  Q
+    {
+      make =
+        (fun ~num_threads ->
+          Ring.create_with ~capacity ~max_failures ~num_threads ());
+      enq = (fun q ~tid v -> Ring.enqueue q ~tid v);
+      deq = (fun q ~tid -> Ring.dequeue q ~tid);
+      contents = Ring.to_list;
+      try_enq = Some (fun q ~tid v -> Ring.try_enqueue q ~tid v);
+      capacity = Some capacity;
+    }
 
 let scenarios : (string * script list) list =
   [
@@ -88,6 +119,39 @@ let scenarios : (string * script list) list =
     ("pairs", [ [ `Enq 1; `Deq ]; [ `Enq 2; `Deq ] ]);
     ("prod-cons", [ [ `Enq 1; `Enq 2 ]; [ `Deq; `Deq ] ]);
     ("three-way", [ [ `Enq 1 ]; [ `Enq 2 ]; [ `Deq; `Deq; `Deq ] ]);
+  ]
+
+(* The ring's own litmus library: each row picks the capacity and
+   fast-path budget that makes its protocol corner reachable in a
+   handful of operations. [max_failures = 0] sends every operation
+   through the helping slow path (stage-1 claim / stage-2 install /
+   publish), which is where the claim-rollback and hand-off races
+   live. *)
+let ring_scenarios :
+    (string * int * int * int list * script list) list =
+  [
+    (* name, capacity, max_failures, init, scripts *)
+    ("enq-race", 2, 1, [], [ [ `Enq 1 ]; [ `Enq 2 ] ]);
+    ("pairs", 2, 1, [], [ [ `Enq 1; `Deq ]; [ `Enq 2; `Deq ] ]);
+    (* two slow enqueues race stage-1 claims on the same position:
+       exercises claim rollback on every losing path *)
+    ("claim-rollback", 2, 0, [], [ [ `Enq 1 ]; [ `Enq 2 ] ]);
+    (* full capacity-1 ring: enqueue-on-full vs dequeue must linearize
+       exactly where the bounded spec (lincheck ~capacity) says it may *)
+    ("full-race", 1, 0, [ 9 ], [ [ `Try_enq 1 ]; [ `Deq ] ]);
+    (* dequeue-on-empty race against a slow enqueue *)
+    ("empty-race", 1, 0, [], [ [ `Enq 1 ]; [ `Deq ] ]);
+    (* a pre-filled element and two racing slow dequeues: the helping
+       hand-off (finish a peer's claim found in a slot) plus the
+       empty answer for the loser *)
+    ("help-handoff", 2, 0, [ 1 ], [ [ `Deq ]; [ `Deq ] ]);
+    (* capacity-1 ring driven past 2*capacity positions: every slot
+       transition wraps laps; rejections allowed (Try_enq) *)
+    ( "wraparound",
+      1,
+      1,
+      [],
+      [ [ `Try_enq 1; `Try_enq 2; `Try_enq 3 ]; [ `Deq; `Deq; `Deq ] ] );
   ]
 
 let scenario_with_history (Q ops) scripts =
@@ -101,6 +165,16 @@ let scenario_with_history (Q ops) scripts =
             H.call hist ~thread:tid (H.Enq v);
             ops.enq q ~tid v;
             H.return hist ~thread:tid H.Done
+        | `Try_enq v -> (
+            let try_enq =
+              match ops.try_enq with
+              | Some f -> f
+              | None -> failwith "`Try_enq script op on an unbounded queue"
+            in
+            H.call hist ~thread:tid (H.Enq v);
+            match try_enq q ~tid v with
+            | true -> H.return hist ~thread:tid H.Done
+            | false -> H.return hist ~thread:tid H.Rejected)
         | `Deq -> (
             H.call hist ~thread:tid H.Deq;
             match ops.deq q ~tid with
@@ -110,10 +184,10 @@ let scenario_with_history (Q ops) scripts =
   in
   (Array.of_list (List.mapi fiber scripts), hist)
 
-let make_scenario q scripts () =
+let make_scenario (Q ops as q) scripts () =
   let fibers, hist = scenario_with_history q scripts in
   let check (_ : S.result) =
-    if C.is_linearizable (H.completed hist) then Ok ()
+    if C.is_linearizable ?capacity:ops.capacity (H.completed hist) then Ok ()
     else
       Error
         (Format.asprintf "not linearizable:@.%a" C.pp_history
@@ -122,7 +196,7 @@ let make_scenario q scripts () =
   (fibers, check)
 
 let queue_arg =
-  let doc = "Queue to check: ms, kp-base, kp-opt12, kp-hp." in
+  let doc = "Queue to check: ms, kp-base, kp-opt12, kp-hp, ring." in
   Arg.(value & opt string "kp-base" & info [ "queue" ] ~docv:"NAME" ~doc)
 
 let budget_arg =
@@ -181,7 +255,7 @@ let run_fuzz queue count use_pct =
    (schedule, replayed history, checker verdict) to a file that CI
    uploads as a build artifact. *)
 
-let check_run (Q ops) ~max_schedules ~scripts =
+let check_run (Q ops) ~max_schedules ?init ~scripts () =
   let queue =
     {
       Ck.create = (fun ~num_threads -> ops.make ~num_threads);
@@ -190,7 +264,8 @@ let check_run (Q ops) ~max_schedules ~scripts =
       contents = ops.contents;
     }
   in
-  Ck.run ~mode:Ck.Dpor ~max_schedules ~queue ~scripts ()
+  Ck.run ~mode:Ck.Dpor ~max_schedules ?init ?try_enqueue:ops.try_enq
+    ?capacity:ops.capacity ~queue ~scripts ()
 
 let write_counterexample ~out_dir ~queue_name ~scenario_name ?pp_extra
     (f : Ck.failure) =
@@ -211,7 +286,7 @@ let write_counterexample ~out_dir ~queue_name ~scenario_name ?pp_extra
    the linearizability checker judged, plus its verdict. Valid because
    [Scheduler.run ~forced] replay is deterministic and the CLI scenario
    performs the same shared accesses as Check's internal one. *)
-let pp_replayed_history q scripts forced fmt =
+let pp_replayed_history (Q ops as q) scripts forced fmt =
   match
     let fibers, hist = scenario_with_history q scripts in
     ignore (S.run ~strategy:S.First_enabled ~forced fibers);
@@ -220,7 +295,8 @@ let pp_replayed_history q scripts forced fmt =
   | h ->
       Format.fprintf fmt
         "@.history under the minimal schedule:@.%a@.checker verdict: %a@."
-        C.pp_history h C.pp_verdict (C.check h)
+        C.pp_history h C.pp_verdict
+        (C.check ?capacity:ops.capacity h)
   | exception e ->
       Format.fprintf fmt "@.(history replay failed: %s)@."
         (Printexc.to_string e)
@@ -231,14 +307,26 @@ let shrunk_length (f : Ck.failure) =
   | None -> List.length f.Ck.forced
 
 let run_dpor_clean queue max_schedules out_dir =
-  let q = queue_of_name queue in
+  (* Every queue runs the shared scenario library; the ring runs its
+     own litmuses instead, each at the capacity/fast-path budget that
+     makes its protocol corner reachable. *)
+  let rows =
+    if queue = "ring" then
+      List.map
+        (fun (name, capacity, max_failures, init, scripts) ->
+          (name, ring_packed ~capacity ~max_failures, init, scripts))
+        ring_scenarios
+    else
+      let q = queue_of_name queue in
+      List.map (fun (name, scripts) -> (name, q, [], scripts)) scenarios
+  in
   Printf.printf
     "DPOR model checking of %s (one schedule per Mazurkiewicz trace)\n"
     queue;
   let failed = ref false in
   List.iter
-    (fun (name, scripts) ->
-      let r = check_run q ~max_schedules ~scripts in
+    (fun (name, q, init, scripts) ->
+      let r = check_run q ~max_schedules ~init ~scripts () in
       match r.Ck.failure with
       | None ->
           Printf.printf "  %-12s %7d traces  %s  (max steps per op fiber: %d)\n"
@@ -252,16 +340,22 @@ let run_dpor_clean queue max_schedules out_dir =
             match f.Ck.shrunk with Some s -> s.Sh.forced | None -> f.Ck.forced
           in
           let path =
-            write_counterexample ~out_dir ~queue_name:queue
-              ~scenario_name:name
-              ~pp_extra:(pp_replayed_history q scripts forced)
-              f
+            (* the CLI-side history replay does not pre-fill [init]
+               elements, so it is only faithful for init-less rows *)
+            if init = [] then
+              write_counterexample ~out_dir ~queue_name:queue
+                ~scenario_name:name
+                ~pp_extra:(pp_replayed_history q scripts forced)
+                f
+            else
+              write_counterexample ~out_dir ~queue_name:queue
+                ~scenario_name:name f
           in
           Printf.printf
             "  %-12s FAILED after %d traces: %s\n\
             \    shrunk to %d decisions; counterexample written to %s\n"
             name r.Ck.schedules f.Ck.message (shrunk_length f) path)
-    scenarios;
+    rows;
   if !failed then exit 1
 
 (* Demonstration mode: reinstate one of the seeded fast-path/slow-path
@@ -280,37 +374,26 @@ let fps_faulted_ops fault ~max_failures : _ Ck.ops =
     contents = Fps.to_list;
   }
 
-let run_dpor_fault fname max_schedules out_dir =
-  let fault, scenario_name, scripts, init, max_failures, step_limit =
-    match fname with
-    | "no-claim" ->
-        ( Wfq_core.Kp_queue_fps.Fast_deq_no_claim,
-          "no-claim",
-          [ [ `Deq; `Deq ]; [ `Deq ] ],
-          [ 1; 2 ],
-          1,
-          None )
-    | "stale-helper" ->
-        ( Wfq_core.Kp_queue_fps.Stale_helper_caller_phase,
-          "stale-helper",
-          [ [ `Deq; `Enq 7 ]; [ `Deq ] ],
-          [ 1 ],
-          0,
-          Some 2_000 )
-    | other -> failwith ("unknown fault: " ^ other)
-  in
-  Printf.printf
-    "DPOR vs seeded bug '%s' in %s (a counterexample MUST be found)\n" fname
-    Fps.name;
-  let r =
-    Ck.run ~mode:Ck.Dpor ~max_schedules ?step_limit ~init
-      ~queue:(fps_faulted_ops fault ~max_failures)
-      ~scripts ()
-  in
+(* The ring's seeded bug: a slow enqueuer whose install landed skips
+   publishing success and rolls its claim back instead, leaving the
+   value in the ring while reporting the operation rejected —
+   conservation catches the orphaned element. *)
+let ring_faulted_ops : _ Ck.ops =
+  {
+    Ck.create =
+      (fun ~num_threads ->
+        Ring.create_with ~capacity:1 ~max_failures:0
+          ~fault:Wfq_core.Ring_queue.Rollback_skipped ~num_threads ());
+    enqueue = (fun q ~tid v -> Ring.enqueue q ~tid v);
+    dequeue = (fun q ~tid -> Ring.dequeue q ~tid);
+    contents = Ring.to_list;
+  }
+
+let report_fault_result ~queue_name ~scenario_name out_dir (r : Ck.report) =
   match r.Ck.failure with
   | Some f ->
       let path =
-        write_counterexample ~out_dir ~queue_name:"kp-fps" ~scenario_name f
+        write_counterexample ~out_dir ~queue_name ~scenario_name f
       in
       Printf.printf
         "  found after %d schedules: %s\n\
@@ -321,6 +404,50 @@ let run_dpor_fault fname max_schedules out_dir =
         "  NOT FOUND after %d schedules — the seeded bug escaped the checker\n"
         r.Ck.schedules;
       exit 1
+
+let run_dpor_fault fname max_schedules out_dir =
+  match fname with
+  | "rollback-skipped" ->
+      Printf.printf
+        "DPOR vs seeded bug 'rollback-skipped' in the ring (a counterexample \
+         MUST be found)\n";
+      let r =
+        Ck.run ~mode:Ck.Dpor ~max_schedules
+          ~try_enqueue:(fun q ~tid v -> Ring.try_enqueue q ~tid v)
+          ~capacity:1 ~queue:ring_faulted_ops
+          ~scripts:[ [ `Try_enq 1 ]; [ `Deq ] ]
+          ()
+      in
+      report_fault_result ~queue_name:"ring" ~scenario_name:"rollback-skipped"
+        out_dir r
+  | "no-claim" | "stale-helper" ->
+      let fault, scenario_name, scripts, init, max_failures, step_limit =
+        match fname with
+        | "no-claim" ->
+            ( Wfq_core.Kp_queue_fps.Fast_deq_no_claim,
+              "no-claim",
+              [ [ `Deq; `Deq ]; [ `Deq ] ],
+              [ 1; 2 ],
+              1,
+              None )
+        | _ ->
+            ( Wfq_core.Kp_queue_fps.Stale_helper_caller_phase,
+              "stale-helper",
+              [ [ `Deq; `Enq 7 ]; [ `Deq ] ],
+              [ 1 ],
+              0,
+              Some 2_000 )
+      in
+      Printf.printf
+        "DPOR vs seeded bug '%s' in %s (a counterexample MUST be found)\n"
+        fname Fps.name;
+      let r =
+        Ck.run ~mode:Ck.Dpor ~max_schedules ?step_limit ~init
+          ~queue:(fps_faulted_ops fault ~max_failures)
+          ~scripts ()
+      in
+      report_fault_result ~queue_name:"kp-fps" ~scenario_name out_dir r
+  | other -> failwith ("unknown fault: " ^ other)
 
 let run_dpor queue max_schedules out_dir fault =
   match fault with
@@ -428,8 +555,10 @@ let seeds_arg =
 
 let dpor_queue_arg =
   let doc =
-    "Queue to check: ms, kp-base, kp-opt12, kp-hp. kp-base's Help_all \
-     slow path has million-trace scenarios; expect the cap."
+    "Queue to check: ms, kp-base, kp-opt12, kp-hp, ring. kp-base's \
+     Help_all slow path has million-trace scenarios; expect the cap. \
+     ring runs its own litmus library (claim rollback, full/empty \
+     races, wraparound) against the bounded-queue specification."
   in
   Arg.(value & opt string "kp-opt12" & info [ "queue" ] ~docv:"NAME" ~doc)
 
@@ -446,9 +575,10 @@ let out_arg =
 
 let fault_arg =
   let doc =
-    "Check the fast-path/slow-path queue with the named seeded bug \
-     (no-claim or stale-helper) reinstated; the run succeeds only if a \
-     counterexample is found, shrunk, and written to --out."
+    "Check a queue with the named seeded bug reinstated (no-claim or \
+     stale-helper in the fast-path/slow-path queue, rollback-skipped in \
+     the ring); the run succeeds only if a counterexample is found, \
+     shrunk, and written to --out."
   in
   Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"BUG" ~doc)
 

@@ -1,0 +1,700 @@
+(** Bounded-memory wait-free MPMC ring ([ROADMAP] item 1, wCQ recipe).
+
+    A fixed-capacity array of slots replaces the linked list of the KP
+    family: no node allocation, no pointer chase on dequeue — the hot
+    path touches one cache-resident slot plus a position hint. The
+    design is the FAD-claimed-slot ring of SNIPPETS.md
+    (bartoszmodelski/ebsl [mpmc_queue.ml]) hardened into a wait-free,
+    {e precise} bounded queue:
+
+    - {b Per-slot sequence words.} Each slot carries its absolute
+      position in a single atomic cell, so a CAS on the slot both
+      installs/removes a value and validates the lap — the ebsl ring's
+      separate sequence word and value cell are fused, which is what
+      makes helping safe (a stale helper's CAS cannot land on a
+      recycled lap: the expected cell value embeds the position, and
+      cell records are freshly allocated per transition, so the
+      physical-equality CAS never ABAs).
+    - {b Bounded CAS retry with rollback.} The fast path is a bounded
+      number of slot-CAS rounds ([max_failures], as in
+      {!Kp_queue_fps}). The ebsl dequeue rollback (CAS head back after
+      an over-eager fetch-and-add) becomes the {e claim rollback} of
+      the slow path: a helper that finds its claimed position consumed
+      by another operation rolls the descriptor's claim back to
+      "unclaimed" — after validating that its own install did {e not}
+      land (skipping that validation is the seeded
+      {!fault}[ Rollback_skipped]).
+    - {b Phase-helping slow path.} After [max_failures] failed rounds
+      an operation publishes a KP descriptor (phase from a shared
+      fetch-and-add counter, {!Kp_queue_fps}'s doorway) and is driven
+      to completion by helpers: claim a position in the descriptor
+      (stage 1), install/take via slot CAS (stage 2, the linearization
+      point), publish the outcome, then advance the hint. Fast-path
+      operations carry {!Kp_queue_fps}'s helping duty (one
+      [slow_pending] load per op; one cyclic help round when raised).
+
+    Why not a literal fetch-and-add ticket per operation: a FAD ticket
+    irrevocably assigns a slot to the claimant, so a stalled claimant
+    blocks the slot, and "enqueue on full / dequeue on empty must
+    still return" then forces wCQ's threshold/finalization machinery.
+    Validated slot CAS keeps tickets revocable — head/tail are only
+    {e hints} (they lag the true counts by at most one) and the slot
+    CAS is the single linearization point — so the KP helping
+    discipline applies unchanged. FAD survives where it is
+    unconditional: the phase doorway and the [slow_pending] flag.
+    docs/RING.md walks through the protocol, the claim/rollback state
+    machine, and the wait-freedom argument.
+
+    Capacity semantics: [try_enqueue] returns [false] on a full ring
+    (linearized at a validated read of a still-occupied slot one lap
+    behind); [dequeue] returns [None] on empty (validated read of a
+    still-free slot at the head position). [enqueue] raises
+    {!Ring_full} — use [try_enqueue] when the producer can shed. *)
+
+exception Ring_full
+
+type fault =
+  | Rollback_skipped
+      (** Seeded bug for the model checker: the slow-path enqueue
+          helper rolls a claimed position back without validating that
+          its own install did not land, so helpers re-claim a fresh
+          position and install the value again — duplicate elements
+          that DPOR's conservation check catches and shrinks. *)
+
+(* Instrumentation (Wfq_obsv): per-tid single-writer cells and two
+   plain-field position hints only, so an instrumented ring performs no
+   extra shared-cell traffic — atomic-step traces are identical with
+   and without it (the Wfq_obsv ground rule, docs/OBSERVABILITY.md). *)
+type metrics = {
+  m_slow : Wfq_obsv.Counter.t;  (* slow-path entries, per owner tid *)
+  m_help : Wfq_obsv.Counter.t;  (* peer-help dispatches, per helper tid *)
+  m_fast_retry : Wfq_obsv.Counter.t;
+      (* fast-path rounds lost to contention (slot CAS failed or the
+         hint was stale) *)
+  m_full : Wfq_obsv.Counter.t;  (* enqueues rejected: ring full *)
+  m_occupancy : Wfq_obsv.Histogram.t;
+      (* approximate ring depth sampled by each successful enqueue from
+         the plain position hints — racy by design (see above), exact
+         at quiescence *)
+}
+
+let metrics registry ~prefix ~slots =
+  let open Wfq_obsv in
+  {
+    m_slow = Metrics.counter registry ~name:(prefix ^ ".slow_entries") ~slots;
+    m_help = Metrics.counter registry ~name:(prefix ^ ".help_events") ~slots;
+    m_fast_retry =
+      Metrics.counter registry ~name:(prefix ^ ".fast_retries") ~slots;
+    m_full = Metrics.counter registry ~name:(prefix ^ ".full_rejections") ~slots;
+    m_occupancy =
+      Metrics.histogram registry ~name:(prefix ^ ".occupancy") ~slots;
+  }
+
+let default_capacity = 1024
+let default_max_failures = 64
+
+module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
+  (* Slots and per-thread descriptor cells are cache-line padded: both
+     are CASed under contention and adjacent heap words would
+     false-share lines between threads (lib/primitives/padded.mli). *)
+  module P = Wfq_primitives.Padded.Make (A)
+
+  (* One atomic cell per slot. The [int] is a packed (position, tid)
+     word — see [pack] — giving every constructor lap validation and
+     the installer/claimant identity in a single CAS-able value. Slot
+     [j] walks positions j, j+capacity, j+2*capacity, ... through
+
+       Free p  --enq-->  Full (p, etid)  --deq-->  Free (p + capacity)
+                                \--slow deq--> Taken (p, dtid) --/
+
+     Transitions move strictly forward in position order, so a read of
+     the cell that happens after a read of a hint naming position [p]
+     can only observe states of position [>= p] in this slot (the
+     hint's publisher observed — or performed — the transition out of
+     lap [p - capacity] on this very cell before publishing the
+     hint). *)
+  type 'a cell =
+    | Free of int  (* awaiting the enqueue of position p *)
+    | Full of int * 'a  (* value of position p; installer tid, -1 = fast *)
+    | Taken of int * 'a
+        (* slow-path dequeue claim: position p consumed in deq tid's
+           name; the value rides along so any helper can publish it to
+           the claimant's descriptor before freeing the slot *)
+
+  type 'a kind = Kenq of 'a | Kdeq
+
+  (* Published KP-style operation descriptor. All transitions are CASes
+     expecting the exact previously-read record, so outcome publication
+     (which replaces the record) makes every stale claim/rollback/
+     publish CAS fail benignly, and the full/empty answers serialize
+     against concurrent claims through the owner's [state] cell — the
+     {!Kp_queue} stage-1 discipline. *)
+  type 'a desc = {
+    phase : int;
+    pending : bool;
+    kind : 'a kind;
+    target : int;  (* claimed position, -1 = unclaimed *)
+    result : 'a option;  (* Kdeq outcome: Some v, or None = empty *)
+    accepted : bool;  (* Kenq outcome: false = ring full *)
+  }
+
+  type 'a t = {
+    capacity : int;
+    num_threads : int;
+    max_failures : int;
+    slots : 'a cell P.t array;
+    head : int P.t;  (* next position to dequeue; lags truth by <= 1 *)
+    tail : int P.t;  (* next position to enqueue; lags truth by <= 1 *)
+    state : 'a desc P.t array;  (* per-thread descriptors *)
+    slow_pending : int A.t;  (* raised while any descriptor is pending *)
+    phase_counter : int A.t;  (* FAD doorway (KP footnote 3) *)
+    help_cursor : int array;  (* per-tid cyclic helping cursor, plain *)
+    fault : fault option;
+    obsv : metrics option;
+    (* Plain racy position hints feeding the occupancy histogram: no
+       atomic traffic, exact at quiescence. *)
+    mutable head_cache : int;
+    mutable tail_cache : int;
+  }
+
+  let name = "ring"
+
+  (* (position, tid) packing for the cell word: tid -1 marks a
+     fast-path transition (no descriptor to publish). *)
+  let pack t pos tid = (pos * (t.num_threads + 1)) + tid + 1
+  let pos_of t w = w / (t.num_threads + 1)
+  let tid_of t w = (w mod (t.num_threads + 1)) - 1
+
+  let create_with ?(capacity = default_capacity)
+      ?(max_failures = default_max_failures) ?fault ?obsv ~num_threads () =
+    if num_threads <= 0 then invalid_arg "Ring_queue.create: num_threads";
+    if capacity <= 0 then invalid_arg "Ring_queue.create: capacity";
+    if max_failures < 0 then invalid_arg "Ring_queue.create: max_failures";
+    let idle =
+      {
+        phase = -1;
+        pending = false;
+        kind = Kdeq;
+        target = -1;
+        result = None;
+        accepted = false;
+      }
+    in
+    {
+      capacity;
+      num_threads;
+      max_failures;
+      slots = Array.init capacity (fun j -> P.make (Free j));
+      head = P.make 0;
+      tail = P.make 0;
+      state = Array.init num_threads (fun _ -> P.make idle);
+      slow_pending = A.make 0;
+      phase_counter = A.make 0;
+      help_cursor = Array.make num_threads 0;
+      fault;
+      obsv;
+      head_cache = 0;
+      tail_cache = 0;
+    }
+
+  let create ~num_threads () = create_with ~num_threads ()
+  let capacity t = t.capacity
+  let slot t p = t.slots.(p mod t.capacity)
+  let next_phase t = A.fetch_and_add t.phase_counter 1
+
+  (* Hint advances are CAS p -> p+1, only ever justified by slot
+     evidence that position p's transition already happened, so a hint
+     is never ahead of the truth; and because installs/claims validate
+     the position against the slot, not the hint, a lagging hint is
+     only a progress problem, never a correctness one. *)
+  let advance_tail t p = ignore (P.compare_and_set t.tail p (p + 1))
+  let advance_head t p = ignore (P.compare_and_set t.head p (p + 1))
+
+  let sample_occupancy t ~tid =
+    match t.obsv with
+    | None -> ()
+    | Some m ->
+        let d = t.tail_cache - t.head_cache in
+        Wfq_obsv.Histogram.record m.m_occupancy ~slot:tid
+          (min (max d 0) t.capacity)
+
+  let count_retry t ~tid =
+    match t.obsv with
+    | Some m -> Wfq_obsv.Counter.incr m.m_fast_retry ~slot:tid
+    | None -> ()
+
+  let count_full t ~tid =
+    match t.obsv with
+    | Some m -> Wfq_obsv.Counter.incr m.m_full ~slot:tid
+    | None -> ()
+
+  (* ------------------------------------------------------------------ *)
+  (* Finishing in-flight slow operations found in a slot                *)
+  (* ------------------------------------------------------------------ *)
+
+  (* [Full (p, etid)] with [etid >= 0] observed anywhere: publish the
+     slow enqueuer's outcome {e before} advancing the tail hint (or
+     consuming the value). The install evidence stays visible in the
+     slot until the dequeue of [p], and every dequeue of [p] runs this
+     publication first, so a stale helper of that enqueue can never
+     find its claim apparently-dead, roll it back and install a second
+     copy — the {!Kp_queue} help_finish_enq ordering. The publication
+     CAS's guard re-reads the descriptor: it can only hit the pending
+     record that still claims exactly [p] (absolute positions are
+     never re-claimed, so a later operation by the same tid can never
+     be confused with this one). *)
+  let finish_slow_enq t p etid =
+    (if etid >= 0 then
+       let cur = P.get t.state.(etid) in
+       match cur.kind with
+       | Kenq _ when cur.pending && cur.target = p ->
+           ignore
+             (P.compare_and_set t.state.(etid) cur
+                { cur with pending = false; accepted = true })
+       | Kenq _ | Kdeq -> ());
+    advance_tail t p
+
+  (* [Taken (p, dtid)] observed anywhere: publish the claimant's value,
+     then free the slot for the next lap, then advance the head hint —
+     publication strictly first, so the slot evidence of the claim
+     outlives every descriptor that still awaits the value. *)
+  let finish_slow_deq t c s =
+    match s with
+    | Taken (w, v) ->
+        let p = pos_of t w and dtid = tid_of t w in
+        (if dtid >= 0 then
+           let cur = P.get t.state.(dtid) in
+           match cur.kind with
+           | Kdeq when cur.pending && cur.target = p ->
+               ignore
+                 (P.compare_and_set t.state.(dtid) cur
+                    { cur with pending = false; result = Some v })
+           | Kdeq | Kenq _ -> ());
+        if P.compare_and_set c s (Free (p + t.capacity)) then
+          t.head_cache <- p + 1;
+        advance_head t p
+    | Free _ | Full _ -> ()
+
+  (* ------------------------------------------------------------------ *)
+  (* Slow path: phase helping                                           *)
+  (* ------------------------------------------------------------------ *)
+
+  let is_still_pending t tid phase =
+    let desc = P.get t.state.(tid) in
+    desc.pending && desc.phase <= phase
+
+  (* Drive tid's pending enqueue to completion. Two modes, switched by
+     the descriptor's claim field.
+
+     Unclaimed ([target = -1]): read the tail hint [t0], then the slot
+     of position [t0]. [Free t0] -> claim it in the descriptor (stage
+     1). [Full (t0 - capacity)] -> the ring holds exactly [capacity]
+     elements at the instant of the slot read (the slot one lap behind
+     is still occupied while the hint proves [t0 - 1] was enqueued):
+     publish the rejection. Both CASes expect the exact unclaimed
+     record read above, so they cannot race a concurrent stage-1 claim
+     by another helper of this same operation. Any slot state of
+     position [>= t0] is evidence that [t0]'s enqueue already
+     happened: advance the stuck hint and retry.
+
+     Claimed ([target = q]): try to install at [q] (stage 2 — the CAS
+     expects the exact [Free q] record, so across all helpers of this
+     operation at most one install can ever land: the slot leaves
+     [Free q] forever the moment any install lands, killing every
+     other helper's pending CAS). If the slot shows our own install,
+     publish success and advance the tail. If the position went to
+     {e another} operation, the claim is dead — roll it back to
+     unclaimed and retry. The rollback is safe exactly because a
+     landed install of ours would still be visible: install evidence
+     is only removed after [finish_slow_enq] has published us done,
+     and a published descriptor fails the rollback CAS. (Skipping the
+     own-install check before rolling back is the seeded
+     [Rollback_skipped] fault.) *)
+  let rec help_enq t ~self tid phase =
+    if is_still_pending t tid phase then begin
+      let cur = P.get t.state.(tid) in
+      if cur.pending && cur.phase <= phase then
+        match cur.kind with
+        | Kdeq -> ()
+        | Kenq v ->
+            (if cur.target >= 0 then begin
+               let q = cur.target in
+               let c = slot t q in
+               let s = P.get c in
+               match s with
+               | Free p when p = q ->
+                   ignore (P.compare_and_set c s (Full (pack t q tid, v)))
+               | Full (w, _)
+                 when pos_of t w = q && tid_of t w = tid
+                      && t.fault <> Some Rollback_skipped ->
+                   (* our install landed: publish, then advance *)
+                   if
+                     P.compare_and_set t.state.(tid) cur
+                       { cur with pending = false; accepted = true }
+                   then t.tail_cache <- q + 1;
+                   advance_tail t q
+               | Taken (w, _) when pos_of t w = q ->
+                   (* a dequeuer is consuming position q; if the install
+                      was ours it published us done before claiming, so
+                      the loop exits on the next pending check *)
+                   finish_slow_deq t c s
+               | _ ->
+                   (* position q went to another operation (or, under
+                      the seeded fault, shows any install at q
+                      including our own): dead claim, roll it back *)
+                   ignore
+                     (P.compare_and_set t.state.(tid) cur
+                        { cur with target = -1 })
+             end
+             else begin
+               let t0 = P.get t.tail in
+               let c = slot t t0 in
+               let s = P.get c in
+               match s with
+               | Free p when p = t0 ->
+                   (* stage 1: claim position t0 for this operation *)
+                   ignore
+                     (P.compare_and_set t.state.(tid) cur
+                        { cur with target = t0 })
+               | Full (w, _) when pos_of t w = t0 ->
+                   finish_slow_enq t t0 (tid_of t w)
+               | Full (w, _) when pos_of t w = t0 - t.capacity ->
+                   (* ring full at the instant of the slot read *)
+                   ignore
+                     (P.compare_and_set t.state.(tid) cur
+                        { cur with pending = false; accepted = false })
+               | Taken (w, _) when pos_of t w = t0 - t.capacity ->
+                   finish_slow_deq t c s
+               | Taken (w, _) when pos_of t w = t0 -> finish_slow_deq t c s
+               | _ ->
+                   (* any remaining state has position > t0: the hint
+                      is stuck behind a completed transition *)
+                   advance_tail t t0
+             end);
+            help_enq t ~self tid phase
+    end
+
+  (* Drive tid's pending dequeue to completion; mirror image of
+     [help_enq]. Stage 2's "install" is the [Full -> Taken] claim: the
+     value rides in the [Taken] cell so any helper can publish it to
+     the claimant's descriptor ([finish_slow_deq]) before the slot is
+     freed for the next lap. [Free h] at the head hint is the sound
+     empty answer (position h's enqueue has not linearized at the
+     instant of the slot read, while the hint proves all earlier
+     positions were dequeued); it publishes against the unclaimed
+     record for the same stage-1 serialization reason as the full
+     answer. *)
+  and help_deq t ~self tid phase =
+    if is_still_pending t tid phase then begin
+      let cur = P.get t.state.(tid) in
+      if cur.pending && cur.phase <= phase then
+        match cur.kind with
+        | Kenq _ -> ()
+        | Kdeq ->
+            (if cur.target >= 0 then begin
+               let q = cur.target in
+               let c = slot t q in
+               let s = P.get c in
+               match s with
+               | Full (w, v) when pos_of t w = q ->
+                   (* a slow install must be published done before its
+                      evidence leaves the slot *)
+                   let etid = tid_of t w in
+                   if etid >= 0 then finish_slow_enq t q etid;
+                   ignore (P.compare_and_set c s (Taken (pack t q tid, v)))
+               | Taken (w, _) when pos_of t w = q ->
+                   (* ours: publishes our result, frees, advances;
+                      another's: helps it, and our dead claim rolls
+                      back on the next iteration *)
+                   finish_slow_deq t c s
+               | _ ->
+                   (* position q consumed by another dequeuer — a landed
+                      claim of ours would still be visible as [Taken]
+                      until we were published done: roll the claim back *)
+                   ignore
+                     (P.compare_and_set t.state.(tid) cur
+                        { cur with target = -1 })
+             end
+             else begin
+               let h = P.get t.head in
+               let c = slot t h in
+               let s = P.get c in
+               match s with
+               | Free p when p = h ->
+                   (* empty at the instant of the slot read *)
+                   ignore
+                     (P.compare_and_set t.state.(tid) cur
+                        { cur with pending = false; result = None })
+               | Full (w, _) when pos_of t w = h ->
+                   (* stage 1: claim position h *)
+                   ignore
+                     (P.compare_and_set t.state.(tid) cur
+                        { cur with target = h })
+               | Taken (w, _) when pos_of t w = h -> finish_slow_deq t c s
+               | _ ->
+                   (* any remaining state has position > h: position h
+                      was already dequeued, the hint is stuck *)
+                   advance_head t h
+             end);
+            help_deq t ~self tid phase
+    end
+
+  (* Help a peer at the {e descriptor's own} phase, never the caller's
+     bound: a stale helper re-running with its (higher) phase would
+     otherwise keep a completed-and-republished operation alive — the
+     {!Kp_queue_fps} stale-helper livelock, pinned there by DPOR. *)
+  let help_slot t ~self i phase =
+    let desc = P.get t.state.(i) in
+    if desc.pending && desc.phase <= phase then begin
+      (match t.obsv with
+      | Some m when i <> self -> Wfq_obsv.Counter.incr m.m_help ~slot:self
+      | _ -> ());
+      match desc.kind with
+      | Kenq _ -> help_enq t ~self i desc.phase
+      | Kdeq -> help_deq t ~self i desc.phase
+    end
+
+  let run_help t ~tid ~phase =
+    let c = t.help_cursor.(tid) in
+    t.help_cursor.(tid) <- (c + 1) mod t.num_threads;
+    if c <> tid then help_slot t ~self:tid c phase;
+    help_slot t ~self:tid tid phase
+
+  (* The fast path's helping duty (one [slow_pending] load per
+     operation; a cyclic helping round only when raised) — the
+     {!Kp_queue_fps} discipline, same wait-freedom bound: a pending
+     slow operation is reached after at most [num_threads] operations
+     by any other thread. *)
+  let maybe_help t ~tid =
+    if A.get t.slow_pending > 0 then begin
+      let c = t.help_cursor.(tid) in
+      t.help_cursor.(tid) <- (c + 1) mod t.num_threads;
+      help_slot t ~self:tid c max_int
+    end
+
+  let slow_op t ~tid kind =
+    (match t.obsv with
+    | Some m -> Wfq_obsv.Counter.incr m.m_slow ~slot:tid
+    | None -> ());
+    (* raise the flag before publishing, so any operation that sees the
+       descriptor also sees the flag *)
+    ignore (A.fetch_and_add t.slow_pending 1);
+    let phase = next_phase t in
+    P.set t.state.(tid)
+      {
+        phase;
+        pending = true;
+        kind;
+        target = -1;
+        result = None;
+        accepted = false;
+      };
+    run_help t ~tid ~phase;
+    ignore (A.fetch_and_add t.slow_pending (-1));
+    P.get t.state.(tid)
+
+  let slow_enqueue t ~tid v =
+    let d = slow_op t ~tid (Kenq v) in
+    if d.accepted then sample_occupancy t ~tid else count_full t ~tid;
+    d.accepted
+
+  let slow_dequeue t ~tid = (slow_op t ~tid Kdeq).result
+
+  (* ------------------------------------------------------------------ *)
+  (* Fast path: bounded validated slot-CAS rounds                       *)
+  (* ------------------------------------------------------------------ *)
+
+  let rec fast_enqueue t ~tid v failures =
+    if failures >= t.max_failures then slow_enqueue t ~tid v
+    else begin
+      let t0 = P.get t.tail in
+      let c = slot t t0 in
+      let s = P.get c in
+      match s with
+      | Free p when p = t0 ->
+          if P.compare_and_set c s (Full (pack t t0 (-1), v)) then begin
+            advance_tail t t0;
+            t.tail_cache <- t0 + 1;
+            sample_occupancy t ~tid;
+            true
+          end
+          else begin
+            count_retry t ~tid;
+            fast_enqueue t ~tid v (failures + 1)
+          end
+      | Full (w, _) when pos_of t w = t0 ->
+          finish_slow_enq t t0 (tid_of t w);
+          count_retry t ~tid;
+          fast_enqueue t ~tid v (failures + 1)
+      | Full (w, _) when pos_of t w = t0 - t.capacity ->
+          (* full at the instant of the slot read (see help_enq):
+             sound immediately, no slow path needed *)
+          count_full t ~tid;
+          false
+      | Taken (w, _) when pos_of t w = t0 - t.capacity ->
+          finish_slow_deq t c s;
+          count_retry t ~tid;
+          fast_enqueue t ~tid v (failures + 1)
+      | Taken (w, _) when pos_of t w = t0 ->
+          finish_slow_deq t c s;
+          count_retry t ~tid;
+          fast_enqueue t ~tid v (failures + 1)
+      | _ ->
+          (* position > t0: hint stuck behind a completed transition *)
+          advance_tail t t0;
+          count_retry t ~tid;
+          fast_enqueue t ~tid v (failures + 1)
+    end
+
+  let rec fast_dequeue t ~tid failures =
+    if failures >= t.max_failures then slow_dequeue t ~tid
+    else begin
+      let h = P.get t.head in
+      let c = slot t h in
+      let s = P.get c in
+      match s with
+      | Free p when p = h ->
+          (* empty at the instant of the slot read (see help_deq):
+             sound immediately, no slow path needed *)
+          None
+      | Full (w, v) when pos_of t w = h ->
+          let etid = tid_of t w in
+          if etid >= 0 then finish_slow_enq t h etid;
+          (* claim and free are one CAS on the fast path: the dequeuer
+             itself holds the value, no helper needs to learn it *)
+          if P.compare_and_set c s (Free (h + t.capacity)) then begin
+            t.head_cache <- h + 1;
+            advance_head t h;
+            Some v
+          end
+          else begin
+            count_retry t ~tid;
+            fast_dequeue t ~tid (failures + 1)
+          end
+      | Taken (w, _) when pos_of t w = h ->
+          finish_slow_deq t c s;
+          count_retry t ~tid;
+          fast_dequeue t ~tid (failures + 1)
+      | _ ->
+          (* position > h: hint stuck behind a completed transition *)
+          advance_head t h;
+          count_retry t ~tid;
+          fast_dequeue t ~tid (failures + 1)
+    end
+
+  (* ------------------------------------------------------------------ *)
+  (* Public operations                                                  *)
+  (* ------------------------------------------------------------------ *)
+
+  let check_tid t tid =
+    if tid < 0 || tid >= t.num_threads then
+      invalid_arg "Ring_queue: tid out of range"
+
+  let try_enqueue t ~tid v =
+    check_tid t tid;
+    maybe_help t ~tid;
+    fast_enqueue t ~tid v 0
+
+  let enqueue t ~tid v = if not (try_enqueue t ~tid v) then raise Ring_full
+
+  let dequeue t ~tid =
+    check_tid t tid;
+    maybe_help t ~tid;
+    fast_dequeue t ~tid 0
+
+  (* ------------------------------------------------------------------ *)
+  (* Quiescent observers (QUEUE contract: callers guarantee no
+     concurrent operations)                                             *)
+  (* ------------------------------------------------------------------ *)
+
+  let length t = max 0 (P.get t.tail - P.get t.head)
+  let is_empty t = length t = 0
+
+  let to_list t =
+    let h = P.get t.head and tl = P.get t.tail in
+    let rec go p acc =
+      if p >= tl then List.rev acc
+      else
+        match P.get (slot t p) with
+        | Full (w, v) when pos_of t w = p -> go (p + 1) (v :: acc)
+        | _ -> go (p + 1) acc
+    in
+    go h []
+
+  let check_quiescent_invariants t =
+    let h = P.get t.head and tl = P.get t.tail in
+    let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+    if h > tl then err "head %d ahead of tail %d" h tl
+    else if tl - h > t.capacity then
+      err "length %d exceeds capacity %d" (tl - h) t.capacity
+    else if A.get t.slow_pending <> 0 then
+      err "slow_pending = %d at quiescence" (A.get t.slow_pending)
+    else begin
+      let pending = ref 0 in
+      Array.iter (fun s -> if (P.get s).pending then incr pending) t.state;
+      if !pending <> 0 then
+        err "%d descriptors still pending at quiescence" !pending
+      else begin
+        let bad = ref None in
+        for j = 0 to t.capacity - 1 do
+          if !bad = None then begin
+            (* the unique position of slot j that lies in [h, h+cap) *)
+            let p =
+              h + ((((j - h) mod t.capacity) + t.capacity) mod t.capacity)
+            in
+            let expected = if p < tl then "Full" else "Free" in
+            match P.get t.slots.(j) with
+            | Full (w, _) when p < tl && pos_of t w = p -> ()
+            | Free p' when p >= tl && p' = p -> ()
+            | Full (w, _) ->
+                bad :=
+                  Some
+                    (Printf.sprintf
+                       "slot %d: Full at position %d, expected %s at %d" j
+                       (pos_of t w) expected p)
+            | Free p' ->
+                bad :=
+                  Some
+                    (Printf.sprintf
+                       "slot %d: Free at position %d, expected %s at %d" j p'
+                       expected p)
+            | Taken (w, _) ->
+                bad :=
+                  Some
+                    (Printf.sprintf
+                       "slot %d: Taken at position %d at quiescence" j
+                       (pos_of t w))
+          end
+        done;
+        match !bad with None -> Ok () | Some msg -> Error msg
+      end
+    end
+
+  (* ------------------------------------------------------------------ *)
+  (* Observability                                                      *)
+  (* ------------------------------------------------------------------ *)
+
+  let register_metrics t registry ~prefix =
+    Wfq_obsv.Metrics.gauge registry ~name:(prefix ^ ".depth") (fun () ->
+        length t);
+    Wfq_obsv.Metrics.gauge registry ~name:(prefix ^ ".capacity") (fun () ->
+        t.capacity)
+
+  (* ------------------------------------------------------------------ *)
+  (* White-box probes (tests only)                                      *)
+  (* ------------------------------------------------------------------ *)
+
+  module Probe = struct
+    let head t = P.get t.head
+    let tail t = P.get t.tail
+
+    let slot_state t j =
+      match P.get t.slots.(j) with
+      | Free p -> `Free p
+      | Full (w, _) -> `Full (pos_of t w, tid_of t w)
+      | Taken (w, _) -> `Taken (pos_of t w, tid_of t w)
+
+    let desc_pending t tid = (P.get t.state.(tid)).pending
+    let desc_target t tid = (P.get t.state.(tid)).target
+  end
+end

@@ -1,0 +1,130 @@
+(** Bounded-memory wait-free MPMC ring (ROADMAP item 1, the wCQ
+    recipe: arXiv:2201.02179 and "Memory-Optimal Non-Blocking Queues").
+
+    A fixed-capacity slot array replaces the KP family's linked list:
+    zero steady-state allocation (no node per element — elements live
+    in pre-allocated padded slots) and array locality on the hot path.
+    Each slot is one atomic cell carrying its absolute position, so a
+    single physical-equality CAS installs or removes a value {e and}
+    validates the lap; [head]/[tail] are position hints (lagging their
+    true values by at most one) advanced by CAS after the slot
+    transition they summarize. The fast path is a bounded number of
+    validated slot-CAS rounds ([max_failures]); after that the
+    operation publishes a KP descriptor and is driven to completion by
+    the phase-helping protocol of {!Kp_queue}/{!Kp_queue_fps} (claim a
+    position in the descriptor, install/take by slot CAS, publish the
+    outcome before advancing the hint). Every operation — including
+    enqueue-on-full and dequeue-on-empty, which linearize at validated
+    slot reads — completes in a bounded number of its own steps.
+
+    Bounded semantics: [try_enqueue] returns [false] on a full ring,
+    [enqueue] raises {!Ring_full}, [dequeue] returns [None] on empty.
+
+    Thread identity: as for {!Kp_queue}, every participating thread
+    owns a distinct [tid] in [0, num_threads).
+
+    docs/RING.md has the protocol walkthrough, the claim/rollback
+    state machine and the wait-freedom argument. *)
+
+exception Ring_full
+(** Raised by [enqueue] when the ring holds [capacity] elements. *)
+
+val default_capacity : int
+(** Slot count used by {!Make.create} (1024). *)
+
+val default_max_failures : int
+(** Fast-path attempt budget used by {!Make.create} (64, as in
+    {!Kp_queue_fps}). *)
+
+type metrics
+(** Instrumentation handle ({!Wfq_obsv}): slow-path entries, peer-help
+    dispatches, fast-path retries, full rejections (per-tid
+    single-writer counters) and an occupancy histogram sampled from
+    plain position hints — no extra shared-cell traffic, invisible to
+    the model checker. *)
+
+val metrics : Wfq_obsv.Metrics.t -> prefix:string -> slots:int -> metrics
+(** Create the handle and register its metrics under
+    [prefix ^ ".slow_entries"/".help_events"/".fast_retries"/
+    ".full_rejections"/".occupancy"]. [slots] must be the ring's
+    [num_threads]. *)
+
+(** Test-only seeded bug (never pass in production code): the checker's
+    ability to find and shrink it is itself under test. *)
+type fault =
+  | Rollback_skipped
+      (** The slow-path enqueue helper rolls a claimed position back
+          without first validating that its own install did not land,
+          so other helpers re-claim and install the value again —
+          duplicate elements, caught by DPOR's conservation check. *)
+
+module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
+  type 'a t
+
+  val name : string
+
+  val create : num_threads:int -> unit -> 'a t
+  (** Default configuration: {!default_capacity} slots,
+      {!default_max_failures} fast rounds. *)
+
+  val create_with :
+    ?capacity:int ->
+    ?max_failures:int ->
+    ?fault:fault ->
+    ?obsv:metrics ->
+    num_threads:int ->
+    unit ->
+    'a t
+  (** [capacity] is the fixed slot count (allocation happens only
+      here). [max_failures] bounds the fast path; [0] goes straight to
+      the helping slow path (the all-slow configuration the DPOR
+      litmuses check). Raises [Invalid_argument] for
+      [num_threads <= 0], [capacity <= 0] or negative [max_failures]. *)
+
+  val capacity : 'a t -> int
+
+  val try_enqueue : 'a t -> tid:int -> 'a -> bool
+  (** Wait-free linearizable bounded insert: [false] means the ring
+      held [capacity] elements at the linearization point (a validated
+      read of the still-occupied slot one lap behind the tail). *)
+
+  val enqueue : 'a t -> tid:int -> 'a -> unit
+  (** [try_enqueue], raising {!Ring_full} on a full ring. *)
+
+  val dequeue : 'a t -> tid:int -> 'a option
+  (** Wait-free linearizable remove; [None] means empty at the
+      linearization point (a validated read of the still-free slot at
+      the head position). *)
+
+  (** {2 Quiescent observers} — callers guarantee no concurrent
+      operations; these do not linearize with running ones. *)
+
+  val length : 'a t -> int
+  val is_empty : 'a t -> bool
+  val to_list : 'a t -> 'a list
+
+  val check_quiescent_invariants : 'a t -> (unit, string) result
+  (** Structural audit at quiescence: hints ordered and within
+      capacity, no pending descriptors, no [slow_pending] residue, and
+      every slot in the exact [Free]/[Full] state its position
+      interval dictates (no [Taken] residue). *)
+
+  val register_metrics :
+    'a t -> Wfq_obsv.Metrics.t -> prefix:string -> unit
+  (** Uniform backend contract (PR 6): registers [prefix ^ ".depth"]
+      and [prefix ^ ".capacity"] gauges. Hot-path counters come from
+      passing [?obsv] at creation. *)
+
+  (** White-box probes for tests. *)
+  module Probe : sig
+    val head : 'a t -> int
+    val tail : 'a t -> int
+
+    val slot_state :
+      'a t -> int -> [ `Free of int | `Full of int * int | `Taken of int * int ]
+    (** Slot [j]'s cell as [(position, tid)]; tid [-1] = fast path. *)
+
+    val desc_pending : 'a t -> int -> bool
+    val desc_target : 'a t -> int -> int
+  end
+end

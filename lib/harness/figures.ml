@@ -240,6 +240,38 @@ let alloc_decomposition ?(scale = quick) () =
     major_collections = mk (fun p -> float_of_int p.Space.major_collections);
   }
 
+(** Ring decomposition (the [wfq_bench ring] dataset): the bounded ring
+    against the linked families' pooled floor on the strict pairs
+    workload — completion time, words/op and minor collections
+    projected from one interleaved collection. The words/op series is
+    the CI guard's data source (the ring must allocate strictly less
+    than "opt WF (1+2) pooled" at every thread count: its steady state
+    allocates nothing, so any regression is a protocol change). *)
+type ring_report = {
+  ring_time : Report.series list;
+  ring_words_per_op : Report.series list;
+  ring_minor_gcs : Report.series list;
+}
+
+let ring_decomposition ?(scale = quick) () =
+  let impls = Array.of_list Impls.ring_series in
+  let per_threads =
+    interleaved_collect ~scale
+      ~workload:(fun impl ~threads ~iters () ->
+        Workload.pairs impl ~threads ~iters ())
+      impls
+  in
+  let mk project =
+    series_from ~scale impls per_threads
+      ~aggregate:Wfq_primitives.Stats.median ~project
+  in
+  {
+    ring_time = mk seconds;
+    ring_words_per_op =
+      mk (fun r -> (Space.profile_of_result r).Space.words_per_op);
+    ring_minor_gcs = mk minor_gcs_of;
+  }
+
 (** One combined dataset of every paper figure, each series label
     prefixed with its figure ("fig7:LF", ...). Points keep their native
     x axis — threads for figs. 7-9, initial queue size for fig. 10 — so

@@ -77,6 +77,20 @@ val alloc_decomposition : ?scale:scale -> unit -> alloc_report
     on the enqueue-dequeue-pairs workload (medians over interleaved
     repetitions). *)
 
+type ring_report = {
+  ring_time : Report.series list;  (** seconds, pairs workload *)
+  ring_words_per_op : Report.series list;
+      (** minor-heap words per operation — the CI guard's series *)
+  ring_minor_gcs : Report.series list;
+}
+(** The ring decomposition — three projections of one interleaved
+    measurement over {!Impls.ring_series}. *)
+
+val ring_decomposition : ?scale:scale -> unit -> ring_report
+(** Extension ([wfq_bench ring]): the bounded ring vs opt WF (1+2),
+    its pooled counterpart and WF fps pooled on the strict pairs
+    workload (medians over interleaved repetitions). *)
+
 val all_figures : ?scale:scale -> unit -> Report.series list
 (** Every paper figure in one dataset, labels prefixed "figN:". Fig. 10
     points use queue size as x; the rest use threads. *)

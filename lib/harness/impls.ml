@@ -13,6 +13,7 @@ module Kp = Wfq_core.Kp_queue.Make (A)
 module Kp_hp = Wfq_core.Kp_queue_hp.Make (A)
 module Fps = Wfq_core.Kp_queue_fps.Make (A)
 module Sh = Wfq_shard.Shard.Make (A)
+module Rg = Wfq_core.Ring_queue.Make (A)
 
 module type BENCH_QUEUE = sig
   type t
@@ -206,6 +207,39 @@ let fps_bench_series =
    isolates what segment-pool recycling saves. *)
 let alloc_series = [ lf; lf_pooled; wf_opt12; wf_pooled; wf_fps; wf_fps_pooled ]
 
+(* Bounded-memory ring (Ring_queue): elements live in pre-allocated
+   slots, so steady state allocates nothing per operation. 8192 slots
+   comfortably exceeds every benchmark workload's peak depth (pairs
+   peaks at [threads] elements); [enqueue] on a full ring raises. *)
+let wf_ring_cap ~capacity ~max_failures : impl =
+  (module struct
+    type t = int Rg.t
+
+    let name =
+      if
+        capacity = 8192
+        && max_failures = Wfq_core.Ring_queue.default_max_failures
+      then "WF ring"
+      else Printf.sprintf "WF ring c=%d mf=%d" capacity max_failures
+
+    let create ~num_threads =
+      Rg.create_with ~capacity ~max_failures ~num_threads ()
+
+    let enqueue = Rg.enqueue
+    let dequeue = Rg.dequeue
+  end)
+
+let wf_ring =
+  wf_ring_cap ~capacity:8192
+    ~max_failures:Wfq_core.Ring_queue.default_max_failures
+
+(* Series for the ring bench (wfq_bench ring): the ring against the
+   linked-queue allocation floor (the pooled members of each family) and
+   the raw throughput baselines. The CI guard compares the ring's
+   words/op against "opt WF (1+2) pooled" (the BENCH_alloc floor) and
+   its pairs throughput against "WF fps pooled" at 1 domain. *)
+let ring_series = [ wf_opt12; wf_pooled; wf_fps_pooled; wf_ring ]
+
 let wf_hp : impl =
   (module struct
     type t = int Kp_hp.t
@@ -258,8 +292,8 @@ let mutex : impl =
 
 let all =
   [ lf; lf_pooled; lms; wf_base; wf_opt1; wf_opt2; wf_opt12; wf_pooled;
-    wf_fps; wf_fps_pooled; wf_hp; wf_universal; flat_combining; two_lock;
-    mutex ]
+    wf_fps; wf_fps_pooled; wf_ring; wf_hp; wf_universal; flat_combining;
+    two_lock; mutex ]
 
 (* Variants for the ablation bench: helping-chunk size sweep plus the
    tuning enhancements. *)

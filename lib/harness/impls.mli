@@ -89,6 +89,22 @@ val alloc_series : impl list
     opt WF (1+2) and WF fps, each next to its pooled counterpart, so
     the words/op delta isolates segment-pool recycling. *)
 
+val wf_ring : impl
+(** Bounded-memory wait-free ring ({!Wfq_core.Ring_queue}, "WF ring"):
+    8192 pre-allocated slots, default fast-path budget. Zero
+    steady-state allocation; [enqueue] raises on a full ring (no
+    benchmark workload approaches the bound). Strict FIFO — safe with
+    {!Workload.pairs}. *)
+
+val wf_ring_cap : capacity:int -> max_failures:int -> impl
+(** {!wf_ring} with explicit capacity and fast-path budget
+    ("WF ring c=C mf=K"). *)
+
+val ring_series : impl list
+(** Series for the ring bench ([wfq_bench ring]): opt WF (1+2), its
+    pooled counterpart (the words/op floor the ring must beat), WF fps
+    pooled (the throughput baseline) and the ring. *)
+
 val wf_hp : impl
 (** Wait-free queue with hazard-pointer reclamation (§3.4). *)
 
@@ -108,7 +124,8 @@ val mutex : impl
 (** Coarse single-mutex queue (extra baseline). *)
 
 val all : impl list
-(** The paper's series plus the extra baselines and the HP variant. *)
+(** The paper's series plus the extra baselines, the HP variant and the
+    bounded ring. *)
 
 val ablation : impl list
 (** Variants for the helping-chunk / tuning ablation bench. *)

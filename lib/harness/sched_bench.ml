@@ -21,6 +21,7 @@ module M = Wfq_obsv.Metrics
 module Kp_sched = Sched.Make (RA) (Sched.Rq_kp (RA))
 module Fps_sched = Sched.Make (RA) (Sched.Rq_fps_pooled (RA))
 module Shard_sched = Sched.Make (RA) (Sched.Rq_shard (RA))
+module Ring_sched = Sched.Make (RA) (Sched.Rq_ring (RA))
 
 let now_ns () = Int64.to_int (Monotonic_clock.now ())
 
@@ -62,6 +63,7 @@ let backends : (string * (module Sched.S)) list =
     ("kp_opt12", (module Kp_sched));
     ("fps_pooled", (module Fps_sched));
     ("shard_rr2", (module Shard_sched));
+    ("ring", (module Ring_sched));
   ]
 
 let service_once (module Sch : Sched.S) ~backend ~domains ~requests ~fanout
@@ -183,3 +185,4 @@ let series lines =
   @ series_of "fiber_p50_ns" (fun l -> l.fiber_p50_ns)
   @ series_of "fiber_p99_ns" (fun l -> l.fiber_p99_ns)
   @ series_of "steals" (fun l -> float_of_int l.steals_won)
+  @ series_of "steal_attempts" (fun l -> float_of_int l.steal_attempts)

@@ -30,8 +30,9 @@ type line = {
 }
 
 val backends : (string * (module Wfq_sched.Sched.S)) list
-(** The swept backends: [kp_opt12], [fps_pooled], [shard_rr2] — each
-    the scheduler functor over that run-queue on real atomics. *)
+(** The swept backends: [kp_opt12], [fps_pooled], [shard_rr2], [ring]
+    — each the scheduler functor over that run-queue on real
+    atomics. *)
 
 val service :
   ?backends:(string * (module Wfq_sched.Sched.S)) list ->
@@ -46,4 +47,5 @@ val service :
 val series : line list -> Report.series list
 (** Benchmark series keyed ["<field>:<backend>"] with domain count on
     the x axis: [throughput] (requests/s), [fiber_p50_ns],
-    [fiber_p99_ns], [steals]. *)
+    [fiber_p99_ns], [steals] (tasks stolen), [steal_attempts] (idle
+    sweeps entered — the idle-backoff study's series). *)

@@ -15,20 +15,21 @@
     memoization queue histories of a few hundred operations check in
     milliseconds. *)
 
-(* Functional FIFO: (front, back) with back reversed. *)
+(* Functional FIFO: (front, back) with back reversed; [size] tracked so
+   the bounded spec can answer full/not-full in O(1). *)
 module Model = struct
-  type t = { front : int list; back : int list }
+  type t = { front : int list; back : int list; size : int }
 
-  let empty = { front = []; back = [] }
-  let push q v = { q with back = v :: q.back }
+  let empty = { front = []; back = []; size = 0 }
+  let push q v = { q with back = v :: q.back; size = q.size + 1 }
 
   let pop q =
     match q.front with
-    | v :: front -> Some (v, { q with front })
+    | v :: front -> Some (v, { q with front; size = q.size - 1 })
     | [] -> (
         match List.rev q.back with
         | [] -> None
-        | v :: front -> Some (v, { front; back = [] }))
+        | v :: front -> Some (v, { front; back = []; size = q.size - 1 }))
 
   (* Canonical form so that structurally equal queues hash equally. *)
   let canonical q = q.front @ List.rev q.back
@@ -36,7 +37,13 @@ end
 
 type verdict = Linearizable of History.completed list | Not_linearizable
 
-let check (ops : History.completed list) : verdict =
+(* [capacity]: check against the bounded-queue specification instead of
+   the unbounded one. A bounded queue accepts an enqueue ([Done]) only
+   when it holds fewer than [capacity] elements and rejects it
+   ([Rejected]) only when it holds exactly [capacity] — the rejection
+   is a reachability fact about the linearization point, so it takes
+   part in the search like any other operation. *)
+let check ?capacity (ops : History.completed list) : verdict =
   let ops = Array.of_list ops in
   let n = Array.length ops in
   if n > 62 then
@@ -67,8 +74,16 @@ let check (ops : History.completed list) : verdict =
             in
             let attempt =
               match (ops.(i).op, ops.(i).response) with
-              | History.Enq v, History.Done ->
-                  continue_with (Model.push model v)
+              | History.Enq v, History.Done -> (
+                  match capacity with
+                  | Some c when model.Model.size >= c ->
+                      None (* accepted while full *)
+                  | Some _ | None -> continue_with (Model.push model v))
+              | History.Enq _, History.Rejected -> (
+                  match capacity with
+                  | Some c when model.Model.size = c -> continue_with model
+                  | Some _ -> None (* rejected while not full *)
+                  | None -> None (* unbounded queues never reject *))
               | History.Enq _, (History.Got _ | History.Empty) ->
                   None (* malformed history *)
               | History.Deq, History.Got v -> (
@@ -79,7 +94,8 @@ let check (ops : History.completed list) : verdict =
                   match Model.pop model with
                   | None -> continue_with model
                   | Some _ -> None)
-              | History.Deq, History.Done -> None (* malformed history *)
+              | History.Deq, (History.Done | History.Rejected) ->
+                  None (* malformed history *)
             in
             match attempt with Some _ as r -> r | None -> try_ops (i + 1)
           end
@@ -92,8 +108,10 @@ let check (ops : History.completed list) : verdict =
   | Some order -> Linearizable order
   | None -> Not_linearizable
 
-let is_linearizable ops =
-  match check ops with Linearizable _ -> true | Not_linearizable -> false
+let is_linearizable ?capacity ops =
+  match check ?capacity ops with
+  | Linearizable _ -> true
+  | Not_linearizable -> false
 
 (** Render a non-linearizable history for diagnostics. *)
 let pp_history fmt ops =

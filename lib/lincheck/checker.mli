@@ -9,14 +9,21 @@ type verdict =
       (** a witness linearization order *)
   | Not_linearizable
 
-val check : History.completed list -> verdict
+val check : ?capacity:int -> History.completed list -> verdict
 (** Decide linearizability of a complete history against the sequential
     FIFO specification. An operation may linearize before another only if
     it did not begin after the other returned (real-time order). Raises
     [Invalid_argument] for histories of more than 62 operations (the
-    linearized set is a native-int bitmask). *)
+    linearized set is a native-int bitmask).
 
-val is_linearizable : History.completed list -> bool
+    [capacity] switches to the bounded-queue specification: an enqueue
+    answering [Done] must linearize at a state holding fewer than
+    [capacity] elements, and one answering [Rejected] at a state holding
+    exactly [capacity]. Without [capacity], any [Rejected] response
+    makes the history non-linearizable (unbounded queues never
+    reject). *)
+
+val is_linearizable : ?capacity:int -> History.completed list -> bool
 
 val pp_history : Format.formatter -> History.completed list -> unit
 

@@ -14,6 +14,7 @@ type response =
   | Done  (** enqueue returned *)
   | Got of int  (** dequeue returned a value *)
   | Empty  (** dequeue observed an empty queue *)
+  | Rejected  (** bounded enqueue observed a full queue *)
 
 type completed = {
   thread : int;
@@ -76,6 +77,7 @@ let pp_response fmt = function
   | Done -> Format.fprintf fmt "ok"
   | Got v -> Format.fprintf fmt "-> %d" v
   | Empty -> Format.fprintf fmt "-> empty"
+  | Rejected -> Format.fprintf fmt "-> full"
 
 let pp_completed fmt c =
   Format.fprintf fmt "[%d..%d] t%d: %a %a" c.call c.return c.thread pp_op

@@ -11,6 +11,7 @@ type response =
   | Done  (** enqueue returned *)
   | Got of int  (** dequeue returned a value *)
   | Empty  (** dequeue observed an empty queue *)
+  | Rejected  (** bounded enqueue observed a full queue *)
 
 type completed = {
   thread : int;

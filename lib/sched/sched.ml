@@ -358,16 +358,32 @@ module Make
 
   (* Work until the system is empty: a failed take with [outstanding]
      still positive means some fiber is mid-execution on another worker
-     or suspended on a promise a running fiber will complete — spin
-     with a relax hint. [outstanding = 0] is stable (only fibers create
+     or suspended on a promise a running fiber will complete — back
+     off and retry. [outstanding = 0] is stable (only fibers create
      fibers, and external submits are the caller's responsibility), so
-     exiting is safe. *)
-  let rec worker_loop t ~tid =
-    if step t ~tid then worker_loop t ~tid
-    else if A.get t.outstanding > 0 then begin
-      Domain.cpu_relax ();
-      worker_loop t ~tid
-    end
+     exiting is safe.
+
+     The idle wait is the shared clamped {!Wfq_primitives.Backoff}
+     schedule rather than a raw [cpu_relax] per probe: each failed
+     probe doubles the spin-wait (16 .. 4096 relax hints), reset as
+     soon as a task is found. An idle worker therefore re-enters the
+     steal sweep geometrically less often — steal_attempts drops by an
+     order of magnitude on imbalanced workloads (BENCH_sched.json) —
+     while the clamp keeps the worst extra wake-up latency at one
+     bounded spin, leaving fiber p99 unchanged. *)
+  let worker_loop t ~tid =
+    let b = Wfq_primitives.Backoff.create () in
+    let rec go () =
+      if step t ~tid then begin
+        Wfq_primitives.Backoff.reset b;
+        go ()
+      end
+      else if A.get t.outstanding > 0 then begin
+        Wfq_primitives.Backoff.once b;
+        go ()
+      end
+    in
+    go ()
 
   let run t main =
     let pr = submit t ~tid:0 main in
@@ -455,4 +471,18 @@ module Rq_shard (A : Wfq_primitives.Atomic_intf.ATOMIC) : RUN_QUEUE = struct
 
   let create ~num_threads () =
     Sh.create ~policy:Wfq_shard.Shard.Round_robin ~shards:2 ~num_threads ()
+end
+
+module Rq_ring (A : Wfq_primitives.Atomic_intf.ATOMIC) : RUN_QUEUE = struct
+  module Rg = Wfq_core.Ring_queue.Make (A)
+  include Rg
+
+  let name = "ring"
+
+  (* 4096 pre-allocated slots per worker: zero allocation per task
+     hand-off and array locality on the hot path. The bound is a real
+     contract — a worker with more than 4096 queued slices sees
+     [Ring_full] from its push — but a run-queue's depth is bounded by
+     live fibers, far below this in every workload here. *)
+  let create ~num_threads () = Rg.create_with ~capacity:4096 ~num_threads ()
 end

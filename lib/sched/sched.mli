@@ -3,8 +3,9 @@
     [N] workers — OCaml domains in production ({!S.run}), or arbitrary
     callers of the deterministic core ({!S.step}) under the simulator —
     each own one MPMC run-queue of fiber slices, backed by any
-    {!RUN_QUEUE} (KP, fast-path/slow-path pooled, or the sharded
-    front-end). A worker serves its own queue first and, on empty,
+    {!RUN_QUEUE} (KP, fast-path/slow-path pooled, the sharded
+    front-end, or the bounded ring). A worker serves its own queue
+    first and, on empty,
     steals with one {!Wfq_shard.Steal_order} lap over the other
     workers' queues — the same sweep contract as the shard dequeue.
 
@@ -22,8 +23,10 @@
     Wait-freedom inheritance: a scheduler step adds one FAA and a few
     single-writer padded-counter stores around run-queue operations
     that are themselves wait-free, so fiber hand-off (spawn, steal,
-    wakeup) is wait-free end to end; only the {e idle} worker spins,
-    and only while the system is genuinely empty of runnable tasks.
+    wakeup) is wait-free end to end; only the {e idle} worker spins —
+    on the shared clamped {!Wfq_primitives.Backoff} schedule, reset the
+    moment a task is found — and only while the system is genuinely
+    empty of runnable tasks.
 
     See docs/SCHEDULER.md for the full protocol walkthrough. *)
 
@@ -166,3 +169,9 @@ module Rq_fps_pooled (A : Wfq_primitives.Atomic_intf.ATOMIC) : RUN_QUEUE
 module Rq_shard (A : Wfq_primitives.Atomic_intf.ATOMIC) : RUN_QUEUE
 (** A 2-shard round-robin {!Wfq_shard} front-end per run-queue:
     k-relaxed order within one worker's queue, strict per shard. *)
+
+module Rq_ring (A : Wfq_primitives.Atomic_intf.ATOMIC) : RUN_QUEUE
+(** The bounded-memory {!Wfq_core.Ring_queue}, 4096 slots per worker:
+    zero allocation per task hand-off. A worker exceeding 4096 queued
+    slices sees [Wfq_core.Ring_queue.Ring_full] — a bound no workload
+    here approaches. *)

@@ -33,6 +33,7 @@ type policy = Round_robin | Tid_affine | Length_aware
 type backend =
   | Kp_opt12
   | Fps of { max_failures : int }
+  | Ring of { capacity : int; max_failures : int }
 
 type shard_stats = {
   enqueues : int;
@@ -44,34 +45,47 @@ type shard_stats = {
 module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   module Kp = Wfq_core.Kp_queue.Make (A)
   module Fq = Wfq_core.Kp_queue_fps.Make (A)
+  module Rg = Wfq_core.Ring_queue.Make (A)
 
-  (* Per-shard queue: either the base KP queue or the fast-path/slow-path
-     variant. Both are wait-free strict FIFOs, so the front-end's
-     ordering and progress contracts are backend-independent; the
-     dispatch below is a predictable two-way branch, negligible next to
-     the atomic traffic of the operation itself. *)
-  type 'a shard_q = Kp_q of 'a Kp.t | Fps_q of 'a Fq.t
+  (* Per-shard queue: the base KP queue, the fast-path/slow-path
+     variant, or the bounded ring. All three are wait-free strict
+     FIFOs, so the front-end's ordering and progress contracts are
+     backend-independent (the ring additionally bounds each shard — see
+     the interface); the dispatch below is a predictable branch,
+     negligible next to the atomic traffic of the operation itself. *)
+  type 'a shard_q = Kp_q of 'a Kp.t | Fps_q of 'a Fq.t | Ring_q of 'a Rg.t
 
   let q_enqueue q ~tid v =
     match q with
     | Kp_q q -> Kp.enqueue q ~tid v
     | Fps_q q -> Fq.enqueue q ~tid v
+    | Ring_q q -> Rg.enqueue q ~tid v
 
   let q_dequeue q ~tid =
     match q with
     | Kp_q q -> Kp.dequeue q ~tid
     | Fps_q q -> Fq.dequeue q ~tid
+    | Ring_q q -> Rg.dequeue q ~tid
 
   let q_is_empty = function
     | Kp_q q -> Kp.is_empty q
     | Fps_q q -> Fq.is_empty q
+    | Ring_q q -> Rg.is_empty q
 
-  let q_length = function Kp_q q -> Kp.length q | Fps_q q -> Fq.length q
-  let q_to_list = function Kp_q q -> Kp.to_list q | Fps_q q -> Fq.to_list q
+  let q_length = function
+    | Kp_q q -> Kp.length q
+    | Fps_q q -> Fq.length q
+    | Ring_q q -> Rg.length q
+
+  let q_to_list = function
+    | Kp_q q -> Kp.to_list q
+    | Fps_q q -> Fq.to_list q
+    | Ring_q q -> Rg.to_list q
 
   let q_check = function
     | Kp_q q -> Kp.check_quiescent_invariants q
     | Fps_q q -> Fq.check_quiescent_invariants q
+    | Ring_q q -> Rg.check_quiescent_invariants q
 
   type 'a t = {
     shards : 'a shard_q array;
@@ -102,6 +116,25 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
       ~num_threads () =
     if shards <= 0 then invalid_arg "Shard.create: shards must be positive";
     if num_threads <= 0 then invalid_arg "Shard.create: num_threads";
+    (* Validate backend parameters here, with one uniform message, so a
+       bad configuration fails before any shard is allocated rather
+       than deep inside a shard constructor. *)
+    (match backend with
+    | Kp_opt12 -> ()
+    | Fps { max_failures } ->
+        if max_failures < 0 then
+          invalid_arg
+            "Shard.create: invalid backend configuration (Fps: negative \
+             max_failures)"
+    | Ring { capacity; max_failures } ->
+        if capacity <= 0 then
+          invalid_arg
+            "Shard.create: invalid backend configuration (Ring: capacity \
+             must be positive)";
+        if max_failures < 0 then
+          invalid_arg
+            "Shard.create: invalid backend configuration (Ring: negative \
+             max_failures)");
     let per_shard_tids () =
       Array.init shards (fun _ ->
           Wfq_obsv.Counter.create ~slots:num_threads ())
@@ -122,6 +155,8 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
             (Fq.create_with ~max_failures
                ~help:Wfq_core.Kp_queue_fps.Help_one_cyclic
                ~phase:Wfq_core.Kp_queue_fps.Phase_counter ~num_threads ())
+      | Ring { capacity; max_failures } ->
+          Ring_q (Rg.create_with ~capacity ~max_failures ~num_threads ())
     in
     {
       shards = Array.init shards (fun _ -> make_shard ());

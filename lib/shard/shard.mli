@@ -59,16 +59,28 @@ type policy =
           evens shard lengths under skewed producers at the cost of one
           extra counter read per operation *)
 
-(** Per-shard queue algorithm. Both are wait-free strict FIFOs, so the
-    front-end's ordering and progress contracts hold for either. *)
+(** Per-shard queue algorithm. All variants are wait-free strict FIFOs,
+    so the front-end's ordering and progress contracts hold for every
+    backend; they differ in memory behaviour and slow-path shape.
+    Default is {!Kp_opt12}. *)
 type backend =
   | Kp_opt12
       (** base Kogan-Petrank queue, opt-(1+2) configuration (default —
-          the original front-end behaviour) *)
+          the original front-end behaviour); unbounded, one node
+          allocation per element *)
   | Fps of { max_failures : int }
       (** fast-path/slow-path variant ({!Wfq_core.Kp_queue_fps}):
           lock-free rounds until [max_failures] failures per operation,
-          then the KP helping slow path *)
+          then the KP helping slow path; unbounded, pooled-node
+          allocation *)
+  | Ring of { capacity : int; max_failures : int }
+      (** bounded-memory ring ({!Wfq_core.Ring_queue}): [capacity]
+          pre-allocated slots per shard, zero steady-state allocation,
+          array locality; [max_failures] fast slot-CAS rounds before
+          the helping slow path. {b Bounded}: with this backend each
+          shard holds at most [capacity] elements and [enqueue] raises
+          [Wfq_core.Ring_queue.Ring_full] on a full shard (total
+          front-end capacity = [shards * capacity]) *)
 
 (** Per-shard operation counters (monotonic, snapshot via {!Make.stats};
     exact at quiescence, indicative under concurrency). *)
@@ -101,7 +113,9 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
       [0 .. num_threads - 1] (every thread may touch every shard via
       stealing). Default policy is {!Round_robin}. Raises
       [Invalid_argument] for [shards <= 0], [num_threads <= 0], or an
-      invalid backend configuration (negative [max_failures]). *)
+      invalid backend configuration — negative [max_failures] in {!Fps}
+      or {!Ring}, or non-positive [capacity] in {!Ring}; the message
+      names the offending backend and field. *)
 
   val create_strict : num_threads:int -> unit -> 'a t
   (** Single-shard strict FIFO mode: equivalent to [create ~shards:1],

@@ -22,7 +22,7 @@ module S = Scheduler
 module H = Wfq_lincheck.History
 module C = Wfq_lincheck.Checker
 
-type script = [ `Enq of int | `Deq ] list
+type script = [ `Enq of int | `Try_enq of int | `Deq ] list
 
 type 'q ops = {
   create : num_threads:int -> 'q;
@@ -59,8 +59,8 @@ let ops_in scripts init =
 (* Build the fiber vector + post-run check for one execution. Shared
    with every exploration mode and with the shrinker, so all replay the
    same scenario. *)
-let make_scenario ~queue:ops ~scripts ~init ?step_bound ?extra_check
-    ~max_fiber_steps () =
+let make_scenario ~queue:ops ~scripts ~init ?try_enqueue ?capacity
+    ?step_bound ?extra_check ~max_fiber_steps () =
   let num_threads = List.length scripts in
   let q = ops.create ~num_threads in
   let hist = H.create () in
@@ -81,6 +81,18 @@ let make_scenario ~queue:ops ~scripts ~init ?step_bound ?extra_check
             H.call hist ~thread:tid (H.Enq v);
             ops.enqueue q ~tid v;
             H.return hist ~thread:tid H.Done
+        | `Try_enq v -> (
+            let try_enq =
+              match try_enqueue with
+              | Some f -> f
+              | None ->
+                  invalid_arg
+                    "Check: `Try_enq script op without ~try_enqueue"
+            in
+            H.call hist ~thread:tid (H.Enq v);
+            match try_enq q ~tid v with
+            | true -> H.return hist ~thread:tid H.Done
+            | false -> H.return hist ~thread:tid H.Rejected)
         | `Deq -> (
             H.call hist ~thread:tid H.Deq;
             match ops.dequeue q ~tid with
@@ -108,10 +120,15 @@ let make_scenario ~queue:ops ~scripts ~init ?step_bound ?extra_check
     | Error _ as e -> e
     | Ok () -> (
         let completed = H.completed hist in
+        (* Only enqueues that reported success count as having put an
+           element in: a [Rejected] bounded enqueue must leave no trace
+           (if it does, conservation flags the duplicate). *)
         let enqueued =
           List.filter_map
             (fun (c : H.completed) ->
-              match c.H.op with H.Enq v -> Some v | H.Deq -> None)
+              match (c.H.op, c.H.response) with
+              | H.Enq v, H.Done -> Some v
+              | H.Enq _, _ | H.Deq, _ -> None)
             completed
         in
         let dequeued =
@@ -119,7 +136,7 @@ let make_scenario ~queue:ops ~scripts ~init ?step_bound ?extra_check
             (fun (c : H.completed) ->
               match c.H.response with
               | H.Got v -> Some v
-              | H.Done | H.Empty -> None)
+              | H.Done | H.Empty | H.Rejected -> None)
             completed
         in
         let left = S.ignore_yields (fun () -> ops.contents q) in
@@ -129,7 +146,7 @@ let make_scenario ~queue:ops ~scripts ~init ?step_bound ?extra_check
             (Printf.sprintf "conservation violated: %d enq, %d deq, %d left"
                (List.length enqueued) (List.length dequeued)
                (List.length left))
-        else if not (C.is_linearizable completed) then
+        else if not (C.is_linearizable ?capacity completed) then
           Error (Format.asprintf "not linearizable:@.%a" C.pp_history completed)
         else
           match extra_check with
@@ -139,7 +156,8 @@ let make_scenario ~queue:ops ~scripts ~init ?step_bound ?extra_check
   (Array.of_list (List.mapi fiber scripts), check)
 
 let run ?(mode = Dpor) ?max_schedules ?step_limit ?step_bound
-    ?(shrink = true) ?(init = []) ?extra_check ~queue ~scripts () =
+    ?(shrink = true) ?(init = []) ?try_enqueue ?capacity ?extra_check ~queue
+    ~scripts () =
   if scripts = [] then invalid_arg "Check.run: no scripts";
   if ops_in scripts init > 62 then
     invalid_arg
@@ -147,8 +165,8 @@ let run ?(mode = Dpor) ?max_schedules ?step_limit ?step_bound
        bitmask limit)";
   let max_fiber_steps = ref 0 in
   let make () =
-    make_scenario ~queue ~scripts ~init ?step_bound ?extra_check
-      ~max_fiber_steps ()
+    make_scenario ~queue ~scripts ~init ?try_enqueue ?capacity ?step_bound
+      ?extra_check ~max_fiber_steps ()
   in
   let schedules, exhausted, raw_failure =
     match mode with

@@ -4,7 +4,11 @@
     linearizability ({!Wfq_lincheck}), and optionally a per-fiber step
     bound (wait-freedom certification). Failures arrive pre-shrunk. *)
 
-type script = [ `Enq of int | `Deq ] list
+type script = [ `Enq of int | `Try_enq of int | `Deq ] list
+(** [`Try_enq] is the bounded-queue insert: it records [Done] when the
+    queue accepted the element and [Rejected] when it reported full,
+    and requires [~try_enqueue] (and normally [~capacity]) to be passed
+    to {!run}/{!make_scenario}. *)
 
 type 'q ops = {
   create : num_threads:int -> 'q;
@@ -39,6 +43,8 @@ val make_scenario :
   queue:'q ops ->
   scripts:script list ->
   init:int list ->
+  ?try_enqueue:('q -> tid:int -> int -> bool) ->
+  ?capacity:int ->
   ?step_bound:int ->
   ?extra_check:('q -> (unit, string) result) ->
   max_fiber_steps:int ref ->
@@ -56,6 +62,8 @@ val run :
   ?step_bound:int ->
   ?shrink:bool ->
   ?init:int list ->
+  ?try_enqueue:('q -> tid:int -> int -> bool) ->
+  ?capacity:int ->
   ?extra_check:('q -> (unit, string) result) ->
   queue:'q ops ->
   scripts:script list ->
@@ -68,6 +76,11 @@ val run :
     (default true) delta-debugs any failing schedule. Total operation
     count (scripts + init) is capped at 62 by the linearizability
     checker.
+
+    [try_enqueue] implements the [`Try_enq] script op (required when a
+    script uses it); [capacity] switches the linearizability check to
+    the bounded-queue specification with that capacity (conservation
+    always ignores rejected enqueues).
 
     Under [Dpor], [max_schedules] bounds total executions (complete +
     pruned); a [step_limit] hit is reported as a livelock/starvation

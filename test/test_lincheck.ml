@@ -123,6 +123,89 @@ let test_witness_order_is_valid () =
           | _ -> Alcotest.fail "malformed witness op")
         order
 
+(* ------------------------ bounded spec -------------------------- *)
+
+let test_bounded_reject_at_capacity () =
+  (* Full queue rejects: legal exactly at the bounded capacity. *)
+  let h =
+    [
+      op ~call:0 ~return:1 (H.Enq 1) H.Done;
+      op ~call:2 ~return:3 (H.Enq 2) H.Rejected;
+    ]
+  in
+  Alcotest.(check bool) "rejection at capacity 1 accepted" true
+    (lin ~capacity:1 h);
+  Alcotest.(check bool) "rejection below capacity 2 non-linearizable" false
+    (lin ~capacity:2 h)
+
+let test_bounded_done_over_capacity () =
+  (* Accepting past the bound is as wrong as rejecting under it. *)
+  let h =
+    [
+      op ~call:0 ~return:1 (H.Enq 1) H.Done;
+      op ~call:2 ~return:3 (H.Enq 2) H.Done;
+    ]
+  in
+  Alcotest.(check bool) "second Done breaks capacity 1" false
+    (lin ~capacity:1 h);
+  Alcotest.(check bool) "fine at capacity 2" true (lin ~capacity:2 h)
+
+let test_bounded_reject_then_reuse () =
+  (* Reject while full, dequeue, then the slot is insertable again. *)
+  let h =
+    [
+      op ~call:0 ~return:1 (H.Enq 1) H.Done;
+      op ~call:2 ~return:3 (H.Enq 2) H.Rejected;
+      op ~call:4 ~return:5 H.Deq (H.Got 1);
+      op ~call:6 ~return:7 (H.Enq 3) H.Done;
+      op ~call:8 ~return:9 H.Deq (H.Got 3);
+    ]
+  in
+  Alcotest.(check bool) "reject / drain / reuse" true (lin ~capacity:1 h)
+
+let test_bounded_reject_overlapping_deq () =
+  (* The rejecting enqueue overlaps the dequeue that empties the queue:
+     it may linearize before the removal (full -> Rejected is legal),
+     even though after the removal there is room. *)
+  let h =
+    [
+      op ~thread:0 ~call:0 ~return:1 (H.Enq 1) H.Done;
+      op ~thread:0 ~call:2 ~return:5 H.Deq (H.Got 1);
+      op ~thread:1 ~call:3 ~return:4 (H.Enq 2) H.Rejected;
+    ]
+  in
+  Alcotest.(check bool) "overlapping rejection accepted" true
+    (lin ~capacity:1 h);
+  (* Sequentially after the dequeue, the same rejection is a bug. *)
+  let h_seq =
+    [
+      op ~thread:0 ~call:0 ~return:1 (H.Enq 1) H.Done;
+      op ~thread:0 ~call:2 ~return:3 H.Deq (H.Got 1);
+      op ~thread:1 ~call:4 ~return:5 (H.Enq 2) H.Rejected;
+    ]
+  in
+  Alcotest.(check bool) "rejection on empty queue rejected" false
+    (lin ~capacity:1 h_seq)
+
+let test_rejected_without_capacity () =
+  (* Unbounded queues never reject: any Rejected response without
+     ~capacity is non-linearizable, however plausible the schedule. *)
+  let h = [ op ~call:0 ~return:1 (H.Enq 1) H.Rejected ] in
+  Alcotest.(check bool) "Rejected under unbounded spec" false (lin h)
+
+let test_rejected_dequeue_malformed () =
+  (* Rejected is an enqueue response; on a dequeue it is malformed even
+     under the bounded spec. *)
+  let h =
+    [
+      op ~call:0 ~return:1 (H.Enq 1) H.Done;
+      op ~call:2 ~return:3 H.Deq H.Rejected;
+    ]
+  in
+  Alcotest.(check bool) "Deq/Rejected rejected (bounded)" false
+    (lin ~capacity:1 h);
+  Alcotest.(check bool) "Deq/Rejected rejected (unbounded)" false (lin h)
+
 let test_size_guard () =
   let h =
     List.init 63 (fun i -> op ~call:(2 * i) ~return:((2 * i) + 1) (H.Enq i) H.Done)
@@ -337,6 +420,21 @@ let () =
           Alcotest.test_case "witness order replays" `Quick
             test_witness_order_is_valid;
           Alcotest.test_case "size guard" `Quick test_size_guard;
+        ] );
+      ( "bounded spec",
+        [
+          Alcotest.test_case "reject legal only at capacity" `Quick
+            test_bounded_reject_at_capacity;
+          Alcotest.test_case "accept illegal over capacity" `Quick
+            test_bounded_done_over_capacity;
+          Alcotest.test_case "reject / drain / reuse" `Quick
+            test_bounded_reject_then_reuse;
+          Alcotest.test_case "overlapping rejection" `Quick
+            test_bounded_reject_overlapping_deq;
+          Alcotest.test_case "Rejected without capacity" `Quick
+            test_rejected_without_capacity;
+          Alcotest.test_case "Rejected dequeue malformed" `Quick
+            test_rejected_dequeue_malformed;
         ] );
       ( "recorder",
         [

@@ -17,6 +17,7 @@ module Kp = Wfq_core.Kp_queue.Make (A)
 module Kp_hp = Wfq_core.Kp_queue_hp.Make (A)
 module Fps = Wfq_core.Kp_queue_fps.Make (A)
 module Lms = Wfq_core.Lms_queue.Make (A)
+module Ring = Wfq_core.Ring_queue.Make (A)
 
 type 'q conc_queue = {
   make : num_threads:int -> 'q;
@@ -96,6 +97,32 @@ let queues =
           enq = (fun q ~tid v -> Fps.enqueue q ~tid v);
           deq = (fun q ~tid -> Fps.dequeue q ~tid);
           len = Fps.length;
+        } );
+    (* Bounded ring at the same two budgets as kp-fps. The capacity is
+       sized above every workload's peak occupancy (burst-then-drain
+       holds 8_000 live elements), so [enqueue] never meets a full ring
+       and the unbounded-FIFO invariants apply unchanged. *)
+    Q
+      ( "ring mf=1",
+        {
+          make =
+            (fun ~num_threads ->
+              Ring.create_with ~capacity:16_384 ~max_failures:1 ~num_threads
+                ());
+          enq = (fun q ~tid v -> Ring.enqueue q ~tid v);
+          deq = (fun q ~tid -> Ring.dequeue q ~tid);
+          len = Ring.length;
+        } );
+    Q
+      ( "ring mf=64",
+        {
+          make =
+            (fun ~num_threads ->
+              Ring.create_with ~capacity:16_384 ~max_failures:64 ~num_threads
+                ());
+          enq = (fun q ~tid v -> Ring.enqueue q ~tid v);
+          deq = (fun q ~tid -> Ring.dequeue q ~tid);
+          len = Ring.length;
         } );
     Q
       ( "lms",
@@ -330,6 +357,90 @@ let hp_sim_cases =
       test_hp_sim_pairs_fuzz;
   ]
 
+(* Sim-based linearizability rows for the bounded ring, against the
+   bounded-FIFO spec: [`Try_enq] results are judged with [~capacity]
+   (Rejected is legal exactly when the abstract queue is full). The
+   tiny configurations (capacity 1-2, max_failures 0-1) keep every
+   protocol layer — claim/rollback, helping hand-off, full/empty
+   validation — inside DPOR-exhaustible trace spaces; the two-op rows
+   use bounded-preemption and fuzz, as for kp-hp above. Every row runs
+   the wait-freedom certifier and the quiescent structural audit. *)
+module Ring_sim = Wfq_core.Ring_queue.Make (SA)
+
+let ring_sim_ops ~capacity ~max_failures : _ Ck.ops =
+  {
+    Ck.create =
+      (fun ~num_threads ->
+        Ring_sim.create_with ~capacity ~max_failures ~num_threads ());
+    enqueue = (fun q ~tid v -> Ring_sim.enqueue q ~tid v);
+    dequeue = (fun q ~tid -> Ring_sim.dequeue q ~tid);
+    contents = Ring_sim.to_list;
+  }
+
+let ring_try_enq q ~tid v = Ring_sim.try_enqueue q ~tid v
+let ring_audit q = Ring_sim.check_quiescent_invariants q
+
+let check_ring_clean name (r : Ck.report) =
+  (match r.Ck.failure with
+  | None -> ()
+  | Some f -> Alcotest.failf "%s: %a" name Ck.pp_failure f);
+  Alcotest.(check bool) (name ^ ": exhausted") true r.Ck.exhausted
+
+let test_ring_sim_enq_deq_dpor () =
+  check_ring_clean "ring enq|deq under dpor"
+    (Ck.run ~mode:Ck.Dpor ~max_schedules:100_000 ~step_bound:120
+       ~try_enqueue:ring_try_enq ~capacity:2 ~extra_check:ring_audit
+       ~queue:(ring_sim_ops ~capacity:2 ~max_failures:1)
+       ~scripts:[ [ `Enq 1 ]; [ `Deq ] ]
+       ())
+
+let test_ring_sim_full_race_dpor () =
+  (* Capacity-1 ring pre-filled to the brim: Try_enq must linearize to
+     Rejected or Done depending on whether the racing Deq's removal has
+     happened — the bounded spec's hardest corner. All-slow-path. *)
+  check_ring_clean "ring try_enq|deq on full capacity-1 ring under dpor"
+    (Ck.run ~mode:Ck.Dpor ~max_schedules:300_000 ~step_bound:120
+       ~init:[ 9 ] ~try_enqueue:ring_try_enq ~capacity:1
+       ~extra_check:ring_audit
+       ~queue:(ring_sim_ops ~capacity:1 ~max_failures:0)
+       ~scripts:[ [ `Try_enq 1 ]; [ `Deq ] ]
+       ())
+
+let test_ring_sim_pairs_pb () =
+  check_ring_clean "ring pairs under <=2 preemptions"
+    (Ck.run ~mode:(Ck.Preemption_bounded 2) ~max_schedules:100_000
+       ~step_bound:200 ~try_enqueue:ring_try_enq ~capacity:2
+       ~extra_check:ring_audit
+       ~queue:(ring_sim_ops ~capacity:2 ~max_failures:1)
+       ~scripts:[ [ `Enq 1; `Deq ]; [ `Enq 2; `Deq ] ]
+       ())
+
+let test_ring_sim_pairs_fuzz () =
+  let r =
+    Ck.run
+      ~mode:(Ck.Fuzz { seed0 = 23; count = 2_000 })
+      ~step_bound:200 ~try_enqueue:ring_try_enq ~capacity:2
+      ~extra_check:ring_audit
+      ~queue:(ring_sim_ops ~capacity:2 ~max_failures:1)
+      ~scripts:[ [ `Enq 1; `Deq ]; [ `Enq 2; `Deq ] ]
+      ()
+  in
+  match r.Ck.failure with
+  | None -> ()
+  | Some f -> Alcotest.failf "ring fuzz: %a" Ck.pp_failure f
+
+let ring_sim_cases =
+  [
+    Alcotest.test_case "ring enq|deq: dpor-exhaustive lincheck" `Quick
+      test_ring_sim_enq_deq_dpor;
+    Alcotest.test_case "ring full-race: dpor-exhaustive bounded lincheck"
+      `Quick test_ring_sim_full_race_dpor;
+    Alcotest.test_case "ring pairs: bounded-preemption lincheck" `Quick
+      test_ring_sim_pairs_pb;
+    Alcotest.test_case "ring pairs: fuzz lincheck" `Quick
+      test_ring_sim_pairs_fuzz;
+  ]
+
 (* SPSC gets its own shape: exactly one producer and one consumer. *)
 let test_spsc_stream () =
   let module Spsc = Wfq_core.Spsc_queue.Make (A) in
@@ -365,6 +476,7 @@ let () =
     [
       ("domains", cases);
       ("sim-lincheck (kp-hp)", hp_sim_cases);
+      ("sim-lincheck (ring)", ring_sim_cases);
       ( "spsc",
         [ Alcotest.test_case "ordered stream of 50k" `Quick test_spsc_stream ]
       );

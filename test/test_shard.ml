@@ -359,7 +359,7 @@ let scenario ~policy ~shards (scripts : script list) () =
         (fun e ->
           match e.response with
           | H.Got v -> Some v
-          | H.Done | H.Empty -> None)
+          | H.Done | H.Empty | H.Rejected -> None)
         evs
     in
     let left = S.ignore_yields (fun () -> Sh_sim.to_list q) in

@@ -121,7 +121,7 @@ let scenario (Q (_, ops)) (scripts : script list) () =
     let dequeued =
       List.filter_map
         (fun (c : H.completed) ->
-          match c.response with H.Got v -> Some v | H.Done | H.Empty -> None)
+          match c.response with H.Got v -> Some v | H.Done | H.Empty | H.Rejected -> None)
         completed
     in
     let left = S.ignore_yields (fun () -> ops.contents q) in
