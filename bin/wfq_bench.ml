@@ -38,6 +38,16 @@ let sizes_arg =
   let doc = "Comma-separated initial queue sizes (fig. 10)." in
   Arg.(value & opt (some string) None & info [ "sizes" ] ~docv:"LIST" ~doc)
 
+let batch_arg =
+  let doc =
+    "Also run the batch-native decomposition at this batch size: the \
+     per-item WF fps baseline vs the native enqueue_batch/dequeue_batch \
+     of the fps, KP, ring and sharded backends on the batch pairs \
+     workload (docs/BATCHING.md). Adds batch:-prefixed series to the \
+     tables and the JSON."
+  in
+  Arg.(value & opt (some int) None & info [ "batch" ] ~docv:"K" ~doc)
+
 let paper_arg =
   let doc = "Use the paper's full parameters (1..16 threads, 1M iters, 10 runs)." in
   Arg.(value & flag & info [ "paper" ] ~doc)
@@ -156,7 +166,7 @@ let prefix_labels p =
    max_failures sweep vs the acceptance baselines (LF, base WF, opt WF
    (1+2)) on the strict pairs workload. Same canonical environment as
    the shard bench. *)
-let run_fps paper threads iters runs sizes csv json =
+let run_fps paper threads iters runs sizes batch csv json =
   let minor_words = (Gc.get ()).Gc.minor_heap_size in
   if minor_words < canonical_minor_heap_words then
     Printf.eprintf
@@ -174,21 +184,36 @@ let run_fps paper threads iters runs sizes csv json =
   emit ~csv ~title ~y_label:"seconds" time;
   emit ~csv ~title:"Fast-path/slow-path: minor collections per run"
     ~y_label:"minor gcs" minor_gcs;
+  let batch_series =
+    match batch with
+    | None -> []
+    | Some k ->
+        (* The batch workload needs at least one full round per thread. *)
+        let bscale = { scale with F.iters = max scale.F.iters k } in
+        let b = F.batch_decomposition ~scale:bscale ~batch:k () in
+        emit ~csv
+          ~title:(Printf.sprintf "Batch pairs (k=%d): per-item vs native" k)
+          ~y_label:"seconds" b.F.batch_time;
+        prefix_labels "batch" b.F.batch_time
+        @ prefix_labels "batch-minor-gcs" b.F.batch_minor_gcs
+  in
   if json then begin
     let meta =
       [
-        ("workload", "pairs");
+        ("workload", "pairs; batch: series are the batch pairs workload");
         ("threads",
          String.concat "," (List.map string_of_int scale.threads));
         ("iters", string_of_int scale.iters);
         ("runs", string_of_int scale.runs);
+        ("batch",
+         match batch with None -> "none" | Some k -> string_of_int k);
         ("aggregation", "median, interleaved run order");
         ("minor_heap_words", string_of_int minor_words);
         ("y", "seconds; minor-gcs: series are collections per run");
       ]
     in
     R.write_json ~path:"BENCH_fps.json" ~title ~meta
-      (time @ prefix_labels "minor-gcs" minor_gcs);
+      (time @ prefix_labels "minor-gcs" minor_gcs @ batch_series);
     print_endline "wrote BENCH_fps.json"
   end
 
@@ -512,21 +537,21 @@ let fps_cmd =
   let term =
     Term.(
       const run_fps
-      $ paper_arg $ threads_arg $ iters_arg $ runs_arg $ sizes_arg $ csv_arg
-      $ json_arg)
+      $ paper_arg $ threads_arg $ iters_arg $ runs_arg $ sizes_arg $ batch_arg
+      $ csv_arg $ json_arg)
   in
   Cmd.v
     (Cmd.info "fps"
        ~doc:
          "Fast-path/slow-path queue (Kp_queue_fps) vs LF / base WF / opt \
-          WF (1+2), with the max_failures sweep; --json writes \
-          BENCH_fps.json.")
+          WF (1+2), with the max_failures sweep; --batch K adds the \
+          batch-native decomposition; --json writes BENCH_fps.json.")
     term
 
 (* All paper figures in one canonical dataset (bench hygiene: one file
    to diff across PRs for the core figures, alongside the per-extension
    BENCH_*.json files). *)
-let run_figures paper threads iters runs sizes csv json =
+let run_figures paper threads iters runs sizes batch csv json =
   let minor_words = (Gc.get ()).Gc.minor_heap_size in
   let scale = build_scale paper threads iters runs sizes in
   (* The _gc variants project time and GC activity from the same runs,
@@ -548,6 +573,22 @@ let run_figures paper threads iters runs sizes csv json =
     ~y_label:"minor gcs" f9.F.minor_gcs;
   R.print_table ~title:"Figure 10: live space overhead (WF / LF)"
     ~x_label:"queue size" ~y_label:"live-words ratio" f10;
+  let batch_series =
+    match batch with
+    | None -> []
+    | Some k ->
+        let bscale = { scale with F.iters = max scale.F.iters k } in
+        let b = F.batch_decomposition ~scale:bscale ~batch:k () in
+        emit ~csv
+          ~title:(Printf.sprintf "Batch pairs (k=%d): per-item vs native" k)
+          ~y_label:"seconds" b.F.batch_time;
+        emit ~csv
+          ~title:
+            (Printf.sprintf "Batch pairs (k=%d, GC): minor collections" k)
+          ~y_label:"minor gcs" b.F.batch_minor_gcs;
+        prefix_labels "batch" b.F.batch_time
+        @ prefix_labels "batch-minor-gcs" b.F.batch_minor_gcs
+  in
   if json then begin
     let series =
       prefix_labels "fig7" f7.F.time
@@ -557,20 +598,27 @@ let run_figures paper threads iters runs sizes csv json =
       @ prefix_labels "fig9" f9.F.time
       @ prefix_labels "fig9-minor-gcs" f9.F.minor_gcs
       @ prefix_labels "fig10" f10
+      @ batch_series
     in
     let meta =
       [
-        ("workloads", "fig7/fig9 pairs; fig8 p_enq; fig10 live-space ratio");
+        ("workloads",
+         "fig7/fig9 pairs; fig8 p_enq; fig10 live-space ratio; batch: \
+          series are the batch pairs workload (docs/BATCHING.md)");
         ("threads",
          String.concat "," (List.map string_of_int scale.threads));
         ("iters", string_of_int scale.iters);
         ("runs", string_of_int scale.runs);
-        ("aggregation", "mean, sequential run order");
+        ("batch",
+         match batch with None -> "none" | Some k -> string_of_int k);
+        ("aggregation",
+         "mean, sequential run order; batch: median, interleaved");
         ("minor_heap_words", string_of_int minor_words);
-        ("x", "threads for fig7-9 labels; initial queue size for fig10");
+        ("x", "threads for fig7-9 and batch labels; initial queue size \
+               for fig10");
         ("y",
-         "seconds for fig7-9; live-words ratio for fig10; figN-minor-gcs \
-          series are minor collections per run");
+         "seconds for fig7-9 and batch; live-words ratio for fig10; \
+          *-minor-gcs series are minor collections per run");
       ]
     in
     R.write_json ~path:"BENCH_figures.json"
@@ -582,14 +630,16 @@ let figures_cmd =
   let term =
     Term.(
       const run_figures
-      $ paper_arg $ threads_arg $ iters_arg $ runs_arg $ sizes_arg $ csv_arg
-      $ json_arg)
+      $ paper_arg $ threads_arg $ iters_arg $ runs_arg $ sizes_arg $ batch_arg
+      $ csv_arg $ json_arg)
   in
   Cmd.v
     (Cmd.info "figures"
        ~doc:
-         "Every paper figure (7-10) in one run; --json writes the combined \
-          BENCH_figures.json with figN-prefixed series labels.")
+         "Every paper figure (7-10) in one run; --batch K adds the \
+          batch-native decomposition (per-item WF fps vs native batch \
+          backends); --json writes the combined BENCH_figures.json with \
+          figN- and batch-prefixed series labels.")
     term
 
 let shard_cmd =

@@ -38,6 +38,11 @@ type 'q sim_queue = {
       (* bounded queues only: the [`Try_enq] script op *)
   capacity : int option;
       (* bounded queues only: switches lincheck to the bounded spec *)
+  enq_batch : ('q -> tid:int -> int list -> unit) option;
+  try_enq_batch : ('q -> tid:int -> int list -> int) option;
+  deq_batch : ('q -> tid:int -> n:int -> int list) option;
+      (* backends with native batch operations run the batch litmus
+         library ([`Enq_batch] and friends) on top of these *)
 }
 
 type packed = Q : 'q sim_queue -> packed
@@ -52,6 +57,9 @@ let rec queue_of_name = function
           contents = Ms.to_list;
           try_enq = None;
           capacity = None;
+          enq_batch = None;
+          try_enq_batch = None;
+          deq_batch = None;
         }
   | "kp-base" ->
       Q
@@ -65,6 +73,9 @@ let rec queue_of_name = function
           contents = Kp.to_list;
           try_enq = None;
           capacity = None;
+          enq_batch = Some (fun q ~tid vs -> Kp.enqueue_batch q ~tid vs);
+          try_enq_batch = None;
+          deq_batch = Some (fun q ~tid ~n -> Kp.dequeue_batch q ~tid ~n);
         }
   | "kp-opt12" ->
       Q
@@ -78,6 +89,29 @@ let rec queue_of_name = function
           contents = Kp.to_list;
           try_enq = None;
           capacity = None;
+          enq_batch = Some (fun q ~tid vs -> Kp.enqueue_batch q ~tid vs);
+          try_enq_batch = None;
+          deq_batch = Some (fun q ~tid ~n -> Kp.dequeue_batch q ~tid ~n);
+        }
+  | "kp-fps" ->
+      (* max_failures 1 so DPOR explores one fast round plus the
+         slow-path descriptor in every operation, including the
+         batch dequeue's single-CAS prefix grab *)
+      Q
+        {
+          make =
+            (fun ~num_threads ->
+              Fps.create_with ~max_failures:1
+                ~help:Wfq_core.Kp_queue_fps.Help_one_cyclic
+                ~phase:Wfq_core.Kp_queue_fps.Phase_counter ~num_threads ());
+          enq = (fun q ~tid v -> Fps.enqueue q ~tid v);
+          deq = (fun q ~tid -> Fps.dequeue q ~tid);
+          contents = Fps.to_list;
+          try_enq = None;
+          capacity = None;
+          enq_batch = Some (fun q ~tid vs -> Fps.enqueue_batch q ~tid vs);
+          try_enq_batch = None;
+          deq_batch = Some (fun q ~tid ~n -> Fps.dequeue_batch q ~tid ~n);
         }
   | "kp-hp" ->
       Q
@@ -91,6 +125,9 @@ let rec queue_of_name = function
           contents = Kp_hp.to_list;
           try_enq = None;
           capacity = None;
+          enq_batch = None;
+          try_enq_batch = None;
+          deq_batch = None;
         }
   | "ring" ->
       (* capacity 2 so the standard scenarios (<= 2 values in flight)
@@ -110,6 +147,9 @@ and ring_packed ~capacity ~max_failures =
       contents = Ring.to_list;
       try_enq = Some (fun q ~tid v -> Ring.try_enqueue q ~tid v);
       capacity = Some capacity;
+      enq_batch = Some (fun q ~tid vs -> Ring.enqueue_batch q ~tid vs);
+      try_enq_batch = Some (fun q ~tid vs -> Ring.try_enqueue_batch q ~tid vs);
+      deq_batch = Some (fun q ~tid ~n -> Ring.dequeue_batch q ~tid ~n);
     }
 
 let scenarios : (string * script list) list =
@@ -154,6 +194,129 @@ let ring_scenarios :
       [ [ `Try_enq 1; `Try_enq 2; `Try_enq 3 ]; [ `Deq; `Deq; `Deq ] ] );
   ]
 
+(* Batch litmuses for the KP-family queues (run under DPOR with the
+   step-bound certifier): one descriptor publication covers the whole
+   batch, so the races worth covering are helpers completing a batch's
+   remaining suffix and two batches interleaving while each keeps its
+   own elements in intra-batch FIFO order (which the checker's
+   per-thread program-order constraint pins). The first [int option]
+   is the certified per-fiber step bound for the scenario — sharp: the
+   DPOR-exhaustive maximum — and the second a floor on the schedule
+   cap when the scenario needs more than the default to exhaust. *)
+let batch_scenarios : (string * script list * int option * int option) list =
+  [
+    (* a batch enqueue racing single dequeues: after the batch's link
+       CAS lands, either side may be the one completing the suffix *)
+    ( "b-enq-vs-deq",
+      [ [ `Enq_batch [ 1; 2 ] ]; [ `Deq; `Deq ] ],
+      Some 79,
+      None );
+    (* two racing batch enqueues: batches may interleave at the batch
+       granularity but never within one *)
+    ( "b-enq-race",
+      [ [ `Enq_batch [ 1; 2 ] ]; [ `Enq_batch [ 3; 4 ] ] ],
+      Some 42,
+      None );
+    (* an over-asking batch dequeue draining a batch enqueue: the
+       unserved suffix must answer Empty at one observed-empty point *)
+    ("b-deq", [ [ `Enq_batch [ 1; 2 ] ]; [ `Deq_batch 3 ] ], Some 82, None);
+  ]
+
+(* The fast-path/slow-path queue's batch litmuses: the batch enqueue
+   publishes a pre-linked chain with one link CAS and the fast batch
+   dequeue claims the sentinel once, walks the immutable next chain
+   (capped at the observed tail) and jumps [head] over the whole
+   prefix with one CAS — so the corners worth covering are the jump's
+   failure leg (a helper swung head one node; only the claimed first
+   element may be delivered), the tail cap (head must never overtake
+   tail), and helpers finishing a chain's tail jump. The step bounds
+   are fps-specific sharp maxima (measured with [max_failures = 1],
+   where one lost round sends an operation through the slow-path
+   descriptor): the KP bounds in [batch_scenarios] do not apply. *)
+let fps_batch_scenarios :
+    (string * int list * script list * int option * int option) list =
+  [
+    (* name, init, scripts, step bound, schedule floor *)
+    (* prefix grab racing a per-item dequeue on a pre-filled queue:
+       whoever loses the sentinel claim helps; the grab's jump CAS
+       either lands (both elements linearize at the jump) or fails
+       because the helper swung head, delivering exactly one *)
+    ( "b-grab-vs-deq",
+      [ 1; 2; 3 ],
+      [ [ `Deq_batch 2 ]; [ `Deq ] ],
+      Some 62,
+      None );
+    (* the grab capped by a lagging tail while an enqueue appends: the
+       walk must stop at the observed last node so the head jump never
+       overtakes tail (the MS invariant enqueuers rely on) *)
+    ( "b-grab-vs-enq",
+      [ 1 ],
+      [ [ `Deq_batch 2 ]; [ `Enq 2 ] ],
+      Some 48,
+      None );
+    (* a pre-linked batch chain racing single dequeues: one link CAS
+       publishes the chain; either side may finish the tail jump *)
+    ( "b-chain-vs-deq",
+      [],
+      [ [ `Enq_batch [ 1; 2 ] ]; [ `Deq; `Deq ] ],
+      Some 80,
+      None );
+  ]
+
+(* The ring's batch litmuses: rows pick the capacity and fast-path
+   budget that make the protocol corner reachable, exactly like
+   [ring_scenarios]. [max_failures = 0] routes the whole batch through
+   one slow descriptor (the claimed-run hand-off paths). *)
+let ring_batch_scenarios :
+    (string * int * int * int list * script list * int option * int option)
+    list =
+  [
+    (* name, capacity, max_failures, init, scripts, step bound,
+       schedule floor *)
+    (* a slow batch claims a run of slots one descriptor drives (on a
+       capacity-1 ring the run spans laps of the same physical slot);
+       the racing dequeuer finds the claim and must complete the
+       batch's remaining suffix before taking — acceptance of the
+       second element depends on whether the take frees the slot in
+       time, so the partial-batch terminal record is covered too *)
+    ( "b-claim-suffix",
+      1,
+      0,
+      [],
+      [ [ `Try_enq_batch [ 1; 2 ] ]; [ `Deq ] ],
+      Some 49,
+      Some 1_700_000 );
+    (* batch crossing the wraparound of a capacity-1 ring: every
+       element lands on the same physical slot, one lap apart, and the
+       batch dequeue chases it across laps; rejections allowed *)
+    ( "b-wraparound",
+      1,
+      1,
+      [],
+      [ [ `Try_enq_batch [ 1; 2; 3 ] ]; [ `Deq_batch 3 ] ],
+      Some 14,
+      None );
+    (* partial acceptance: one free slot, a two-element batch, and a
+       racing dequeue that may or may not free the second slot in time
+       — the rejected suffix must linearize at a full observation *)
+    ( "b-partial-full",
+      2,
+      0,
+      [ 9 ],
+      [ [ `Try_enq_batch [ 1; 2 ] ]; [ `Deq ] ],
+      Some 60,
+      Some 2_100_000 );
+    (* a slow batch dequeue draining a pre-filled capacity-1 ring
+       against a racing bounded enqueue *)
+    ( "b-deq-race",
+      1,
+      0,
+      [ 5 ],
+      [ [ `Deq_batch 2 ]; [ `Try_enq 1 ] ],
+      Some 50,
+      Some 2_200_000 );
+  ]
+
 let scenario_with_history (Q ops) scripts =
   let num_threads = List.length scripts in
   let q = ops.make ~num_threads in
@@ -179,7 +342,57 @@ let scenario_with_history (Q ops) scripts =
             H.call hist ~thread:tid H.Deq;
             match ops.deq q ~tid with
             | Some v -> H.return hist ~thread:tid (H.Got v)
-            | None -> H.return hist ~thread:tid H.Empty))
+            | None -> H.return hist ~thread:tid H.Empty)
+        (* Batch ops mirror Check's internal expansion: per-element
+           sub-ops invoked together before the batch and answered
+           together after, so counterexample replays of batch litmuses
+           rebuild the same history shape. *)
+        | `Enq_batch vs ->
+            if vs <> [] then begin
+              let f =
+                match ops.enq_batch with
+                | Some f -> f
+                | None ->
+                    failwith "`Enq_batch script op on a batchless queue"
+              in
+              H.call_batch hist ~thread:tid (List.map (fun v -> H.Enq v) vs);
+              f q ~tid vs;
+              H.return_batch hist ~thread:tid (List.map (fun _ -> H.Done) vs)
+            end
+        | `Try_enq_batch vs ->
+            if vs <> [] then begin
+              let f =
+                match ops.try_enq_batch with
+                | Some f -> f
+                | None ->
+                    failwith "`Try_enq_batch script op on a batchless queue"
+              in
+              H.call_batch hist ~thread:tid (List.map (fun v -> H.Enq v) vs);
+              let accepted = f q ~tid vs in
+              H.return_batch hist ~thread:tid
+                (List.mapi
+                   (fun i _ -> if i < accepted then H.Done else H.Rejected)
+                   vs)
+            end
+        | `Deq_batch want ->
+            if want > 0 then begin
+              let f =
+                match ops.deq_batch with
+                | Some f -> f
+                | None ->
+                    failwith "`Deq_batch script op on a batchless queue"
+              in
+              H.call_batch hist ~thread:tid (List.init want (fun _ -> H.Deq));
+              let got = f q ~tid ~n:want in
+              let rec responses got i =
+                if i = want then []
+                else
+                  match got with
+                  | v :: tl -> H.Got v :: responses tl (i + 1)
+                  | [] -> H.Empty :: responses [] (i + 1)
+              in
+              H.return_batch hist ~thread:tid (responses got 0)
+            end)
       script
   in
   (Array.of_list (List.mapi fiber scripts), hist)
@@ -196,7 +409,7 @@ let make_scenario (Q ops as q) scripts () =
   (fibers, check)
 
 let queue_arg =
-  let doc = "Queue to check: ms, kp-base, kp-opt12, kp-hp, ring." in
+  let doc = "Queue to check: ms, kp-base, kp-opt12, kp-fps, kp-hp, ring." in
   Arg.(value & opt string "kp-base" & info [ "queue" ] ~docv:"NAME" ~doc)
 
 let budget_arg =
@@ -255,7 +468,7 @@ let run_fuzz queue count use_pct =
    (schedule, replayed history, checker verdict) to a file that CI
    uploads as a build artifact. *)
 
-let check_run (Q ops) ~max_schedules ?init ~scripts () =
+let check_run (Q ops) ~max_schedules ?init ?step_bound ~scripts () =
   let queue =
     {
       Ck.create = (fun ~num_threads -> ops.make ~num_threads);
@@ -264,7 +477,9 @@ let check_run (Q ops) ~max_schedules ?init ~scripts () =
       contents = ops.contents;
     }
   in
-  Ck.run ~mode:Ck.Dpor ~max_schedules ?init ?try_enqueue:ops.try_enq
+  Ck.run ~mode:Ck.Dpor ~max_schedules ?init ?step_bound
+    ?try_enqueue:ops.try_enq ?enqueue_batch:ops.enq_batch
+    ?try_enqueue_batch:ops.try_enq_batch ?dequeue_batch:ops.deq_batch
     ?capacity:ops.capacity ~queue ~scripts ()
 
 let write_counterexample ~out_dir ~queue_name ~scenario_name ?pp_extra
@@ -306,34 +521,81 @@ let shrunk_length (f : Ck.failure) =
   | Some s -> List.length s.Sh.forced
   | None -> List.length f.Ck.forced
 
-let run_dpor_clean queue max_schedules out_dir =
+let run_dpor_clean queue max_schedules out_dir batch_only =
   (* Every queue runs the shared scenario library; the ring runs its
      own litmuses instead, each at the capacity/fast-path budget that
-     makes its protocol corner reachable. *)
+     makes its protocol corner reachable. Batch-capable queues append
+     the batch litmuses, each certified against a per-fiber step bound
+     (the wait-freedom certificate: no schedule may make any fiber
+     exceed it); [--batch-only] runs just those. A batch row's
+     schedule floor raises the cap to where the row is known to
+     exhaust, so the default cap still certifies full coverage. *)
   let rows =
     if queue = "ring" then
-      List.map
-        (fun (name, capacity, max_failures, init, scripts) ->
-          (name, ring_packed ~capacity ~max_failures, init, scripts))
-        ring_scenarios
+      (if batch_only then []
+       else
+         List.map
+           (fun (name, capacity, max_failures, init, scripts) ->
+             ( name,
+               ring_packed ~capacity ~max_failures,
+               init,
+               scripts,
+               None,
+               None ))
+           ring_scenarios)
+      @ List.map
+          (fun (name, capacity, max_failures, init, scripts, bound, floor) ->
+            ( name,
+              ring_packed ~capacity ~max_failures,
+              init,
+              scripts,
+              bound,
+              floor ))
+          ring_batch_scenarios
     else
-      let q = queue_of_name queue in
-      List.map (fun (name, scripts) -> (name, q, [], scripts)) scenarios
+      let (Q ops as q) = queue_of_name queue in
+      (if batch_only then []
+       else
+         List.map
+           (fun (name, scripts) -> (name, q, [], scripts, None, None))
+           scenarios)
+      @
+      if queue = "kp-fps" then
+        (* fps runs its own batch litmuses: the shared rows' certified
+           bounds are KP-sharp and the fps protocol corners (prefix
+           grab, chain link) need their own scripts *)
+        List.map
+          (fun (name, init, scripts, bound, floor) ->
+            (name, q, init, scripts, bound, floor))
+          fps_batch_scenarios
+      else if ops.enq_batch <> None then
+        List.map
+          (fun (name, scripts, bound, floor) ->
+            (name, q, [], scripts, bound, floor))
+          batch_scenarios
+      else []
   in
   Printf.printf
     "DPOR model checking of %s (one schedule per Mazurkiewicz trace)\n"
     queue;
   let failed = ref false in
   List.iter
-    (fun (name, q, init, scripts) ->
-      let r = check_run q ~max_schedules ~init ~scripts () in
+    (fun (name, q, init, scripts, step_bound, floor) ->
+      let max_schedules =
+        match floor with Some f -> max max_schedules f | None -> max_schedules
+      in
+      let r = check_run q ~max_schedules ~init ?step_bound ~scripts () in
       match r.Ck.failure with
       | None ->
-          Printf.printf "  %-12s %7d traces  %s  (max steps per op fiber: %d)\n"
-            name r.Ck.schedules
+          Printf.printf
+            "  %-14s %7d traces  %s  (max steps per op fiber: %d%s)\n" name
+            r.Ck.schedules
             (if r.Ck.exhausted then "exhausted: every trace linearizable"
              else "cap reached, no violation")
             r.Ck.max_fiber_steps
+            (match step_bound with
+            | Some b -> Printf.sprintf ", certified bound %d" b
+            | None -> "")
       | Some f ->
           failed := true;
           let forced =
@@ -352,7 +614,7 @@ let run_dpor_clean queue max_schedules out_dir =
                 ~scenario_name:name f
           in
           Printf.printf
-            "  %-12s FAILED after %d traces: %s\n\
+            "  %-14s FAILED after %d traces: %s\n\
             \    shrunk to %d decisions; counterexample written to %s\n"
             name r.Ck.schedules f.Ck.message (shrunk_length f) path)
     rows;
@@ -420,6 +682,28 @@ let run_dpor_fault fname max_schedules out_dir =
       in
       report_fault_result ~queue_name:"ring" ~scenario_name:"rollback-skipped"
         out_dir r
+  | "batch-partial" ->
+      (* Seeded batch bug: a fast batch enqueue publishes only the first
+         node of its pre-linked chain (the chain is severed before the
+         link CAS), silently dropping the rest of the batch.
+         Conservation catches the lost elements even with no
+         interference; DPOR must find and shrink it. *)
+      Printf.printf
+        "DPOR vs seeded bug 'batch-partial' in %s (a counterexample MUST \
+         be found)\n"
+        Fps.name;
+      let r =
+        Ck.run ~mode:Ck.Dpor ~max_schedules
+          ~enqueue_batch:(fun q ~tid vs -> Fps.enqueue_batch q ~tid vs)
+          ~dequeue_batch:(fun q ~tid ~n -> Fps.dequeue_batch q ~tid ~n)
+          ~queue:
+            (fps_faulted_ops Wfq_core.Kp_queue_fps.Batch_partial_publish
+               ~max_failures:1)
+          ~scripts:[ [ `Enq_batch [ 1; 2 ] ]; [ `Deq ] ]
+          ()
+      in
+      report_fault_result ~queue_name:"kp-fps" ~scenario_name:"batch-partial"
+        out_dir r
   | "no-claim" | "stale-helper" ->
       let fault, scenario_name, scripts, init, max_failures, step_limit =
         match fname with
@@ -449,10 +733,10 @@ let run_dpor_fault fname max_schedules out_dir =
       report_fault_result ~queue_name:"kp-fps" ~scenario_name out_dir r
   | other -> failwith ("unknown fault: " ^ other)
 
-let run_dpor queue max_schedules out_dir fault =
+let run_dpor queue max_schedules out_dir fault batch_only =
   match fault with
   | Some fname -> run_dpor_fault fname max_schedules out_dir
-  | None -> run_dpor_clean queue max_schedules out_dir
+  | None -> run_dpor_clean queue max_schedules out_dir batch_only
 
 (* Stall demonstration: thread 0 freezes mid-enqueue forever; under the
    wait-free queue its operation still completes. *)
@@ -555,10 +839,13 @@ let seeds_arg =
 
 let dpor_queue_arg =
   let doc =
-    "Queue to check: ms, kp-base, kp-opt12, kp-hp, ring. kp-base's \
-     Help_all slow path has million-trace scenarios; expect the cap. \
-     ring runs its own litmus library (claim rollback, full/empty \
-     races, wraparound) against the bounded-queue specification."
+    "Queue to check: ms, kp-base, kp-opt12, kp-fps, kp-hp, ring. \
+     kp-base's Help_all slow path has million-trace scenarios; expect \
+     the cap. ring runs its own litmus library (claim rollback, \
+     full/empty races, wraparound, batch claimed-run hand-off) against \
+     the bounded-queue specification. Batch-capable queues append the \
+     batch litmuses, each certified against a per-fiber step bound; \
+     kp-fps runs its own batch rows (prefix grab, chain link)."
   in
   Arg.(value & opt string "kp-opt12" & info [ "queue" ] ~docv:"NAME" ~doc)
 
@@ -575,12 +862,19 @@ let out_arg =
 
 let fault_arg =
   let doc =
-    "Check a queue with the named seeded bug reinstated (no-claim or \
-     stale-helper in the fast-path/slow-path queue, rollback-skipped in \
-     the ring); the run succeeds only if a counterexample is found, \
-     shrunk, and written to --out."
+    "Check a queue with the named seeded bug reinstated (no-claim, \
+     stale-helper or batch-partial in the fast-path/slow-path queue, \
+     rollback-skipped in the ring); the run succeeds only if a \
+     counterexample is found, shrunk, and written to --out."
   in
   Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"BUG" ~doc)
+
+let batch_only_arg =
+  let doc =
+    "Run only the batch litmus library (step-bound certified); used by \
+     the CI batch smoke job."
+  in
+  Arg.(value & flag & info [ "batch-only" ] ~doc)
 
 let dpor_cmd =
   Cmd.v
@@ -590,7 +884,7 @@ let dpor_cmd =
           schedule checked for linearizability and conservation, shrunk \
           counterexamples written as artifacts.")
     Term.(const run_dpor $ dpor_queue_arg $ max_schedules_arg $ out_arg
-          $ fault_arg)
+          $ fault_arg $ batch_only_arg)
 
 let explore_cmd =
   Cmd.v

@@ -95,6 +95,10 @@ type metrics = {
       (* Phase_counter bumps whose CAS failed (footnote 3): the bump is
          lost, the phase is shared with the winner — harmless for
          correctness, but previously invisible *)
+  m_batch_size : Wfq_obsv.Histogram.t;
+      (* elements per batch operation (enqueue_batch chain length /
+         dequeue_batch want), recorded once per batch at entry — the
+         denominator of the amortized-CAS story (docs/BATCHING.md) *)
 }
 
 let metrics registry ~prefix ~slots =
@@ -107,6 +111,8 @@ let metrics registry ~prefix ~slots =
       Metrics.counter registry ~name:(prefix ^ ".desc_cas_failures") ~slots;
     m_phase_cas_lost =
       Metrics.counter registry ~name:(prefix ^ ".phase_cas_lost") ~slots;
+    m_batch_size =
+      Metrics.histogram registry ~name:(prefix ^ ".batch_size") ~slots;
   }
 
 module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
@@ -135,6 +141,20 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
     mutable pending : bool;
     mutable enqueue : bool;
     mutable node : 'a N.node option;
+    (* Batch extension. A batch enqueue publishes one descriptor for a
+       pre-linked chain of nodes: [node] is the chain's first node (the
+       single L74 CAS linearizes the whole chain) and [last_node] its
+       last, so [help_finish_enq] fixes [tail] with one jump over the
+       batch. A batch dequeue publishes [want] > 0; each element claim
+       appends its value to [taken] (length cached in [got_n]) by
+       replacing the whole record, and the operation stays pending
+       until [got_n = want] or the queue empties. Single operations
+       keep [last_node = None] and [want = 0] and behave exactly as
+       before. *)
+    mutable last_node : 'a N.node option;
+    mutable want : int;
+    mutable got_n : int;
+    mutable taken : 'a list;
     (* Intrusive Segment_pool link + retire stamp (see
        Segment_pool.ops); dead storage while the descriptor is
        published. *)
@@ -145,6 +165,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   let fresh_desc () =
     let rec d =
       { phase = -1; pending = false; enqueue = true; node = None;
+        last_node = None; want = 0; got_n = 0; taken = [];
         pool_next = d; pool_stamp = 0 }
     in
     d
@@ -271,7 +292,11 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
     | Some p -> Pool.release p.nodes ~tid:self n
     | None -> ()
 
-  let mk_desc t ~self ~phase ~pending ~enqueue ~node =
+  (* Full-arity allocator: the batch protocol threads [last]/[want]/
+     [got]/[taken] through every record transition. [mk_desc] below is
+     the single-operation shorthand. *)
+  let mk_desc_b t ~self ~phase ~pending ~enqueue ~last ~want ~got ~taken
+      ~node =
     match t.pools with
     | Some { descs = Some dp; _ } ->
         let d = Pool.alloc dp ~tid:self in
@@ -279,12 +304,21 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
         d.pending <- pending;
         d.enqueue <- enqueue;
         d.node <- node;
+        d.last_node <- last;
+        d.want <- want;
+        d.got_n <- got;
+        d.taken <- taken;
         d
     | _ ->
         let rec d =
-          { phase; pending; enqueue; node; pool_next = d; pool_stamp = 0 }
+          { phase; pending; enqueue; node; last_node = last; want;
+            got_n = got; taken; pool_next = d; pool_stamp = 0 }
         in
         d
+
+  let mk_desc t ~self ~phase ~pending ~enqueue ~node =
+    mk_desc_b t ~self ~phase ~pending ~enqueue ~last:None ~want:0 ~got:0
+      ~taken:[] ~node
 
   (* A descriptor that lost its publication CAS was never visible to
      anyone: back to the pool immediately. Every call site is a lost
@@ -353,7 +387,15 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   (* L85-97: finish the in-progress enqueue, if any. Steps (2) and (3) of
      the scheme: flip the owner's pending flag, then advance [tail]. The
      descriptor CAS (L93) can succeed more than once per node — benign,
-     because the replacement descriptor is identical each time. *)
+     because the replacement descriptor is identical each time.
+
+     Batch extension: when the appended node heads a pre-linked chain,
+     the (validated-fresh) descriptor carries the chain's last node and
+     the tail fix jumps over the whole batch in one CAS. The jump is
+     safe for the head/tail ordering invariant: claims only happen
+     after reading [tail] strictly ahead of [head], so no dequeuer can
+     enter the chain before the jump lands, and the CAS-from-[last]
+     guarantees the jump only moves [tail] forward. *)
   let help_finish_enq t ~self =
     let last = A.get t.tail in
     let next_o = A.get last.next in
@@ -365,22 +407,35 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
         assert (tid >= 0 && tid < t.num_threads);
         let cur_desc = P.get t.state.(tid) in
         (* L91: verify the slot still refers to the node just appended;
-           guards against racing [help_finish_enq] calls. *)
-        if last == A.get t.tail && (P.get t.state.(tid)).node == next_o
-        then begin
-          (* Enhancement 3 (§3.3): if helpers already flipped the flag,
-             skip the descriptor allocation and CAS — it would fail or be
-             a no-op — and go straight to fixing the tail. *)
-          if (not t.tuning.validate_before_cas) || cur_desc.pending then begin
-            let new_desc =
-              mk_desc t ~self ~phase:cur_desc.phase ~pending:false
-                ~enqueue:true ~node:next_o
+           guards against racing [help_finish_enq] calls. The jump
+           target comes from the {e fresh} descriptor read (the one the
+           guard validated against [next_o]), never from [cur_desc]: a
+           stale [cur_desc] from an older operation merely loses its
+           completion CAS, but a stale [last_node] would teleport
+           [tail]. *)
+        if last == A.get t.tail then begin
+          let slot_desc = P.get t.state.(tid) in
+          if slot_desc.node == next_o then begin
+            let target =
+              match slot_desc.last_node with Some l -> l | None -> next
             in
-            if P.compare_and_set t.state.(tid) cur_desc new_desc then
-              retire_desc t ~self cur_desc
-            else drop_desc t ~self new_desc
-          end;
-          ignore (A.compare_and_set t.tail last next)
+            (* Enhancement 3 (§3.3): if helpers already flipped the
+               flag, skip the descriptor allocation and CAS — it would
+               fail or be a no-op — and go straight to fixing the
+               tail. *)
+            if (not t.tuning.validate_before_cas) || cur_desc.pending
+            then begin
+              let new_desc =
+                mk_desc_b t ~self ~phase:cur_desc.phase ~pending:false
+                  ~enqueue:true ~last:cur_desc.last_node ~want:0 ~got:0
+                  ~taken:[] ~node:next_o
+              in
+              if P.compare_and_set t.state.(tid) cur_desc new_desc then
+                retire_desc t ~self cur_desc
+              else drop_desc t ~self new_desc
+            end;
+            ignore (A.compare_and_set t.tail last target)
+          end
         end
 
   (* L67-84: drive thread [tid]'s pending enqueue to completion. The outer
@@ -418,7 +473,15 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   (* ------------------------------------------------------------------ *)
 
   (* L141-153: finish the dequeue of whichever thread locked the sentinel
-     (wrote its tid into [head]'s [deq_tid], L135). *)
+     (wrote its tid into [head]'s [deq_tid], L135).
+
+     Batch extension ([want] > 0): the claim is one element of a batch.
+     Its value is [first.next]'s — appended to [taken] by replacing the
+     whole record, which also decides whether the batch stays pending.
+     The transition is guarded on the descriptor still recording
+     [first]: every transition installs a fresh record, so a stale
+     helper's CAS fails and each element is counted exactly once. The
+     head swing (step 3) stays unconditional either way. *)
   let help_finish_deq t ~self =
     let first = A.get t.head in
     let next = A.get first.next in
@@ -427,16 +490,40 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
       let cur_desc = P.get t.state.(tid) in
       match next with
       | Some next_node when first == A.get t.head ->
-          if (not t.tuning.validate_before_cas) || cur_desc.pending
-          then begin
-            let new_desc =
-              mk_desc t ~self ~phase:cur_desc.phase ~pending:false
-                ~enqueue:false ~node:cur_desc.node
-            in
-            if P.compare_and_set t.state.(tid) cur_desc new_desc then
-              retire_desc t ~self cur_desc
-            else drop_desc t ~self new_desc
-          end;
+          (if cur_desc.want > 0 then begin
+             let points_to_first =
+               match cur_desc.node with
+               | Some n -> n == first
+               | None -> false
+             in
+             if cur_desc.pending && points_to_first then begin
+               let v =
+                 match next_node.value with
+                 | Some v -> v
+                 | None -> assert false
+               in
+               let got = cur_desc.got_n + 1 in
+               let new_desc =
+                 mk_desc_b t ~self ~phase:cur_desc.phase
+                   ~pending:(got < cur_desc.want) ~enqueue:false
+                   ~last:None ~want:cur_desc.want ~got
+                   ~taken:(v :: cur_desc.taken) ~node:None
+               in
+               if P.compare_and_set t.state.(tid) cur_desc new_desc then
+                 retire_desc t ~self cur_desc
+               else drop_desc t ~self new_desc
+             end
+           end
+           else if (not t.tuning.validate_before_cas) || cur_desc.pending
+           then begin
+             let new_desc =
+               mk_desc t ~self ~phase:cur_desc.phase ~pending:false
+                 ~enqueue:false ~node:cur_desc.node
+             in
+             if P.compare_and_set t.state.(tid) cur_desc new_desc then
+               retire_desc t ~self cur_desc
+             else drop_desc t ~self new_desc
+           end);
           (* L150: step (3) — physically remove the old sentinel. The
              unique winner retires it into the pool (quarantined until
              in-flight operations that may still hold a reference to it
@@ -526,6 +613,90 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
       else help_deq t ~self tid phase
     end
 
+  (* Batch dequeue driver: the same claim loop as [help_deq], iterated
+     until the descriptor has collected [want] values (its [pending]
+     flag is flipped by the [help_finish_deq] batch transition on the
+     final element) or the queue empties (terminal record keeps the
+     partial [taken]). Any helper can pick up the remaining suffix of a
+     claimed batch mid-flight: every per-element step is the standard
+     record-CAS / claim-CAS discipline, so helpers and owner interleave
+     freely with exactly-once accounting.
+
+     One batch-specific guard: if the current sentinel is already
+     claimed by [tid], its head swing has not landed yet (the previous
+     element's step 3). Finish it before seeking — recording a
+     sentinel this batch already claimed would append its successor's
+     value twice. *)
+  let rec help_batch_deq t ~self tid phase =
+    if is_still_pending t tid phase then begin
+      let first = A.get t.head in
+      let claim0 = A.get first.deq_tid in
+      let last = A.get t.tail in
+      let next = A.get first.next in
+      if first == A.get t.head then
+        if N.claimed_tid first = tid then begin
+          help_finish_deq t ~self;
+          help_batch_deq t ~self tid phase
+        end
+        else if first == last then begin
+          match next with
+          | None ->
+              (* Empty: the batch completes with whatever it has. *)
+              let cur_desc = P.get t.state.(tid) in
+              if last == A.get t.tail && is_still_pending t tid phase
+              then begin
+                let new_desc =
+                  mk_desc_b t ~self ~phase:cur_desc.phase ~pending:false
+                    ~enqueue:false ~last:None ~want:cur_desc.want
+                    ~got:cur_desc.got_n ~taken:cur_desc.taken ~node:None
+                in
+                if P.compare_and_set t.state.(tid) cur_desc new_desc then
+                  retire_desc t ~self cur_desc
+                else drop_desc t ~self new_desc
+              end;
+              help_batch_deq t ~self tid phase
+          | Some _ ->
+              help_finish_enq t ~self;
+              help_batch_deq t ~self tid phase
+        end
+        else begin
+          let cur_desc = P.get t.state.(tid) in
+          let node = cur_desc.node in
+          if is_still_pending t tid phase then begin
+            let points_to_first =
+              match node with Some n -> n == first | None -> false
+            in
+            if first == A.get t.head && not points_to_first then begin
+              (* Stage (1) for the next element: record the current
+                 sentinel, carrying the batch progress across. *)
+              let new_desc =
+                mk_desc_b t ~self ~phase:cur_desc.phase ~pending:true
+                  ~enqueue:false ~last:None ~want:cur_desc.want
+                  ~got:cur_desc.got_n ~taken:cur_desc.taken
+                  ~node:(Some first)
+              in
+              if not (P.compare_and_set t.state.(tid) cur_desc new_desc)
+              then begin
+                drop_desc t ~self new_desc;
+                help_batch_deq t ~self tid phase
+              end
+              else begin
+                retire_desc t ~self cur_desc;
+                ignore (N.try_claim first ~observed:claim0 ~tid);
+                help_finish_deq t ~self;
+                help_batch_deq t ~self tid phase
+              end
+            end
+            else begin
+              ignore (N.try_claim first ~observed:claim0 ~tid);
+              help_finish_deq t ~self;
+              help_batch_deq t ~self tid phase
+            end
+          end
+        end
+      else help_batch_deq t ~self tid phase
+    end
+
   (* ------------------------------------------------------------------ *)
   (* Helping policies                                                   *)
   (* ------------------------------------------------------------------ *)
@@ -548,6 +719,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
                (phase - desc.phase)
          | None -> ());
       if desc.enqueue then help_enq t ~self i phase
+      else if desc.want > 0 then help_batch_deq t ~self i phase
       else help_deq t ~self i phase
     end
 
@@ -628,6 +800,84 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
         (mk_desc t ~self:tid ~phase ~pending:false ~enqueue:false ~node:None);
     op_exit t ~tid;
     result
+
+  (* ------------------------------------------------------------------ *)
+  (* Batch operations                                                   *)
+  (* ------------------------------------------------------------------ *)
+
+  let record_batch t ~tid k =
+    match t.obsv with
+    | Some m -> Wfq_obsv.Histogram.record m.m_batch_size ~slot:tid k
+    | None -> ()
+
+  (* One phase pick, one descriptor publication and one L74 list CAS
+     cover the whole batch: the chain is pre-linked before publication
+     (plain writes on nodes nobody else can reach), the descriptor
+     names both ends, and helpers run the unmodified [help_enq] — the
+     CAS that appends the chain's first node linearizes all k elements
+     in order, and [help_finish_enq] jumps [tail] over the chain. Cost:
+     3 CASes + 1 phase pick per batch, vs per element. *)
+  let enqueue_batch t ~tid values =
+    match values with
+    | [] -> ()
+    | [ v ] -> enqueue t ~tid v
+    | v0 :: rest ->
+        op_enter t ~tid;
+        record_batch t ~tid (List.length values);
+        let phase = next_phase t ~tid in
+        let first = alloc_node t ~self:tid ~enq_tid:tid v0 in
+        let last =
+          List.fold_left
+            (fun prev v ->
+              let n = alloc_node t ~self:tid ~enq_tid:tid v in
+              A.set prev.N.next (Some n);
+              n)
+            first rest
+        in
+        publish t ~tid
+          (mk_desc_b t ~self:tid ~phase ~pending:true ~enqueue:true
+             ~last:(Some last) ~want:0 ~got:0 ~taken:[]
+             ~node:(Some first));
+        run_help t ~tid ~phase;
+        (* As in [enqueue] (L65): finalize before returning — here this
+           also guarantees the batch tail jump has landed, so the next
+           operation never observes [tail] behind the chain. *)
+        help_finish_enq t ~self:tid;
+        if t.tuning.gc_friendly then
+          publish t ~tid
+            (mk_desc t ~self:tid ~phase ~pending:false ~enqueue:true
+               ~node:None);
+        op_exit t ~tid
+
+  (* One phase pick and one descriptor publication cover up to [n]
+     dequeues: the published [want = n] descriptor is driven by
+     [help_batch_deq] (owner and helpers alike), accumulating values in
+     the descriptor itself so a helper can complete the remaining
+     suffix after the owner stalls at any point. Returns the collected
+     prefix in FIFO order; shorter than [n] iff the queue was observed
+     empty at the final element's linearization point. *)
+  let dequeue_batch t ~tid ~n =
+    if n < 0 then invalid_arg "Kp_queue.dequeue_batch: n";
+    if n = 0 then []
+    else begin
+      op_enter t ~tid;
+      record_batch t ~tid n;
+      let phase = next_phase t ~tid in
+      publish t ~tid
+        (mk_desc_b t ~self:tid ~phase ~pending:true ~enqueue:false
+           ~last:None ~want:n ~got:0 ~taken:[] ~node:None);
+      run_help t ~tid ~phase;
+      (* Symmetric to [dequeue]: make sure our final claim's head swing
+         has landed before returning. *)
+      help_finish_deq t ~self:tid;
+      let taken = List.rev (P.get t.state.(tid)).taken in
+      if t.tuning.gc_friendly then
+        publish t ~tid
+          (mk_desc t ~self:tid ~phase ~pending:false ~enqueue:false
+             ~node:None);
+      op_exit t ~tid;
+      taken
+    end
 
   (* ------------------------------------------------------------------ *)
   (* Observers (quiescent use)                                          *)

@@ -112,6 +112,32 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
   (** Wait-free linearizable FIFO remove. [None] iff the queue was empty
       at the linearization point (the paper throws [EmptyException]). *)
 
+  (** {2 Batch operations}
+
+      One phase pick and one descriptor publication cover the whole
+      batch (docs/BATCHING.md): a batch enqueue pre-links its nodes
+      into a chain and appends it with the single linearizing list CAS
+      (3 CASes per batch instead of per element, with [tail] fixed in
+      one jump); a batch dequeue drives one [want = n] descriptor whose
+      per-element claims accumulate values in the descriptor itself, so
+      helpers can complete the remaining suffix of a stalled batch.
+      Wait-free like the single operations, with the per-operation step
+      bound scaled by the batch size. *)
+
+  val enqueue_batch : 'a t -> tid:int -> 'a list -> unit
+  (** Enqueue all elements, list head first. The whole batch linearizes
+      at one list CAS: its elements are contiguous in FIFO order, with
+      no other operation interleaved among them. [enqueue_batch t []]
+      is a no-op. *)
+
+  val dequeue_batch : 'a t -> tid:int -> n:int -> 'a list
+  (** Dequeue up to [n] elements, in FIFO order. Each element
+      linearizes at its own claim CAS (the batch as a whole is {e not}
+      atomic — other dequeuers may interleave between elements); a
+      result shorter than [n] means the queue was observed empty at the
+      final element's linearization point. Raises [Invalid_argument]
+      for negative [n]. *)
+
   (** {2 Quiescent observers}
 
       Exact only when no operation is in flight; under concurrency they

@@ -74,6 +74,14 @@ type metrics = {
   m_claim_handoff : Wfq_obsv.Counter.t;
       (* fast dequeues that lost the sentinel claim and handed off by
          finishing the winner's operation (help_finish_deq) instead *)
+  m_batch_size : Wfq_obsv.Histogram.t;
+      (* elements per batch operation, recorded once per batch at entry *)
+  m_batch_cas : Wfq_obsv.Counter.t;
+      (* CASes issued by the owner of a fast-path batch operation
+         (link/tail/claim/head, successful or not). Divided by the
+         [batch_size] mass this yields the amortized CAS-per-element
+         figure (docs/BATCHING.md); slow-path batches surface through
+         [slow_entries] as usual. *)
 }
 
 let metrics registry ~prefix ~slots =
@@ -83,6 +91,10 @@ let metrics registry ~prefix ~slots =
       Metrics.counter registry ~name:(prefix ^ ".fast_rounds") ~slots;
     m_claim_handoff =
       Metrics.counter registry ~name:(prefix ^ ".claim_handoffs") ~slots;
+    m_batch_size =
+      Metrics.histogram registry ~name:(prefix ^ ".batch_size") ~slots;
+    m_batch_cas =
+      Metrics.counter registry ~name:(prefix ^ ".batch_cas") ~slots;
   }
 
 (* Test-only seeded bugs (model-checker calibration): each reinstates a
@@ -101,6 +113,12 @@ type fault =
          stalled dequeuer's claim CAS can ABA a recycled node (claim it
          on the strength of a reference captured in its previous life).
          Only meaningful with ~pool:true. *)
+  | Batch_partial_publish
+      (* fast-path batch enqueue severs the chain after its first node
+         before the link CAS, silently dropping the suffix while
+         reporting the whole batch enqueued — a conservation violation
+         the batch DPOR litmuses must find and shrink. Only fires on
+         fast-path batches of >= 2 elements. *)
 
 module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   module N = Kp_internals.Make (A)
@@ -118,6 +136,16 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
     mutable pending : bool;
     mutable enqueue : bool;
     mutable node : 'a N.node option;
+    (* Batch extension, as in Kp_queue: a batch enqueue's descriptor
+       names the pre-linked chain's last node so the tail fix jumps the
+       whole batch; a batch dequeue publishes [want] > 0 and
+       accumulates claimed values in [taken] ([got_n] caches the
+       count), staying pending until the batch is full or the queue
+       empties. Single operations keep the defaults. *)
+    mutable last_node : 'a N.node option;
+    mutable want : int;
+    mutable got_n : int;
+    mutable taken : 'a list;
     (* Intrusive Segment_pool link + retire stamp (see
        Segment_pool.ops); dead storage while the descriptor is
        published. *)
@@ -128,6 +156,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   let fresh_desc () =
     let rec d =
       { phase = -1; pending = false; enqueue = true; node = None;
+        last_node = None; want = 0; got_n = 0; taken = [];
         pool_next = d; pool_stamp = 0 }
     in
     d
@@ -274,6 +303,16 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
     | Some m -> Wfq_obsv.Counter.incr m.m_claim_handoff ~slot:tid
     | None -> ()
 
+  let note_batch_size t ~tid k =
+    match t.obsv with
+    | Some m -> Wfq_obsv.Histogram.record m.m_batch_size ~slot:tid k
+    | None -> ()
+
+  let note_batch_cas t ~tid n =
+    match t.obsv with
+    | Some m -> if n > 0 then Wfq_obsv.Counter.add m.m_batch_cas ~slot:tid n
+    | None -> ()
+
   (* ------------------------------------------------------------------ *)
   (* Pool plumbing — identical scheme to Kp_queue's: [self] is the       *)
   (* executing thread, all alloc/release traffic goes through its own    *)
@@ -301,7 +340,10 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
     | Some p -> Pool.release p.nodes ~tid:self n
     | None -> ()
 
-  let mk_desc t ~self ~phase ~pending ~enqueue ~node =
+  (* Full-arity allocator for the batch protocol; [mk_desc] is the
+     single-operation shorthand. *)
+  let mk_desc_b t ~self ~phase ~pending ~enqueue ~last ~want ~got ~taken
+      ~node =
     match t.pools with
     | Some { descs = Some dp; _ } ->
         let d = Pool.alloc dp ~tid:self in
@@ -309,12 +351,21 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
         d.pending <- pending;
         d.enqueue <- enqueue;
         d.node <- node;
+        d.last_node <- last;
+        d.want <- want;
+        d.got_n <- got;
+        d.taken <- taken;
         d
     | _ ->
         let rec d =
-          { phase; pending; enqueue; node; pool_next = d; pool_stamp = 0 }
+          { phase; pending; enqueue; node; last_node = last; want;
+            got_n = got; taken; pool_next = d; pool_stamp = 0 }
         in
         d
+
+  let mk_desc t ~self ~phase ~pending ~enqueue ~node =
+    mk_desc_b t ~self ~phase ~pending ~enqueue ~last:None ~want:0 ~got:0
+      ~taken:[] ~node
 
   let drop_desc t ~self d =
     match t.pools with
@@ -352,19 +403,27 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
         else begin
           assert (tid < t.num_threads);
           let cur_desc = P.get t.state.(tid) in
-          if last == A.get t.tail && (P.get t.state.(tid)).node == next_o
-          then begin
+          (* Batch jump target from the {e fresh} descriptor read (the
+             one validated against [next_o]) — a stale [cur_desc] only
+             loses its completion CAS, but a stale [last_node] would
+             teleport [tail]. See Kp_queue.help_finish_enq. *)
+          let slot_desc = P.get t.state.(tid) in
+          if last == A.get t.tail && slot_desc.node == next_o then begin
+            let target =
+              match slot_desc.last_node with Some l -> l | None -> next
+            in
             if (not t.tuning.validate_before_cas) || cur_desc.pending
             then begin
               let new_desc =
-                mk_desc t ~self ~phase:cur_desc.phase ~pending:false
-                  ~enqueue:true ~node:next_o
+                mk_desc_b t ~self ~phase:cur_desc.phase ~pending:false
+                  ~enqueue:true ~last:cur_desc.last_node ~want:0 ~got:0
+                  ~taken:[] ~node:next_o
               in
               if P.compare_and_set t.state.(tid) cur_desc new_desc then
                 retire_desc t ~self cur_desc
               else drop_desc t ~self new_desc
             end;
-            ignore (A.compare_and_set t.tail last next)
+            ignore (A.compare_and_set t.tail last target)
           end
         end
 
@@ -388,16 +447,44 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
       let cur_desc = P.get t.state.(tid) in
       match next with
       | Some next_node when first == A.get t.head ->
-          if (not t.tuning.validate_before_cas) || cur_desc.pending
-          then begin
-            let new_desc =
-              mk_desc t ~self ~phase:cur_desc.phase ~pending:false
-                ~enqueue:false ~node:cur_desc.node
-            in
-            if P.compare_and_set t.state.(tid) cur_desc new_desc then
-              retire_desc t ~self cur_desc
-            else drop_desc t ~self new_desc
-          end;
+          (if cur_desc.want > 0 then begin
+             (* Batch-dequeue element transition, exactly as in
+                Kp_queue.help_finish_deq: append the value by replacing
+                the record, guarded on it still recording [first] so a
+                stale helper's CAS fails (exactly-once). *)
+             let points_to_first =
+               match cur_desc.node with
+               | Some n -> n == first
+               | None -> false
+             in
+             if cur_desc.pending && points_to_first then begin
+               let v =
+                 match next_node.value with
+                 | Some v -> v
+                 | None -> assert false
+               in
+               let got = cur_desc.got_n + 1 in
+               let new_desc =
+                 mk_desc_b t ~self ~phase:cur_desc.phase
+                   ~pending:(got < cur_desc.want) ~enqueue:false
+                   ~last:None ~want:cur_desc.want ~got
+                   ~taken:(v :: cur_desc.taken) ~node:None
+               in
+               if P.compare_and_set t.state.(tid) cur_desc new_desc then
+                 retire_desc t ~self cur_desc
+               else drop_desc t ~self new_desc
+             end
+           end
+           else if (not t.tuning.validate_before_cas) || cur_desc.pending
+           then begin
+             let new_desc =
+               mk_desc t ~self ~phase:cur_desc.phase ~pending:false
+                 ~enqueue:false ~node:cur_desc.node
+             in
+             if P.compare_and_set t.state.(tid) cur_desc new_desc then
+               retire_desc t ~self cur_desc
+             else drop_desc t ~self new_desc
+           end);
           if A.compare_and_set t.head first next_node then
             release_node t ~self first
       | Some _ | None -> ()
@@ -491,6 +578,82 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
       else help_deq t ~self tid phase
     end
 
+  (* Batch dequeue driver (see Kp_queue.help_batch_deq): the help_deq
+     claim loop iterated until the descriptor has [want] values or the
+     queue empties; the per-element finish transition lives in
+     [help_finish_deq]. Batch-specific guard: a sentinel already
+     claimed by [tid] is a claim of this batch whose head swing has not
+     landed — finish it before seeking, or its successor's value would
+     be recorded twice. Fast-path claims ([num_threads + tid]) never
+     collide with this check: slow batch claims use the plain tid. *)
+  let rec help_batch_deq t ~self tid phase =
+    if is_still_pending t tid phase then begin
+      let first = A.get t.head in
+      let claim0 = A.get first.deq_tid in
+      let last = A.get t.tail in
+      let next = A.get first.next in
+      if first == A.get t.head then
+        if N.claimed_tid first = tid then begin
+          help_finish_deq t ~self;
+          help_batch_deq t ~self tid phase
+        end
+        else if first == last then begin
+          match next with
+          | None ->
+              (* Empty: complete the batch with its partial result. *)
+              let cur_desc = P.get t.state.(tid) in
+              if last == A.get t.tail && is_still_pending t tid phase
+              then begin
+                let new_desc =
+                  mk_desc_b t ~self ~phase:cur_desc.phase ~pending:false
+                    ~enqueue:false ~last:None ~want:cur_desc.want
+                    ~got:cur_desc.got_n ~taken:cur_desc.taken ~node:None
+                in
+                if P.compare_and_set t.state.(tid) cur_desc new_desc then
+                  retire_desc t ~self cur_desc
+                else drop_desc t ~self new_desc
+              end;
+              help_batch_deq t ~self tid phase
+          | Some _ ->
+              help_finish_enq t ~self;
+              help_batch_deq t ~self tid phase
+        end
+        else begin
+          let cur_desc = P.get t.state.(tid) in
+          let node = cur_desc.node in
+          if is_still_pending t tid phase then begin
+            let points_to_first =
+              match node with Some n -> n == first | None -> false
+            in
+            if first == A.get t.head && not points_to_first then begin
+              let new_desc =
+                mk_desc_b t ~self ~phase:cur_desc.phase ~pending:true
+                  ~enqueue:false ~last:None ~want:cur_desc.want
+                  ~got:cur_desc.got_n ~taken:cur_desc.taken
+                  ~node:(Some first)
+              in
+              if not (P.compare_and_set t.state.(tid) cur_desc new_desc)
+              then begin
+                drop_desc t ~self new_desc;
+                help_batch_deq t ~self tid phase
+              end
+              else begin
+                retire_desc t ~self cur_desc;
+                ignore (N.try_claim first ~observed:claim0 ~tid);
+                help_finish_deq t ~self;
+                help_batch_deq t ~self tid phase
+              end
+            end
+            else begin
+              ignore (N.try_claim first ~observed:claim0 ~tid);
+              help_finish_deq t ~self;
+              help_batch_deq t ~self tid phase
+            end
+          end
+        end
+      else help_batch_deq t ~self tid phase
+    end
+
   (* The phase passed DOWN is the descriptor's own ([desc.phase]), as in
      the paper's help() (Fig. 2) — not the caller's bound. This is load-
      bearing here: a tid's phases strictly increase, so a helper that
@@ -511,6 +674,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
         | _ -> desc.phase
       in
       if desc.enqueue then help_enq t ~self i bound
+      else if desc.want > 0 then help_batch_deq t ~self i bound
       else help_deq t ~self i bound
     end
 
@@ -598,6 +762,48 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
       publish t ~tid
         (mk_desc t ~self:tid ~phase ~pending:false ~enqueue:false ~node:None);
     result
+
+  (* Slow-path batch enqueue: the fast path pre-linked the chain and
+     failed to publish any of it, so the descriptor adopts it whole.
+     Only the chain's first node gets the real tid — it is the only one
+     that ever becomes [tail.next] before the jump (help_finish_enq
+     moves [tail] straight to [last]); interior nodes keep the -1
+     marker harmlessly. *)
+  let slow_enqueue_batch t ~tid chain_first chain_last =
+    Wfq_obsv.Counter.incr t.slow_entries ~slot:tid;
+    ignore (A.fetch_and_add t.slow_pending 1);
+    let phase = next_phase t in
+    chain_first.N.enq_tid <- tid;
+    publish t ~tid
+      (mk_desc_b t ~self:tid ~phase ~pending:true ~enqueue:true
+         ~last:(Some chain_last) ~want:0 ~got:0 ~taken:[]
+         ~node:(Some chain_first));
+    run_help t ~tid ~phase;
+    help_finish_enq t ~self:tid;
+    ignore (A.fetch_and_add t.slow_pending (-1));
+    if t.tuning.gc_friendly then
+      publish t ~tid
+        (mk_desc t ~self:tid ~phase ~pending:false ~enqueue:true ~node:None)
+
+  (* Slow-path batch dequeue for the remaining suffix of a batch whose
+     fast rounds ran out: one descriptor with [want] drives
+     [help_batch_deq] (owner and helpers alike). Returns the collected
+     values in FIFO order, shorter than [want] iff the queue emptied. *)
+  let slow_dequeue_batch t ~tid ~want =
+    Wfq_obsv.Counter.incr t.slow_entries ~slot:tid;
+    ignore (A.fetch_and_add t.slow_pending 1);
+    let phase = next_phase t in
+    publish t ~tid
+      (mk_desc_b t ~self:tid ~phase ~pending:true ~enqueue:false
+         ~last:None ~want ~got:0 ~taken:[] ~node:None);
+    run_help t ~tid ~phase;
+    help_finish_deq t ~self:tid;
+    ignore (A.fetch_and_add t.slow_pending (-1));
+    let taken = List.rev (P.get t.state.(tid)).taken in
+    if t.tuning.gc_friendly then
+      publish t ~tid
+        (mk_desc t ~self:tid ~phase ~pending:false ~enqueue:false ~node:None);
+    taken
 
   (* ------------------------------------------------------------------ *)
   (* Public operations: bounded Michael-Scott rounds, then fall back    *)
@@ -705,6 +911,210 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
     let result = attempt 0 in
     op_exit t ~tid;
     result
+
+  (* ------------------------------------------------------------------ *)
+  (* Batch operations                                                   *)
+  (* ------------------------------------------------------------------ *)
+
+  (* Bounded tail catch-up after a failed batch jump: helpers advanced
+     [tail] into the chain one fast-node step at a time, so walk it the
+     rest of the way (at most [k] steps — stops early once [tail.next]
+     is [None] or someone else finishes the job). Pure helping; every
+     CAS target is validated like MS tail fixing. *)
+  let rec catch_up_tail t k =
+    if k > 0 then begin
+      let l = A.get t.tail in
+      match A.get l.next with
+      | None -> ()
+      | Some nx ->
+          ignore (A.compare_and_set t.tail l nx);
+          catch_up_tail t (k - 1)
+    end
+
+  (* Fast-path batch enqueue: pre-link the chain (plain stores on nodes
+     nobody can reach), then a single MS append CAS linearizes all k
+     elements and one tail CAS (jump to the chain's last node) fixes
+     the hint — 2 CASes per uncontended batch vs 2k for per-item
+     enqueues. On budget exhaustion the slow path adopts the whole
+     chain under one descriptor. *)
+  let enqueue_batch t ~tid values =
+    match values with
+    | [] -> ()
+    | [ v ] -> enqueue t ~tid v
+    | v0 :: rest ->
+        op_enter t ~tid;
+        let k = List.length values in
+        note_batch_size t ~tid k;
+        maybe_help t ~tid;
+        let chain_first = alloc_node t ~self:tid ~enq_tid:(-1) v0 in
+        let chain_last =
+          List.fold_left
+            (fun prev v ->
+              let n = alloc_node t ~self:tid ~enq_tid:(-1) v in
+              A.set prev.N.next (Some n);
+              n)
+            chain_first rest
+        in
+        (* Seeded Batch_partial_publish: sever the chain after its
+           first node — the link CAS below then publishes one element
+           while the caller believes all [k] went in. *)
+        if t.fault = Some Batch_partial_publish then
+          A.set chain_first.N.next None;
+        let rec attempt failures cas =
+          if failures >= t.max_failures then begin
+            note_fast_rounds t ~tid failures;
+            note_batch_cas t ~tid cas;
+            slow_enqueue_batch t ~tid chain_first chain_last
+          end
+          else
+            let last = A.get t.tail in
+            let next = A.get last.next in
+            if last == A.get t.tail then
+              match next with
+              | None ->
+                  if A.compare_and_set last.next None (Some chain_first)
+                  then begin
+                    (* Linearized (all k elements at once). Jump [tail]
+                       over the chain; on failure helpers advanced it
+                       one node at a time — walk it the rest of the
+                       way so the next operation never inherits a
+                       multi-node lag. *)
+                    if not (A.compare_and_set t.tail last chain_last) then
+                      catch_up_tail t k;
+                    if failures > 0 then note_fast_rounds t ~tid (failures + 1);
+                    note_batch_cas t ~tid (cas + 2);
+                    Wfq_obsv.Counter.incr t.fast_hits ~slot:tid
+                  end
+                  else attempt (failures + 1) (cas + 1)
+              | Some _ ->
+                  help_finish_enq t ~self:tid;
+                  attempt (failures + 1) cas
+            else attempt (failures + 1) cas
+        in
+        attempt 0 0;
+        op_exit t ~tid
+
+  (* Fast-path batch dequeue: claim the sentinel once, then jump [head]
+     over a whole prefix with a single CAS (docs/BATCHING.md). The
+     prefix grab is safe because every delivery — fast or slow,
+     per-item or batch — requires claiming the node currently at
+     [t.head]: while our claim holds and [head] still points at the
+     claimed sentinel, nobody can deliver anything, and next pointers
+     of live in-queue nodes are immutable (set once, None -> Some), so
+     the walked chain is exactly what the jump publishes. A successful
+     jump linearizes every collected element at the jump CAS (the
+     skipped nodes are never observable as sentinels); a failed jump
+     means a helper already swung [head] one node on our behalf, so
+     only the claimed first element is delivered — the per-item path's
+     behaviour. Uncontended cost: 2 CASes per prefix vs 2 per element.
+     When the shared [max_failures] budget runs out, a single slow-path
+     descriptor collects the remaining suffix. *)
+  let dequeue_batch t ~tid ~n =
+    if n < 0 then invalid_arg "Kp_queue_fps.dequeue_batch: n";
+    if n = 0 then []
+    else begin
+      op_enter t ~tid;
+      note_batch_size t ~tid n;
+      maybe_help t ~tid;
+      let rec go acc got failures cas =
+        if got = n then begin
+          note_batch_cas t ~tid cas;
+          if failures > 0 then note_fast_rounds t ~tid failures;
+          List.rev acc
+        end
+        else if failures >= t.max_failures then begin
+          note_fast_rounds t ~tid failures;
+          note_batch_cas t ~tid cas;
+          List.rev_append acc (slow_dequeue_batch t ~tid ~want:(n - got))
+        end
+        else
+          let first = A.get t.head in
+          let claim0 = A.get first.deq_tid in
+          let last = A.get t.tail in
+          let next = A.get first.next in
+          if first == A.get t.head then
+            if first == last then
+              match next with
+              | None ->
+                  (* Observed empty: the batch completes short. *)
+                  note_batch_cas t ~tid cas;
+                  if failures > 0 then note_fast_rounds t ~tid failures;
+                  Wfq_obsv.Counter.incr t.fast_hits ~slot:tid;
+                  List.rev acc
+              | Some _ ->
+                  help_finish_enq t ~self:tid;
+                  go acc got (failures + 1) cas
+            else
+              match next with
+              | None -> go acc got (failures + 1) cas (* transient view *)
+              | Some nx ->
+                  if
+                    N.try_claim first ~observed:claim0
+                      ~tid:(t.num_threads + tid)
+                  then begin
+                    let v1 =
+                      match nx.N.value with
+                      | Some v -> v
+                      | None -> assert false
+                    in
+
+                    (* Walk up to the remaining want along the stable
+                       chain, newest first — capped at the observed
+                       [last]: jumping [head] past [tail] would strand
+                       [tail] on a grabbed (possibly released) node and
+                       break the MS head-behind-tail invariant, which
+                       enqueuers rely on. [last] was read while the
+                       sentinel was [first] (the claim's success proves
+                       the view), so it is on the chain at or after
+                       [nx]; a lagging cap only shortens the grab. *)
+                    let rec walk node vs m =
+                      if m = n - got || node == last then (node, vs, m)
+                      else
+                        match A.get node.N.next with
+                        | None -> (node, vs, m)
+                        | Some nx2 ->
+                            let v =
+                              match nx2.N.value with
+                              | Some v -> v
+                              | None -> assert false
+                            in
+                            walk nx2 (v :: vs) (m + 1)
+                    in
+                    let last_node, extra_rev, m = walk nx [] 1 in
+                    Wfq_obsv.Counter.incr t.fast_hits ~slot:tid;
+                    if A.compare_and_set t.head first last_node then begin
+                      (* The skipped nodes [first .. pred last_node] are
+                         unreachable from [head] and claimed/covered by
+                         us alone — read each [next] before releasing
+                         its node. *)
+                      let rec release_prefix node =
+                        if node != last_node then begin
+                          let nxt = A.get node.N.next in
+                          release_node t ~self:tid node;
+                          match nxt with
+                          | Some nxt -> release_prefix nxt
+                          | None -> ()
+                        end
+                      in
+                      release_prefix first;
+                      go (extra_rev @ (v1 :: acc)) (got + m) failures (cas + 2)
+                    end
+                    else
+                      (* A helper swung [head] one node for us: only the
+                         claimed first element was taken. *)
+                      go (v1 :: acc) (got + 1) failures (cas + 2)
+                  end
+                  else begin
+                    note_claim_handoff t ~tid;
+                    help_finish_deq t ~self:tid;
+                    go acc got (failures + 1) (cas + 1)
+                  end
+          else go acc got (failures + 1) cas
+      in
+      let result = go [] 0 0 0 in
+      op_exit t ~tid;
+      result
+    end
 
   (* ------------------------------------------------------------------ *)
   (* Observers (quiescent use)                                          *)

@@ -45,7 +45,11 @@ type metrics
 
 val metrics : Wfq_obsv.Metrics.t -> prefix:string -> slots:int -> metrics
 (** Create the handle and register its metrics under
-    [prefix ^ ".fast_rounds"/".claim_handoffs"]. [slots] must be the
+    [prefix ^ ".fast_rounds"/".claim_handoffs"/".batch_size"/
+    ".batch_cas"]. [batch_size] is a histogram of elements per batch
+    operation; [batch_cas] counts the CASes issued by fast-path batch
+    owners, so [batch_cas / sum(batch_size)] is the amortized
+    CAS-per-element figure (docs/BATCHING.md). [slots] must be the
     queue's [num_threads]. *)
 
 (** Test-only seeded bugs: each reinstates a known-fatal deviation from
@@ -68,6 +72,13 @@ type fault =
           recycle can claim its next incarnation with a stale reference
           (the recycle-ABA the tag exists to prevent). Only meaningful
           together with [~pool:true]. *)
+  | Batch_partial_publish
+      (** fast-path batch enqueue severs the pre-linked chain after its
+          first node before the link CAS: one element is published, the
+          suffix silently dropped, the caller told everything went in —
+          the conservation violation the batch DPOR litmuses find and
+          shrink. Only fires on fast-path batches of two or more
+          elements. *)
 
 module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
   type 'a t
@@ -119,6 +130,37 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
   (** Wait-free linearizable FIFO remove; linearizes at the successful
       CAS claiming the sentinel's [deq_tid] (shared by both paths), or
       at an observed-empty check. *)
+
+  (** {2 Batch operations}
+
+      Amortize the protocol over k elements (docs/BATCHING.md). A batch
+      enqueue pre-links its nodes into a chain and publishes it with
+      the {e single} linearizing append CAS — 2 CASes per uncontended
+      batch instead of 2 per element — falling back to one slow-path
+      descriptor that adopts the whole chain. A batch dequeue's fast
+      path grabs a whole prefix: it claims the sentinel once, walks the
+      immutable next chain (capped at the observed tail) collecting up
+      to [n] values, and jumps [head] over the prefix with one CAS — 2
+      CASes per uncontended grab instead of 2 per element. If a helper
+      swings [head] first, exactly the claimed first element is
+      delivered; the remaining want retries under the shared fast-round
+      budget, then collects under one [want] slow-path descriptor that
+      helpers can complete. Wait-free like the single operations. *)
+
+  val enqueue_batch : 'a t -> tid:int -> 'a list -> unit
+  (** Enqueue all elements, list head first; the batch linearizes at
+      one list CAS (elements contiguous in FIFO order, nothing
+      interleaved among them). [enqueue_batch t []] is a no-op. *)
+
+  val dequeue_batch : 'a t -> tid:int -> n:int -> 'a list
+  (** Dequeue up to [n] elements in FIFO order. A successful fast-path
+      grab linearizes its whole prefix at the head-jump CAS; elements
+      taken on the retry and slow paths linearize at their own claim
+      CASes. The batch is {e not} an atomic multi-dequeue — other
+      dequeuers may interleave between those points — and a result
+      shorter than [n] means the queue was observed empty at the final
+      element's linearization point. Raises [Invalid_argument] for
+      negative [n]. *)
 
   (** {2 Quiescent observers} (exact only at quiescence) *)
 

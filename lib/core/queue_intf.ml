@@ -54,6 +54,23 @@ end
 module type RUN_QUEUE = sig
   include QUEUE
 
+  val enqueue_batch : 'a t -> tid:int -> 'a list -> unit
+  (** Insert all elements, list head first, through the backend's native
+      batch path (one descriptor/claim cycle amortized over the batch,
+      docs/BATCHING.md). The batch's elements preserve FIFO order
+      relative to each other; whether the whole batch is atomic (KP
+      family: one linearizing CAS) or per-element (ring, shard spread)
+      is the backend's documented choice. [enqueue_batch t ~tid []] is a
+      no-op. Bounded backends raise their full-queue exception; the
+      already-accepted prefix remains enqueued. *)
+
+  val dequeue_batch : 'a t -> tid:int -> n:int -> 'a list
+  (** Remove up to [n] elements in FIFO order; a short result means the
+      queue was observed empty at the final element's linearization
+      point. Each element linearizes individually (a batch dequeue is
+      never an atomic multi-dequeue). Raises [Invalid_argument] for
+      negative [n]. *)
+
   val register_metrics : 'a t -> Wfq_obsv.Metrics.t -> prefix:string -> unit
   (** Attach the queue's always-on diagnostics to [registry] under
       [prefix ^ ".<metric>"]. Uniform contract: at minimum a

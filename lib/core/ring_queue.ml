@@ -76,6 +76,11 @@ type metrics = {
       (* approximate ring depth sampled by each successful enqueue from
          the plain position hints — racy by design (see above), exact
          at quiescence *)
+  m_batch_size : Wfq_obsv.Histogram.t;  (* elements per batch operation *)
+  m_batch_cas : Wfq_obsv.Counter.t;
+      (* slot/hint CASes issued by fast-path batch owners, so
+         batch_cas / sum(batch_size) is the amortized CAS-per-element
+         figure (docs/BATCHING.md) *)
 }
 
 let metrics registry ~prefix ~slots =
@@ -88,6 +93,9 @@ let metrics registry ~prefix ~slots =
     m_full = Metrics.counter registry ~name:(prefix ^ ".full_rejections") ~slots;
     m_occupancy =
       Metrics.histogram registry ~name:(prefix ^ ".occupancy") ~slots;
+    m_batch_size =
+      Metrics.histogram registry ~name:(prefix ^ ".batch_size") ~slots;
+    m_batch_cas = Metrics.counter registry ~name:(prefix ^ ".batch_cas") ~slots;
   }
 
 let default_capacity = 1024
@@ -121,7 +129,16 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
            name; the value rides along so any helper can publish it to
            the claimant's descriptor before freeing the slot *)
 
-  type 'a kind = Kenq of 'a | Kdeq
+  type 'a kind =
+    | Kenq of 'a
+    | Kdeq
+    | Kenq_batch of 'a array
+        (* slow-path suffix of a batch enqueue: one descriptor covers
+           the whole run; helpers claim and install position-contiguous
+           slots one element at a time, progress recorded in [bdone] *)
+    | Kdeq_batch of int
+        (* slow-path suffix of a batch dequeue asking for [want]
+           elements; values accumulate (reversed) in [bgot] *)
 
   (* Published KP-style operation descriptor. All transitions are CASes
      expecting the exact previously-read record, so outcome publication
@@ -136,6 +153,12 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
     target : int;  (* claimed position, -1 = unclaimed *)
     result : 'a option;  (* Kdeq outcome: Some v, or None = empty *)
     accepted : bool;  (* Kenq outcome: false = ring full *)
+    bdone : int;
+        (* batch progress: elements installed (Kenq_batch) or consumed
+           (Kdeq_batch) so far; each element's progress CAS replaces the
+           record, so stale claim/rollback CASes fail benignly exactly
+           as for single operations *)
+    bgot : 'a list;  (* Kdeq_batch values, newest first *)
   }
 
   type 'a t = {
@@ -178,6 +201,8 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
         target = -1;
         result = None;
         accepted = false;
+        bdone = 0;
+        bgot = [];
       }
     in
     {
@@ -228,6 +253,16 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
     | Some m -> Wfq_obsv.Counter.incr m.m_full ~slot:tid
     | None -> ()
 
+  let note_batch_size t ~tid k =
+    match t.obsv with
+    | Some m -> Wfq_obsv.Histogram.record m.m_batch_size ~slot:tid k
+    | None -> ()
+
+  let note_batch_cas t ~tid n =
+    match t.obsv with
+    | Some m -> if n > 0 then Wfq_obsv.Counter.add m.m_batch_cas ~slot:tid n
+    | None -> ()
+
   (* ------------------------------------------------------------------ *)
   (* Finishing in-flight slow operations found in a slot                *)
   (* ------------------------------------------------------------------ *)
@@ -251,7 +286,22 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
            ignore
              (P.compare_and_set t.state.(etid) cur
                 { cur with pending = false; accepted = true })
-       | Kenq _ | Kdeq -> ());
+       | Kenq_batch vs when cur.pending && cur.target = p ->
+           (* element [bdone] landed at p: record progress and release
+              the claim in one record replacement, so the batch's next
+              element seeks a fresh position. The batch is complete when
+              the last element's install is published. *)
+           let done_ = cur.bdone + 1 in
+           ignore
+             (P.compare_and_set t.state.(etid) cur
+                {
+                  cur with
+                  target = -1;
+                  bdone = done_;
+                  pending = done_ < Array.length vs;
+                  accepted = done_ = Array.length vs;
+                })
+       | Kenq _ | Kenq_batch _ | Kdeq | Kdeq_batch _ -> ());
     advance_tail t p
 
   (* [Taken (p, dtid)] observed anywhere: publish the claimant's value,
@@ -269,7 +319,21 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
                ignore
                  (P.compare_and_set t.state.(dtid) cur
                     { cur with pending = false; result = Some v })
-           | Kdeq | Kenq _ -> ());
+           | Kdeq_batch want when cur.pending && cur.target = p ->
+               (* publish element [bdone]'s value into the batch before
+                  the slot evidence is freed — same ordering as the
+                  single dequeue, per element *)
+               let got = cur.bdone + 1 in
+               ignore
+                 (P.compare_and_set t.state.(dtid) cur
+                    {
+                      cur with
+                      target = -1;
+                      bdone = got;
+                      bgot = v :: cur.bgot;
+                      pending = got < want;
+                    })
+           | Kdeq | Kdeq_batch _ | Kenq _ | Kenq_batch _ -> ());
         if P.compare_and_set c s (Free (p + t.capacity)) then
           t.head_cache <- p + 1;
         advance_head t p
@@ -315,7 +379,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
       let cur = P.get t.state.(tid) in
       if cur.pending && cur.phase <= phase then
         match cur.kind with
-        | Kdeq -> ()
+        | Kdeq | Kdeq_batch _ | Kenq_batch _ -> ()
         | Kenq v ->
             (if cur.target >= 0 then begin
                let q = cur.target in
@@ -389,7 +453,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
       let cur = P.get t.state.(tid) in
       if cur.pending && cur.phase <= phase then
         match cur.kind with
-        | Kenq _ -> ()
+        | Kenq _ | Kenq_batch _ | Kdeq_batch _ -> ()
         | Kdeq ->
             (if cur.target >= 0 then begin
                let q = cur.target in
@@ -439,6 +503,122 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
             help_deq t ~self tid phase
     end
 
+  (* Drive tid's pending batch enqueue: the per-element cycle of
+     [help_enq] (seek -> claim -> install -> publish) iterated under one
+     descriptor, element index [cur.bdone], each element's progress
+     recorded by the record-replacing CAS in [finish_slow_enq]. A full
+     ring mid-batch publishes a terminal {e partial} record — [bdone]
+     elements accepted, the suffix rejected — the only way a batch ends
+     short. The batch is {e not} atomic: other enqueuers may land
+     between two of its elements, but each element linearizes at its
+     own install CAS, so the batch's elements appear in FIFO order
+     relative to each other. Rollback safety is per element and
+     identical to [help_enq]: our landed install at [q] stays visible as
+     [Full (q, tid)] until [finish_slow_enq] has replaced this exact
+     record, which makes the stale rollback CAS fail. *)
+  and help_enq_batch t ~self tid phase =
+    if is_still_pending t tid phase then begin
+      let cur = P.get t.state.(tid) in
+      if cur.pending && cur.phase <= phase then
+        match cur.kind with
+        | Kdeq | Kdeq_batch _ | Kenq _ -> ()
+        | Kenq_batch vs ->
+            (if cur.target >= 0 then begin
+               let q = cur.target in
+               let c = slot t q in
+               let s = P.get c in
+               match s with
+               | Free p when p = q ->
+                   let v = vs.(cur.bdone) in
+                   ignore (P.compare_and_set c s (Full (pack t q tid, v)))
+               | Full (w, _) when pos_of t w = q && tid_of t w = tid ->
+                   (* our element landed: publish its progress (the
+                      batch arm of finish_slow_enq), then advance *)
+                   finish_slow_enq t q tid
+               | Taken (w, _) when pos_of t w = q ->
+                   (* if the install was ours, the dequeuer published
+                      our progress before claiming *)
+                   finish_slow_deq t c s
+               | _ ->
+                   (* position q went to another operation: dead claim *)
+                   ignore
+                     (P.compare_and_set t.state.(tid) cur
+                        { cur with target = -1 })
+             end
+             else begin
+               let t0 = P.get t.tail in
+               let c = slot t t0 in
+               let s = P.get c in
+               match s with
+               | Free p when p = t0 ->
+                   ignore
+                     (P.compare_and_set t.state.(tid) cur
+                        { cur with target = t0 })
+               | Full (w, _) when pos_of t w = t0 ->
+                   finish_slow_enq t t0 (tid_of t w)
+               | Full (w, _) when pos_of t w = t0 - t.capacity ->
+                   (* ring full mid-batch: terminal partial outcome,
+                      [bdone] elements in, suffix rejected *)
+                   ignore
+                     (P.compare_and_set t.state.(tid) cur
+                        { cur with pending = false; accepted = false })
+               | Taken (w, _) when pos_of t w = t0 - t.capacity ->
+                   finish_slow_deq t c s
+               | Taken (w, _) when pos_of t w = t0 -> finish_slow_deq t c s
+               | _ -> advance_tail t t0
+             end);
+            help_enq_batch t ~self tid phase
+    end
+
+  (* Drive tid's pending batch dequeue: [help_deq]'s per-element cycle
+     iterated under one [want = n] descriptor; each claimed element's
+     value is published into [bgot] by the batch arm of
+     [finish_slow_deq] before its slot is freed, so helpers can complete
+     the remaining suffix of a stalled batch without losing values.
+     [Free h] at the head publishes a terminal partial record — the
+     queue was observed empty at that element's linearization point. *)
+  and help_deq_batch t ~self tid phase =
+    if is_still_pending t tid phase then begin
+      let cur = P.get t.state.(tid) in
+      if cur.pending && cur.phase <= phase then
+        match cur.kind with
+        | Kenq _ | Kenq_batch _ | Kdeq -> ()
+        | Kdeq_batch _ ->
+            (if cur.target >= 0 then begin
+               let q = cur.target in
+               let c = slot t q in
+               let s = P.get c in
+               match s with
+               | Full (w, v) when pos_of t w = q ->
+                   let etid = tid_of t w in
+                   if etid >= 0 then finish_slow_enq t q etid;
+                   ignore (P.compare_and_set c s (Taken (pack t q tid, v)))
+               | Taken (w, _) when pos_of t w = q -> finish_slow_deq t c s
+               | _ ->
+                   ignore
+                     (P.compare_and_set t.state.(tid) cur
+                        { cur with target = -1 })
+             end
+             else begin
+               let h = P.get t.head in
+               let c = slot t h in
+               let s = P.get c in
+               match s with
+               | Free p when p = h ->
+                   (* empty mid-batch: terminal partial outcome *)
+                   ignore
+                     (P.compare_and_set t.state.(tid) cur
+                        { cur with pending = false })
+               | Full (w, _) when pos_of t w = h ->
+                   ignore
+                     (P.compare_and_set t.state.(tid) cur
+                        { cur with target = h })
+               | Taken (w, _) when pos_of t w = h -> finish_slow_deq t c s
+               | _ -> advance_head t h
+             end);
+            help_deq_batch t ~self tid phase
+    end
+
   (* Help a peer at the {e descriptor's own} phase, never the caller's
      bound: a stale helper re-running with its (higher) phase would
      otherwise keep a completed-and-republished operation alive — the
@@ -452,6 +632,8 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
       match desc.kind with
       | Kenq _ -> help_enq t ~self i desc.phase
       | Kdeq -> help_deq t ~self i desc.phase
+      | Kenq_batch _ -> help_enq_batch t ~self i desc.phase
+      | Kdeq_batch _ -> help_deq_batch t ~self i desc.phase
     end
 
   let run_help t ~tid ~phase =
@@ -488,6 +670,8 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
         target = -1;
         result = None;
         accepted = false;
+        bdone = 0;
+        bgot = [];
       };
     run_help t ~tid ~phase;
     ignore (A.fetch_and_add t.slow_pending (-1));
@@ -601,6 +785,139 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
     check_tid t tid;
     maybe_help t ~tid;
     fast_dequeue t ~tid 0
+
+  (* ------------------------------------------------------------------ *)
+  (* Batch operations (docs/BATCHING.md)                                *)
+  (* ------------------------------------------------------------------ *)
+
+  (* Fast path: per-element validated slot-CAS rounds under one shared
+     [max_failures] budget and a single helping check for the whole
+     batch. Exhausting the budget publishes {e one} descriptor covering
+     the remaining suffix — the contiguous-run claim deferred from the
+     segment work of PR 7 — driven by [help_enq_batch]/[help_deq_batch].
+     A full (resp. empty) answer at some element's validated slot read
+     ends the batch short there, exactly as the single operations
+     linearize their rejections. *)
+
+  let try_enqueue_batch t ~tid vs =
+    check_tid t tid;
+    match vs with
+    | [] -> 0
+    | vs ->
+        let arr = Array.of_list vs in
+        let len = Array.length arr in
+        note_batch_size t ~tid len;
+        maybe_help t ~tid;
+        let rec go i failures cas =
+          if i >= len then begin
+            note_batch_cas t ~tid cas;
+            sample_occupancy t ~tid;
+            i
+          end
+          else if failures >= t.max_failures then begin
+            note_batch_cas t ~tid cas;
+            let d = slow_op t ~tid (Kenq_batch (Array.sub arr i (len - i))) in
+            let accepted = i + d.bdone in
+            if accepted < len then count_full t ~tid
+            else sample_occupancy t ~tid;
+            accepted
+          end
+          else begin
+            let t0 = P.get t.tail in
+            let c = slot t t0 in
+            let s = P.get c in
+            match s with
+            | Free p when p = t0 ->
+                if P.compare_and_set c s (Full (pack t t0 (-1), arr.(i)))
+                then begin
+                  advance_tail t t0;
+                  t.tail_cache <- t0 + 1;
+                  go (i + 1) failures (cas + 2)
+                end
+                else begin
+                  count_retry t ~tid;
+                  go i (failures + 1) (cas + 1)
+                end
+            | Full (w, _) when pos_of t w = t0 ->
+                finish_slow_enq t t0 (tid_of t w);
+                count_retry t ~tid;
+                go i (failures + 1) cas
+            | Full (w, _) when pos_of t w = t0 - t.capacity ->
+                (* full at this element's validated slot read: the
+                   batch ends short, [i] elements in *)
+                note_batch_cas t ~tid cas;
+                count_full t ~tid;
+                i
+            | Taken (w, _) when pos_of t w = t0 - t.capacity ->
+                finish_slow_deq t c s;
+                count_retry t ~tid;
+                go i (failures + 1) cas
+            | Taken (w, _) when pos_of t w = t0 ->
+                finish_slow_deq t c s;
+                count_retry t ~tid;
+                go i (failures + 1) cas
+            | _ ->
+                advance_tail t t0;
+                count_retry t ~tid;
+                go i (failures + 1) cas
+          end
+        in
+        go 0 0 0
+
+  let enqueue_batch t ~tid vs =
+    let n = List.length vs in
+    if try_enqueue_batch t ~tid vs <> n then raise Ring_full
+
+  let dequeue_batch t ~tid ~n =
+    check_tid t tid;
+    if n < 0 then invalid_arg "Ring_queue.dequeue_batch: n";
+    if n = 0 then []
+    else begin
+      note_batch_size t ~tid n;
+      maybe_help t ~tid;
+      let rec go acc got failures cas =
+        if got >= n then begin
+          note_batch_cas t ~tid cas;
+          List.rev acc
+        end
+        else if failures >= t.max_failures then begin
+          note_batch_cas t ~tid cas;
+          let d = slow_op t ~tid (Kdeq_batch (n - got)) in
+          List.rev_append acc (List.rev d.bgot)
+        end
+        else begin
+          let h = P.get t.head in
+          let c = slot t h in
+          let s = P.get c in
+          match s with
+          | Free p when p = h ->
+              (* empty at this element's validated slot read: short *)
+              note_batch_cas t ~tid cas;
+              List.rev acc
+          | Full (w, v) when pos_of t w = h ->
+              let etid = tid_of t w in
+              if etid >= 0 then finish_slow_enq t h etid;
+              if P.compare_and_set c s (Free (h + t.capacity)) then begin
+                t.head_cache <- h + 1;
+                advance_head t h;
+                go (v :: acc) (got + 1) failures (cas + 2)
+              end
+              else begin
+                count_retry t ~tid;
+                go acc got (failures + 1) (cas + 1)
+              end
+          | Taken (w, _) when pos_of t w = h ->
+              finish_slow_deq t c s;
+              count_retry t ~tid;
+              go acc got (failures + 1) cas
+          | _ ->
+              advance_head t h;
+              count_retry t ~tid;
+              go acc got (failures + 1) cas
+        end
+      in
+      go [] 0 0 0
+    end
 
   (* ------------------------------------------------------------------ *)
   (* Quiescent observers (QUEUE contract: callers guarantee no

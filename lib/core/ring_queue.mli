@@ -46,8 +46,12 @@ type metrics
 val metrics : Wfq_obsv.Metrics.t -> prefix:string -> slots:int -> metrics
 (** Create the handle and register its metrics under
     [prefix ^ ".slow_entries"/".help_events"/".fast_retries"/
-    ".full_rejections"/".occupancy"]. [slots] must be the ring's
-    [num_threads]. *)
+    ".full_rejections"/".occupancy"/".batch_size"/".batch_cas"].
+    [batch_size] is a histogram of elements per batch operation;
+    [batch_cas] counts the slot/hint CASes issued by fast-path batch
+    owners, so [batch_cas / sum(batch_size)] is the amortized
+    CAS-per-element figure (docs/BATCHING.md). [slots] must be the
+    ring's [num_threads]. *)
 
 (** Test-only seeded bug (never pass in production code): the checker's
     ability to find and shrink it is itself under test. *)
@@ -95,6 +99,35 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
   (** Wait-free linearizable remove; [None] means empty at the
       linearization point (a validated read of the still-free slot at
       the head position). *)
+
+  (** {2 Batch operations}
+
+      Per-element validated slot rounds under one shared fast-path
+      budget and a single helping check; exhausting the budget
+      publishes {e one} slow-path descriptor covering the whole
+      remaining run, driven element-by-element by helpers (the
+      contiguous-run claim — the segment hand-off deferred from PR 7,
+      docs/BATCHING.md). Each element linearizes at its own slot CAS
+      (the batch is {e not} atomic), so batches compose with single
+      operations and with each other. Wait-free with the per-operation
+      step bound scaled by the batch size. *)
+
+  val try_enqueue_batch : 'a t -> tid:int -> 'a list -> int
+  (** Enqueue elements in list order, stopping at the first element
+      that finds the ring full (a validated read, as for
+      {!try_enqueue}); returns how many were accepted. The accepted
+      prefix stays enqueued. [try_enqueue_batch t ~tid []] is [0]. *)
+
+  val enqueue_batch : 'a t -> tid:int -> 'a list -> unit
+  (** [try_enqueue_batch], raising {!Ring_full} when any element is
+      rejected — the accepted prefix {e remains enqueued}; use
+      {!try_enqueue_batch} when the producer can shed. *)
+
+  val dequeue_batch : 'a t -> tid:int -> n:int -> 'a list
+  (** Dequeue up to [n] elements in FIFO order; a result shorter than
+      [n] means the ring was observed empty at the final element's
+      linearization point. Raises [Invalid_argument] for negative
+      [n]. *)
 
   (** {2 Quiescent observers} — callers guarantee no concurrent
       operations; these do not linearize with running ones. *)

@@ -43,19 +43,23 @@ type with_gc = {
       (** stop-the-world minor collections per run — the GC column *)
 }
 
-let series_from ~scale impls per_threads ~aggregate ~project =
+let series_from_labels ~scale labels per_threads ~aggregate ~project =
   Array.to_list
     (Array.mapi
-       (fun i impl ->
+       (fun i label ->
          {
-           Report.label = Impls.name impl;
+           Report.label;
            points =
              List.map2
                (fun threads (samples : Workload.run_result list array) ->
                  (float_of_int threads, aggregate (List.map project samples.(i))))
                scale.threads per_threads;
          })
-       impls)
+       labels)
+
+let series_from ~scale impls per_threads ~aggregate ~project =
+  series_from_labels ~scale (Array.map Impls.name impls) per_threads ~aggregate
+    ~project
 
 let seconds (r : Workload.run_result) = r.Workload.seconds
 
@@ -271,6 +275,35 @@ let ring_decomposition ?(scale = quick) () =
       mk (fun r -> (Space.profile_of_result r).Space.words_per_op);
     ring_minor_gcs = mk minor_gcs_of;
   }
+
+(** Batch decomposition (the [wfq_bench figures --batch k] dataset): the
+    per-item fps baseline against the batch-native backends on the batch
+    pairs workload — same element volume per run, so the time ratio is
+    the amortization factor directly. The "WF fps per-item" vs "WF fps
+    batch" pair is the CI guard's data source (native batches at k = 64
+    must complete in at most half the per-item time — one descriptor
+    publication covering the whole batch is the tentpole's headline).
+    Interleaved repetitions, per-series medians, as for the other
+    decompositions. *)
+type batch_report = {
+  batch_time : Report.series list;
+  batch_minor_gcs : Report.series list;
+}
+
+let batch_decomposition ?(scale = quick) ~batch () =
+  let impls = Array.of_list Impls.batch_series in
+  let per_threads =
+    interleaved_collect ~scale
+      ~workload:(fun impl ~threads ~iters () ->
+        Workload.pairs_batch impl ~threads ~iters ~batch ())
+      impls
+  in
+  let mk project =
+    series_from_labels ~scale
+      (Array.map Impls.batch_name impls)
+      per_threads ~aggregate:Wfq_primitives.Stats.median ~project
+  in
+  { batch_time = mk seconds; batch_minor_gcs = mk minor_gcs_of }
 
 (** One combined dataset of every paper figure, each series label
     prefixed with its figure ("fig7:LF", ...). Points keep their native

@@ -91,6 +91,20 @@ val ring_decomposition : ?scale:scale -> unit -> ring_report
     its pooled counterpart and WF fps pooled on the strict pairs
     workload (medians over interleaved repetitions). *)
 
+type batch_report = {
+  batch_time : Report.series list;  (** seconds, batch pairs workload *)
+  batch_minor_gcs : Report.series list;
+}
+(** The batch decomposition — two projections of one interleaved
+    measurement over {!Impls.batch_series}. *)
+
+val batch_decomposition : ?scale:scale -> batch:int -> unit -> batch_report
+(** Extension ([wfq_bench figures --batch k], docs/BATCHING.md): the
+    per-item fps baseline vs the batch-native backends on the batch
+    pairs workload at batch size [batch]. Equal element volume per run,
+    so time ratios are amortization factors; "WF fps per-item" over
+    "WF fps batch" is the CI guard's ratio (>= 2 at [batch] = 64). *)
+
 val all_figures : ?scale:scale -> unit -> Report.series list
 (** Every paper figure in one dataset, labels prefixed "figN:". Fig. 10
     points use queue size as x; the rest use threads. *)

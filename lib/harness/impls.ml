@@ -299,6 +299,122 @@ let all =
    tuning enhancements. *)
 let ablation = [ wf_opt12; wf_chunk 2; wf_chunk 4; wf_tuned ]
 
+(* Batch-native registry (docs/BATCHING.md): the backends exposing
+   first-class [enqueue_batch]/[dequeue_batch], plus a per-item adapter
+   over the headline fps queue. The adapter loops the single-element
+   operations, so in the batch workload the only variable between
+   "WF fps per-item" and "WF fps batch" is batch nativeness — the
+   amortization headline's baseline. Both fps rows run the pooled
+   configuration (the family's headline, as in [ring_series]): with
+   segment-recycled nodes the allocator no longer dominates either
+   side, so the ratio isolates what batching actually amortizes — the
+   per-element CAS protocol. *)
+module type BATCH_BENCH_QUEUE = sig
+  include BENCH_QUEUE
+
+  val enqueue_batch : t -> tid:int -> int list -> unit
+  val dequeue_batch : t -> tid:int -> n:int -> int list
+end
+
+type batch_impl = (module BATCH_BENCH_QUEUE)
+
+let fps_per_item : batch_impl =
+  (module struct
+    type t = int Fps.t
+
+    let name = "WF fps per-item"
+
+    let create ~num_threads =
+      Fps.create_with ~pool:true
+        ~max_failures:Wfq_core.Kp_queue_fps.default_max_failures
+        ~help:Wfq_core.Kp_queue_fps.Help_one_cyclic
+        ~phase:Wfq_core.Kp_queue_fps.Phase_counter ~num_threads ()
+
+    let enqueue = Fps.enqueue
+    let dequeue = Fps.dequeue
+    let enqueue_batch q ~tid vs = List.iter (fun v -> Fps.enqueue q ~tid v) vs
+
+    let dequeue_batch q ~tid ~n =
+      let rec go k acc =
+        if k = 0 then List.rev acc
+        else
+          match Fps.dequeue q ~tid with
+          | Some v -> go (k - 1) (v :: acc)
+          | None -> List.rev acc
+      in
+      go n []
+  end)
+
+let fps_batch : batch_impl =
+  (module struct
+    type t = int Fps.t
+
+    let name = "WF fps batch"
+
+    let create ~num_threads =
+      Fps.create_with ~pool:true
+        ~max_failures:Wfq_core.Kp_queue_fps.default_max_failures
+        ~help:Wfq_core.Kp_queue_fps.Help_one_cyclic
+        ~phase:Wfq_core.Kp_queue_fps.Phase_counter ~num_threads ()
+
+    let enqueue = Fps.enqueue
+    let dequeue = Fps.dequeue
+    let enqueue_batch = Fps.enqueue_batch
+    let dequeue_batch = Fps.dequeue_batch
+  end)
+
+let kp_batch : batch_impl =
+  (module struct
+    type t = int Kp.t
+
+    let name = "opt WF (1+2) batch"
+
+    let create ~num_threads =
+      Kp.create_with ~help:Wfq_core.Kp_queue.Help_one_cyclic
+        ~phase:Wfq_core.Kp_queue.Phase_counter ~num_threads ()
+
+    let enqueue = Kp.enqueue
+    let dequeue = Kp.dequeue
+    let enqueue_batch = Kp.enqueue_batch
+    let dequeue_batch = Kp.dequeue_batch
+  end)
+
+let ring_batch : batch_impl =
+  (module struct
+    type t = int Rg.t
+
+    let name = "WF ring batch"
+
+    let create ~num_threads =
+      Rg.create_with ~capacity:8192
+        ~max_failures:Wfq_core.Ring_queue.default_max_failures ~num_threads ()
+
+    let enqueue = Rg.enqueue
+    let dequeue = Rg.dequeue
+    let enqueue_batch = Rg.enqueue_batch
+    let dequeue_batch = Rg.dequeue_batch
+  end)
+
+let shard_batch : batch_impl =
+  (module struct
+    type t = int Sh.t
+
+    let name = "WF shard-4 (rr) batch"
+
+    let create ~num_threads =
+      Sh.create ~policy:Wfq_shard.Shard.Round_robin ~shards:4 ~num_threads ()
+
+    let enqueue = Sh.enqueue
+    let dequeue = Sh.dequeue
+    let enqueue_batch = Sh.enqueue_batch
+    let dequeue_batch = Sh.dequeue_batch
+  end)
+
+let batch_series =
+  [ fps_per_item; fps_batch; kp_batch; ring_batch; shard_batch ]
+
+let batch_name (module Q : BATCH_BENCH_QUEUE) = Q.name
+
 let name (module Q : BENCH_QUEUE) = Q.name
 
 let by_name n =

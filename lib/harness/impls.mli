@@ -130,6 +130,42 @@ val all : impl list
 val ablation : impl list
 (** Variants for the helping-chunk / tuning ablation bench. *)
 
+module type BATCH_BENCH_QUEUE = sig
+  include BENCH_QUEUE
+
+  val enqueue_batch : t -> tid:int -> int list -> unit
+  val dequeue_batch : t -> tid:int -> n:int -> int list
+end
+(** A benchmarked queue with first-class batch operations
+    (docs/BATCHING.md). *)
+
+type batch_impl = (module BATCH_BENCH_QUEUE)
+
+val fps_per_item : batch_impl
+(** "WF fps per-item": the headline fps queue with batches looped one
+    element at a time — the amortization baseline every batch-native
+    series is compared against (and the CI guard's denominator). *)
+
+val fps_batch : batch_impl
+(** "WF fps batch": same queue, native batch operations — one fast-path
+    CAS (or one slow-path descriptor) per whole batch. *)
+
+val kp_batch : batch_impl
+(** "opt WF (1+2) batch": the base wait-free queue's native batches. *)
+
+val ring_batch : batch_impl
+(** "WF ring batch": the bounded ring's native batches (8192 slots). *)
+
+val shard_batch : batch_impl
+(** "WF shard-4 (rr) batch": the sharded front-end, round-robin spread
+    routing. Relaxed FIFO — a batch dequeue may return short under
+    concurrency, so the batch workload retries the remainder. *)
+
+val batch_series : batch_impl list
+(** Series for the batch bench ([wfq_bench figures --batch k]):
+    {!fps_per_item} vs the four batch-native backends. *)
+
+val batch_name : batch_impl -> string
 val name : impl -> string
 
 val by_name : string -> impl

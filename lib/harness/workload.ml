@@ -173,6 +173,72 @@ let pairs_relaxed ?(check = true) ?(max_retries = 10_000_000)
   end;
   { seconds; total_ops = 2 * threads * iters; per_thread = counters; gc }
 
+(* Batch pairs: each round batch-enqueues [batch] fresh values, then
+   batch-dequeues [batch]. [iters] counts elements per thread, so a run
+   moves the same element volume as {!pairs} at the same [iters] — the
+   per-item-vs-batch comparison divides identical work. A short batch
+   dequeue is retried on the remainder (tallied in [deq_empties]): the
+   strict backends never return short here — every thread holds [batch]
+   outstanding elements at its dequeue, so the queue is provably
+   non-empty — but the sharded front-end's non-atomic sweep may miss
+   elements in flight, exactly as in {!pairs_relaxed}. *)
+let pairs_batch ?(check = true) ?(max_retries = 10_000_000)
+    (module Q : Impls.BATCH_BENCH_QUEUE) ~threads ~iters ~batch () =
+  if threads <= 0 || iters <= 0 || batch <= 0 || iters < batch then
+    invalid_arg "Workload.pairs_batch";
+  let rounds = iters / batch in
+  let q = Q.create ~num_threads:(threads + 1) in
+  let counters = fresh_counters threads in
+  let worker tid =
+    let c = counters.(tid) in
+    for round = 0 to rounds - 1 do
+      let base = (tid * iters) + (round * batch) in
+      Q.enqueue_batch q ~tid (List.init batch (fun i -> base + i));
+      c.enqs <- c.enqs + batch;
+      let rec take want retries =
+        if want > 0 then begin
+          let got = List.length (Q.dequeue_batch q ~tid ~n:want) in
+          c.deq_hits <- c.deq_hits + got;
+          if got < want then begin
+            c.deq_empties <- c.deq_empties + 1;
+            if retries >= max_retries then
+              failwith
+                (Printf.sprintf
+                   "%s: batch dequeue still short after %d sweeps" Q.name
+                   retries)
+            else take (want - got) (retries + 1)
+          end
+        end
+      in
+      take batch 0
+    done
+  in
+  let seconds, gc = spawn_and_time ~threads worker in
+  if check then begin
+    let enqs = sum_by counters (fun c -> c.enqs) in
+    let hits = sum_by counters (fun c -> c.deq_hits) in
+    if enqs <> hits then
+      failwith
+        (Printf.sprintf "%s: batch pairs imbalance (%d enq, %d deq)" Q.name
+           enqs hits);
+    let leftover =
+      let rec go n =
+        match Q.dequeue q ~tid:0 with Some _ -> go (n + 1) | None -> n
+      in
+      go 0
+    in
+    if leftover <> 0 then
+      failwith
+        (Printf.sprintf "%s: %d elements left after balanced batch pairs"
+           Q.name leftover)
+  end;
+  {
+    seconds;
+    total_ops = 2 * threads * rounds * batch;
+    per_thread = counters;
+    gc;
+  }
+
 let p_enq ?(check = true) ?(prefill = 1000) ?(seed = 42)
     (module Q : Impls.BENCH_QUEUE) ~threads ~iters () =
   if threads <= 0 || iters <= 0 then invalid_arg "Workload.p_enq";

@@ -56,6 +56,24 @@ val pairs_relaxed :
     dequeued and the queue ends empty. On a strict queue this is
     operation-for-operation identical to {!pairs}. *)
 
+val pairs_batch :
+  ?check:bool ->
+  ?max_retries:int ->
+  Impls.batch_impl ->
+  threads:int ->
+  iters:int ->
+  batch:int ->
+  unit ->
+  run_result
+(** Batch pairs (docs/BATCHING.md): each round batch-enqueues [batch]
+    fresh values then batch-dequeues [batch]; [iters] counts elements
+    per thread ([iters / batch] rounds), so the run moves the same
+    element volume as {!pairs} at equal [iters]. A short batch dequeue
+    is retried on the remainder (each shortfall counted once in
+    [deq_empties]) — strict backends never return short here, the
+    sharded front-end's non-atomic sweep may. Validation: enqueued =
+    dequeued and the queue ends empty. *)
+
 val p_enq :
   ?check:bool ->
   ?prefill:int ->

@@ -49,6 +49,22 @@ let check ?capacity (ops : History.completed list) : verdict =
   if n > 62 then
     invalid_arg "Checker.check: histories over 62 operations not supported";
   let visited : (int * int list, unit) Hashtbl.t = Hashtbl.create 1024 in
+  (* Per-thread program order: op [i] may linearize only after every
+     same-thread op invoked before it. For sequential threads (one
+     pending call at a time) this is implied by the interval check; for
+     batch sub-ops — which share their batch's real-time window — it is
+     the constraint that makes intra-batch FIFO checkable rather than
+     letting the search reorder elements within a batch. *)
+  let pred = Array.make n 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if
+        j <> i
+        && ops.(j).History.thread = ops.(i).History.thread
+        && ops.(j).History.call < ops.(i).History.call
+      then pred.(i) <- pred.(i) lor (1 lsl j)
+    done
+  done;
   (* mask has bit i set iff ops.(i) is already linearized *)
   let rec search mask model order =
     if mask = (1 lsl n) - 1 then Some (List.rev order)
@@ -68,6 +84,7 @@ let check ?capacity (ops : History.completed list) : verdict =
           if i >= n then None
           else if mask land (1 lsl i) <> 0 then try_ops (i + 1)
           else if ops.(i).call > !min_return then try_ops (i + 1)
+          else if mask land pred.(i) <> pred.(i) then try_ops (i + 1)
           else begin
             let continue_with model' =
               search (mask lor (1 lsl i)) model' (ops.(i) :: order)

@@ -12,9 +12,12 @@ type verdict =
 val check : ?capacity:int -> History.completed list -> verdict
 (** Decide linearizability of a complete history against the sequential
     FIFO specification. An operation may linearize before another only if
-    it did not begin after the other returned (real-time order). Raises
-    [Invalid_argument] for histories of more than 62 operations (the
-    linearized set is a native-int bitmask).
+    it did not begin after the other returned (real-time order), and
+    never before a same-thread operation invoked earlier (per-thread
+    program order — what pins intra-batch FIFO for the overlapping
+    sub-ops {!History.call_batch} records). Raises [Invalid_argument]
+    for histories of more than 62 operations (the linearized set is a
+    native-int bitmask).
 
     [capacity] switches to the bounded-queue specification: an enqueue
     answering [Done] must linearize at a state holding fewer than

@@ -66,6 +66,39 @@ let return t ~thread response =
       | _ :: _ :: _, _ ->
           invalid_arg "History.return: multiple pending calls for thread")
 
+(* Batch operations expand to one sub-op per element: all invocations
+   recorded before the batch runs, all responses after it returns, so
+   every element's true linearization point lies inside its recorded
+   interval. The sub-ops deliberately overlap (they share the batch's
+   real-time window); the checker restores their relative order from
+   the per-thread invocation order (intra-batch program order), which
+   is what makes "intra-batch FIFO" a checkable property. *)
+let call_batch t ~thread ops =
+  locked t (fun () ->
+      List.iter
+        (fun op -> t.pending <- (thread, op, tick t) :: t.pending)
+        ops)
+
+let return_batch t ~thread responses =
+  locked t (fun () ->
+      let mine, rest =
+        List.partition (fun (th, _, _) -> th = thread) t.pending
+      in
+      let mine =
+        List.sort (fun (_, _, c1) (_, _, c2) -> compare c1 c2) mine
+      in
+      if List.length mine <> List.length responses then
+        invalid_arg "History.return_batch: response count mismatch";
+      t.pending <- rest;
+      let ret = tick t in
+      t.completed_rev <-
+        List.rev_append
+          (List.map2
+             (fun (_, op, call) response ->
+               { thread; op; response; call; return = ret })
+             mine responses)
+          t.completed_rev)
+
 let completed t = locked t (fun () -> List.rev t.completed_rev)
 let has_pending t = locked t (fun () -> t.pending <> [])
 

@@ -32,6 +32,17 @@ val return : t -> thread:int -> response -> unit
 (** Record the response to the thread's pending call. Raises
     [Invalid_argument] when no call is pending for that thread. *)
 
+val call_batch : t -> thread:int -> op list -> unit
+(** Record one invocation per batch element, in batch order, before the
+    batch operation runs. The sub-ops share the batch's real-time
+    window; their intra-batch order is their invocation order, which
+    the checker enforces as per-thread program order. *)
+
+val return_batch : t -> thread:int -> response list -> unit
+(** Complete the thread's pending sub-ops, responses matched to sub-ops
+    in invocation order. Raises [Invalid_argument] when the counts
+    disagree. *)
+
 val completed : t -> completed list
 (** All completed operations, oldest first. *)
 

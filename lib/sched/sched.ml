@@ -86,11 +86,13 @@ module type S = sig
 
   (* Fiber-context operations (require a worker's handler). *)
   val spawn : (unit -> 'a) -> 'a promise
+  val spawn_many : (unit -> 'a) list -> 'a promise list
   val yield : unit -> unit
   val await : 'a promise -> 'a
 
   (* External operations. *)
   val submit : t -> tid:int -> (unit -> 'a) -> 'a promise
+  val submit_batch : t -> tid:int -> (unit -> 'a) list -> 'a promise list
   val result : 'a promise -> ('a, exn) result option
   val run : t -> (unit -> 'a) -> 'a
 
@@ -140,6 +142,8 @@ module Make
     | Yield : unit Effect.t
     | Await : 'a promise -> 'a Effect.t
     | Spawn : (unit -> 'a) -> 'a pbox Effect.t
+    | Spawn_many : (unit -> 'a) list -> 'a pbox list Effect.t
+          (** fan-out: all fresh tasks pushed with one run-queue batch *)
     | Complete : 'a promise * ('a, exn) result * int -> unit Effect.t
           (** internal: fiber body finished; the [int] is its spawn
               timestamp for the latency histogram *)
@@ -209,6 +213,22 @@ module Make
         H.record m.m_depth ~slot:tid (max d 0)
     | None -> ()
 
+  (* Fan-out counterpart of [push_local]: one backend-native run-queue
+     batch covers every task (docs/BATCHING.md) — on the KP-family
+     backends the whole fan-out linearizes at a single append CAS. *)
+  let push_local_batch t ~tid tasks =
+    match tasks with
+    | [] -> ()
+    | tasks ->
+        let k = List.length tasks in
+        Q.enqueue_batch t.queues.(tid) ~tid tasks;
+        C.add t.rq_push.(tid) ~slot:tid k;
+        (match t.obsv with
+        | Some m ->
+            let d = C.total t.rq_push.(tid) - C.total t.rq_take.(tid) in
+            H.record m.m_depth ~slot:tid (max d 0)
+        | None -> ())
+
   let wrap_body pr t0 f () =
     let r = match f () with v -> Ok v | exception e -> Error e in
     Effect.perform (Complete (pr, r, t0))
@@ -223,9 +243,35 @@ module Make
     push_local t ~tid (Fresh (wrap_body pr (now t) f));
     pr
 
+  (* Batch spawn: the whole fan-out is accounted (outstanding up by
+     [k] first, same visibility argument as [spawn_into]) and then
+     pushed as one run-queue batch. *)
+  let spawn_many_into t ~tid fs =
+    match fs with
+    | [] -> []
+    | [ f ] -> [ spawn_into t ~tid f ]
+    | fs ->
+        let k = List.length fs in
+        ignore (A.fetch_and_add t.outstanding k : int);
+        C.add t.spawned ~slot:tid k;
+        let t0 = now t in
+        let entries =
+          List.map
+            (fun f ->
+              let pr = A.make (Pending []) in
+              (pr, Fresh (wrap_body pr t0 f)))
+            fs
+        in
+        push_local_batch t ~tid (List.map snd entries);
+        List.map fst entries
+
   let submit t ~tid f =
     if tid < 0 || tid >= t.workers then invalid_arg "Sched.submit: tid";
     spawn_into t ~tid f
+
+  let submit_batch t ~tid fs =
+    if tid < 0 || tid >= t.workers then invalid_arg "Sched.submit_batch: tid";
+    spawn_many_into t ~tid fs
 
   let result p =
     match A.get p with Completed r -> Some r | Pending _ -> None
@@ -240,13 +286,15 @@ module Make
    fun t ~tid pr r t0 ->
     (match A.exchange pr (Completed r) with
     | Pending waiters ->
-        List.iter
-          (fun k ->
-            push_local t ~tid
-              (match r with
-              | Ok v -> Resume (k, v)
-              | Error e -> Cancel (k, e)))
-          (List.rev waiters)
+        (* Wake every waiter with one run-queue batch, FIFO order
+           (waiters are stored most recent first). *)
+        push_local_batch t ~tid
+          (List.rev_map
+             (fun k ->
+               match r with
+               | Ok v -> Resume (k, v)
+               | Error e -> Cancel (k, e))
+             waiters)
     | Completed _ ->
         (* A promise is completed exactly once, by its own fiber. *)
         assert false);
@@ -275,6 +323,13 @@ module Make
                 (fun k ->
                   let pr = spawn_into t ~tid f in
                   Effect.Shallow.continue_with k (Prom pr) (handler t ~tid))
+          | Spawn_many fs ->
+              Some
+                (fun k ->
+                  let prs = spawn_many_into t ~tid fs in
+                  Effect.Shallow.continue_with k
+                    (List.map (fun p -> Prom p) prs)
+                    (handler t ~tid))
           | Await p -> Some (fun k -> await_with t ~tid p k)
           | Complete (pr, r, t0) ->
               Some
@@ -353,6 +408,12 @@ module Make
   let yield () = Effect.perform Yield
   let await p = Effect.perform (Await p)
   let spawn f = match Effect.perform (Spawn f) with Prom p -> p
+
+  let spawn_many fs =
+    match fs with
+    | [] -> []
+    | fs ->
+        List.map (fun (Prom p) -> p) (Effect.perform (Spawn_many fs))
 
   (* --- parallel runner --------------------------------------------- *)
 

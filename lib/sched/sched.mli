@@ -79,6 +79,14 @@ module type S = sig
   val spawn : (unit -> 'a) -> 'a promise
   (** Start a new fiber on the current worker's run-queue. *)
 
+  val spawn_many : (unit -> 'a) list -> 'a promise list
+  (** Fan-out: start one fiber per body, pushing every fresh task with
+      a {e single} backend-native run-queue batch
+      ({!Wfq_core.Queue_intf.RUN_QUEUE.enqueue_batch}) — on the
+      KP-family backends the whole fan-out linearizes at one append
+      CAS. Promises are returned in body order. [spawn_many []] is
+      [[]]. *)
+
   val yield : unit -> unit
   (** Requeue the current fiber behind its worker's local queue. *)
 
@@ -93,6 +101,10 @@ module type S = sig
       any fiber (setup code, tests). The caller must own [tid]'s slot
       for the duration of the call (quiescent setup, or the worker
       itself). *)
+
+  val submit_batch : t -> tid:int -> (unit -> 'a) list -> 'a promise list
+  (** {!submit}'s fan-out form: one run-queue batch for the whole list,
+      as {!spawn_many}. Same [tid]-ownership requirement. *)
 
   val result : 'a promise -> ('a, exn) result option
   (** Non-blocking completion probe; [None] while the fiber runs. *)

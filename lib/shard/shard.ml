@@ -67,6 +67,21 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
     | Fps_q q -> Fq.dequeue q ~tid
     | Ring_q q -> Rg.dequeue q ~tid
 
+  (* Backend-native batches (docs/BATCHING.md): one descriptor/claim
+     cycle amortized over the run instead of a per-element protocol
+     round trip. *)
+  let q_enqueue_batch q ~tid vs =
+    match q with
+    | Kp_q q -> Kp.enqueue_batch q ~tid vs
+    | Fps_q q -> Fq.enqueue_batch q ~tid vs
+    | Ring_q q -> Rg.enqueue_batch q ~tid vs
+
+  let q_dequeue_batch q ~tid ~n =
+    match q with
+    | Kp_q q -> Kp.dequeue_batch q ~tid ~n
+    | Fps_q q -> Fq.dequeue_batch q ~tid ~n
+    | Ring_q q -> Rg.dequeue_batch q ~tid ~n
+
   let q_is_empty = function
     | Kp_q q -> Kp.is_empty q
     | Fps_q q -> Fq.is_empty q
@@ -108,6 +123,10 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
     (* Single-writer probe slots, indexed by tid. *)
     last_enq_shard : int array;
     last_deq_shard : int array;
+    (* Backend batch operations performed by the tid's most recent
+       batch op — the cost-contract probe the tests pin. *)
+    last_enq_batch_calls : int array;
+    last_deq_batch_calls : int array;
   }
 
   let name = "wf-shard"
@@ -174,6 +193,8 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
       op_seq = Wfq_obsv.Counter.create ~slots:num_threads ();
       last_enq_shard = Array.make num_threads (-1);
       last_deq_shard = Array.make num_threads (-1);
+      last_enq_batch_calls = Array.make num_threads 0;
+      last_deq_batch_calls = Array.make num_threads 0;
     }
 
   let create_strict ~num_threads () = create ~shards:1 ~num_threads ()
@@ -227,11 +248,26 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
     enqueue_to t ~tid (start_enq t ~tid) v;
     seq_exit t ~tid
 
+  (* Batch counterpart of [enqueue_to]: one backend-native batch op,
+     counters bumped by the batch size. *)
+  let enqueue_batch_to t ~tid s vs ~k =
+    q_enqueue_batch t.shards.(s) ~tid vs;
+    t.last_enq_batch_calls.(tid) <- t.last_enq_batch_calls.(tid) + 1;
+    if t.track_sizes then ignore (Atomic.fetch_and_add t.sizes.(s) k : int);
+    Wfq_obsv.Counter.add t.s_enq.(s) ~slot:tid k;
+    t.last_enq_shard.(tid) <- s
+
   (* Account a successful dequeue served by shard [s]. *)
   let took t ~tid ~stolen s =
     if t.track_sizes then Atomic.decr t.sizes.(s);
     Wfq_obsv.Counter.incr t.s_deq.(s) ~slot:tid;
     if stolen then Wfq_obsv.Counter.incr t.s_steal.(s) ~slot:tid;
+    t.last_deq_shard.(tid) <- s
+
+  let took_batch t ~tid ~stolen s ~k =
+    if t.track_sizes then ignore (Atomic.fetch_and_add t.sizes.(s) (-k) : int);
+    Wfq_obsv.Counter.add t.s_deq.(s) ~slot:tid k;
+    if stolen then Wfq_obsv.Counter.add t.s_steal.(s) ~slot:tid k;
     t.last_deq_shard.(tid) <- s
 
   (* Steal visits pre-check [is_empty] (two atomic reads) before paying
@@ -266,51 +302,91 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
 
   (* --- batch operations ------------------------------------------ *)
 
+  (* Split [vs] (length [k]) into [n] contiguous chunks whose sizes
+     differ by at most one, front chunks larger. Used by the spread
+     route; [k >= n >= 1] there, so no chunk is empty. *)
+  let split_chunks vs ~k ~n =
+    let base = k / n and extra = k mod n in
+    let rec take i acc rest =
+      if i = 0 then (List.rev acc, rest)
+      else
+        match rest with
+        | [] -> (List.rev acc, [])
+        | v :: tl -> take (i - 1) (v :: acc) tl
+    in
+    let rec go j rest =
+      if j = n then []
+      else
+        let sz = base + if j < extra then 1 else 0 in
+        let chunk, rest = take sz [] rest in
+        chunk :: go (j + 1) rest
+    in
+    go 0 vs
+
   let enqueue_batch t ~tid vs =
     match vs with
     | [] -> ()
     | vs ->
         seq_enter t ~tid;
+        t.last_enq_batch_calls.(tid) <- 0;
         (match vs with
-        | [ v ] -> enqueue_to t ~tid (start_enq t ~tid) v
+        | [ v ] ->
+            enqueue_to t ~tid (start_enq t ~tid) v;
+            t.last_enq_batch_calls.(tid) <- 1
         | vs -> (
+            let k = List.length vs in
             match t.policy with
-            | Round_robin when t.n > 1 ->
-                (* One fetch-and-add claims the whole ticket range; item
-                   [i] lands on the shard ticket [t0 + i] would have
-                   selected. *)
-                let k = List.length vs in
-                let t0 = A.fetch_and_add t.enq_ticket k in
+            | Round_robin when t.n > 1 && k >= t.n ->
+                (* Spread: a batch large enough to give every shard a
+                   real run is split into [n] contiguous sub-batches,
+                   each forwarded to its shard's native batch op — load
+                   balance without collapsing back to the per-element
+                   protocol. One fetch-and-add claims a ticket per
+                   chunk; chunk [j] lands on the shard ticket [t0 + j]
+                   would have selected. *)
+                let t0 = A.fetch_and_add t.enq_ticket t.n in
                 List.iteri
-                  (fun i v -> enqueue_to t ~tid ((t0 + i) mod t.n) v)
-                  vs
+                  (fun j chunk ->
+                    enqueue_batch_to t ~tid
+                      ((t0 + j) mod t.n)
+                      chunk ~k:(List.length chunk))
+                  (split_chunks vs ~k ~n:t.n)
             | Round_robin | Tid_affine | Length_aware ->
-                (* Contiguous batch: a single selection places the whole
-                   batch in one shard, preserving intra-batch FIFO
-                   order. *)
-                let s = start_enq t ~tid in
-                List.iter (fun v -> enqueue_to t ~tid s v) vs));
+                (* Keep together: one selection, one backend-native
+                   batch — intra-batch FIFO preserved, the whole batch
+                   contiguous in its shard. Small Round_robin batches
+                   ([k < n]) take this route too: spreading them would
+                   degenerate to per-element sub-batches, paying the
+                   full protocol per item again (successive batches
+                   still rotate shards through the ticket). *)
+                enqueue_batch_to t ~tid (start_enq t ~tid) vs ~k));
         seq_exit t ~tid
 
   let dequeue_batch t ~tid ~n =
     if n < 0 then invalid_arg "Shard.dequeue_batch: n";
     seq_enter t ~tid;
+    t.last_deq_batch_calls.(tid) <- 0;
     let s0 = start_deq t ~tid in
-    (* Drain the current shard until empty, then advance; a full lap of
-       consecutive empty shards terminates the sweep. Bounded by
-       [(n + 1) * t.n] shard dequeues. *)
-    let rec go acc got misses s =
-      if got = n || misses = t.n then List.rev acc
-      else if s <> s0 && misses > 0 && q_is_empty t.shards.(s) then
-        go acc got (misses + 1) (Steal_order.next ~n:t.n s)
+    (* One backend-native batch dequeue per shard visited, asking for
+       the whole remaining want: the backend returns short only when it
+       observed the shard empty, so a single {!Steal_order} lap
+       suffices — at most [N] backend batch operations total (each
+       itself bounded by its want), replacing the per-element
+       [(n + 1) * N] sweep this front-end used before batches were
+       backend-native. Steal visits keep the [is_empty] pre-check. *)
+    let rec go acc got i =
+      if got = n || i = t.n then acc
       else
-        match q_dequeue t.shards.(s) ~tid with
-        | Some v ->
-            took t ~tid ~stolen:(s <> s0) s;
-            go (v :: acc) (got + 1) 0 s
-        | None -> go acc got (misses + 1) (Steal_order.next ~n:t.n s)
+        let s = Steal_order.visit ~n:t.n ~start:s0 i in
+        if i > 0 && q_is_empty t.shards.(s) then go acc got (i + 1)
+        else
+          let xs = q_dequeue_batch t.shards.(s) ~tid ~n:(n - got) in
+          t.last_deq_batch_calls.(tid) <- t.last_deq_batch_calls.(tid) + 1;
+          let k = List.length xs in
+          if k > 0 then took_batch t ~tid ~stolen:(i > 0) s ~k;
+          go (xs :: acc) (got + k) (i + 1)
     in
-    let out = go [] 0 0 s0 in
+    let out = List.concat (List.rev (go [] 0 0)) in
     if out = [] && n > 0 then begin
       Wfq_obsv.Counter.incr t.s_sweep.(s0) ~slot:tid;
       t.last_deq_shard.(tid) <- -1
@@ -378,6 +454,8 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
 
   let last_enqueue_shard t ~tid = t.last_enq_shard.(tid)
   let last_dequeue_shard t ~tid = t.last_deq_shard.(tid)
+  let last_enqueue_batch_calls t ~tid = t.last_enq_batch_calls.(tid)
+  let last_dequeue_batch_calls t ~tid = t.last_deq_batch_calls.(tid)
 
   let in_flight t =
     Array.exists

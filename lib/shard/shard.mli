@@ -35,9 +35,13 @@
     {2 Progress}
 
     Every operation is wait-free: shard selection is one fetch-and-add
-    (or none), and a dequeue performs at most [N] wait-free KP dequeues;
-    [dequeue_batch ~n] performs at most [(n + 1) * N] of them. No
-    operation ever retries unboundedly.
+    (or none), and a dequeue performs at most [N] wait-free KP dequeues.
+    Batches forward to the backends' native batch operations
+    (docs/BATCHING.md): [dequeue_batch ~n] performs at most [N] backend
+    batch dequeues — one per shard in a single sweep lap, each bounded
+    by its remaining want — and [enqueue_batch] at most
+    [min (length vs) N] backend batch enqueues. No operation ever
+    retries unboundedly.
 
     Thread identity follows {!Wfq_core.Queue_intf.QUEUE}: every caller
     owns a [tid] in [0, num_threads) (see [Wfq_registry] for dynamic
@@ -134,18 +138,29 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
       shard was observed empty during the sweep. *)
 
   val enqueue_batch : 'a t -> tid:int -> 'a list -> unit
-  (** Insert a whole batch with a single ticket acquisition.
-      [Round_robin] claims [length vs] consecutive tickets with one
-      fetch-and-add and spreads the batch over consecutive shards;
-      [Tid_affine] and [Length_aware] place the whole batch
-      contiguously in one shard (preserving intra-batch order). *)
+  (** Insert a whole batch through the backends' native batch enqueue,
+      with batch-aware spread-vs-keep-together routing. [Tid_affine]
+      and [Length_aware] keep the batch together: one selection, one
+      backend batch, the whole batch contiguous in its shard.
+      [Round_robin] spreads a batch of [k >= N] elements as [N]
+      contiguous sub-batches over consecutive ticket-selected shards
+      (load balance at native-batch cost); smaller Round_robin batches
+      keep together too — spreading them would degenerate to
+      per-element sub-batches — rotating shards across successive
+      batches via the ticket. Intra-batch FIFO order is preserved
+      within each shard's sub-batch. With the {!Ring} backend a full
+      shard raises [Wfq_core.Ring_queue.Ring_full]; the elements
+      already accepted remain enqueued. *)
 
   val dequeue_batch : 'a t -> tid:int -> n:int -> 'a list
-  (** Remove up to [n] elements with a single ticket acquisition,
-      draining the start shard first and sweeping onward. Returns fewer
-      than [n] elements only after a full sweep found every shard
-      empty. Elements taken from the same shard preserve that shard's
-      FIFO order. *)
+  (** Remove up to [n] elements with a single ticket acquisition: one
+      backend-native batch dequeue per shard, asking each visited shard
+      for the whole remaining want, sweeping at most one
+      {!Steal_order} lap (at most [N] backend batch dequeues — the
+      backend returns short only when it observed its shard empty, so
+      no shard needs a second visit). Returns fewer than [n] elements
+      only after the lap observed every shard empty. Elements taken
+      from the same shard preserve that shard's FIFO order. *)
 
   (** {2 Quiescent observers} (exact only at quiescence) *)
 
@@ -185,6 +200,16 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) : sig
   (** Shard that served [tid]'s most recent successful dequeue (or the
       last element of its most recent non-empty batch); [-1] before
       any, and [-1] again after an empty sweep. *)
+
+  val last_enqueue_batch_calls : 'a t -> tid:int -> int
+  (** Backend batch enqueues performed by [tid]'s most recent
+      [enqueue_batch]: 1 on the keep-together route, [N] on the spread
+      route — the cost contract's probe. 0 before any batch. *)
+
+  val last_dequeue_batch_calls : 'a t -> tid:int -> int
+  (** Backend batch dequeues performed by [tid]'s most recent
+      [dequeue_batch] — at most [N] by the single-lap cost contract
+      (steal visits pre-checked empty are skipped and not counted). *)
 
   val in_flight : 'a t -> bool
   (** Whether any thread's operation-sequence cell is currently odd,

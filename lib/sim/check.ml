@@ -22,7 +22,14 @@ module S = Scheduler
 module H = Wfq_lincheck.History
 module C = Wfq_lincheck.Checker
 
-type script = [ `Enq of int | `Try_enq of int | `Deq ] list
+type script =
+  [ `Enq of int
+  | `Try_enq of int
+  | `Deq
+  | `Enq_batch of int list
+  | `Try_enq_batch of int list
+  | `Deq_batch of int ]
+  list
 
 type 'q ops = {
   create : num_threads:int -> 'q;
@@ -53,14 +60,26 @@ type report = {
   failure : failure option;
 }
 
+(* History size of one script: batch ops expand to one sub-op per
+   element, and that expanded count is what the linearizability
+   checker's 62-op bitmask limit bounds. *)
+let script_ops s =
+  List.fold_left
+    (fun n -> function
+      | `Enq _ | `Try_enq _ | `Deq -> n + 1
+      | `Enq_batch vs | `Try_enq_batch vs -> n + List.length vs
+      | `Deq_batch k -> n + k)
+    0 s
+
 let ops_in scripts init =
-  List.length init + List.fold_left (fun n s -> n + List.length s) 0 scripts
+  List.length init + List.fold_left (fun n s -> n + script_ops s) 0 scripts
 
 (* Build the fiber vector + post-run check for one execution. Shared
    with every exploration mode and with the shrinker, so all replay the
    same scenario. *)
-let make_scenario ~queue:ops ~scripts ~init ?try_enqueue ?capacity
-    ?step_bound ?extra_check ~max_fiber_steps () =
+let make_scenario ~queue:ops ~scripts ~init ?try_enqueue ?enqueue_batch
+    ?try_enqueue_batch ?dequeue_batch ?capacity ?step_bound ?extra_check
+    ~max_fiber_steps () =
   let num_threads = List.length scripts in
   let q = ops.create ~num_threads in
   let hist = H.create () in
@@ -97,7 +116,72 @@ let make_scenario ~queue:ops ~scripts ~init ?try_enqueue ?capacity
             H.call hist ~thread:tid H.Deq;
             match ops.dequeue q ~tid with
             | Some v -> H.return hist ~thread:tid (H.Got v)
-            | None -> H.return hist ~thread:tid H.Empty))
+            | None -> H.return hist ~thread:tid H.Empty)
+        (* Batch ops expand to per-element sub-ops: all invocations are
+           recorded before the batch runs and all responses after, so
+           each element's linearization point lies in its interval, and
+           the checker's program-order constraint pins intra-batch
+           FIFO. *)
+        | `Enq_batch vs ->
+            if vs <> [] then begin
+              let f =
+                match enqueue_batch with
+                | Some f -> f
+                | None ->
+                    invalid_arg
+                      "Check: `Enq_batch script op without ~enqueue_batch"
+              in
+              H.call_batch hist ~thread:tid
+                (List.map (fun v -> H.Enq v) vs);
+              f q ~tid vs;
+              H.return_batch hist ~thread:tid
+                (List.map (fun _ -> H.Done) vs)
+            end
+        | `Try_enq_batch vs ->
+            if vs <> [] then begin
+              let f =
+                match try_enqueue_batch with
+                | Some f -> f
+                | None ->
+                    invalid_arg
+                      "Check: `Try_enq_batch script op without \
+                       ~try_enqueue_batch"
+              in
+              H.call_batch hist ~thread:tid
+                (List.map (fun v -> H.Enq v) vs);
+              let accepted = f q ~tid vs in
+              (* The bounded batch stops at its first full observation:
+                 the accepted prefix answers [Done], every remaining
+                 element [Rejected] — all rejections can share that one
+                 full linearization point. *)
+              H.return_batch hist ~thread:tid
+                (List.mapi
+                   (fun i _ -> if i < accepted then H.Done else H.Rejected)
+                   vs)
+            end
+        | `Deq_batch want ->
+            if want > 0 then begin
+              let f =
+                match dequeue_batch with
+                | Some f -> f
+                | None ->
+                    invalid_arg
+                      "Check: `Deq_batch script op without ~dequeue_batch"
+              in
+              H.call_batch hist ~thread:tid
+                (List.init want (fun _ -> H.Deq));
+              let got = f q ~tid ~n:want in
+              (* A short batch observed empty once and stopped; the
+                 unserved sub-ops answer [Empty] at that same point. *)
+              let rec responses got i =
+                if i = want then []
+                else
+                  match got with
+                  | v :: tl -> H.Got v :: responses tl (i + 1)
+                  | [] -> H.Empty :: responses [] (i + 1)
+              in
+              H.return_batch hist ~thread:tid (responses got 0)
+            end)
       script
   in
   let check (result : S.result) =
@@ -156,8 +240,9 @@ let make_scenario ~queue:ops ~scripts ~init ?try_enqueue ?capacity
   (Array.of_list (List.mapi fiber scripts), check)
 
 let run ?(mode = Dpor) ?max_schedules ?step_limit ?step_bound
-    ?(shrink = true) ?(init = []) ?try_enqueue ?capacity ?extra_check ~queue
-    ~scripts () =
+    ?(shrink = true) ?(init = []) ?try_enqueue ?enqueue_batch
+    ?try_enqueue_batch ?dequeue_batch ?capacity ?extra_check ~queue ~scripts
+    () =
   if scripts = [] then invalid_arg "Check.run: no scripts";
   if ops_in scripts init > 62 then
     invalid_arg
@@ -165,8 +250,9 @@ let run ?(mode = Dpor) ?max_schedules ?step_limit ?step_bound
        bitmask limit)";
   let max_fiber_steps = ref 0 in
   let make () =
-    make_scenario ~queue ~scripts ~init ?try_enqueue ?capacity ?step_bound
-      ?extra_check ~max_fiber_steps ()
+    make_scenario ~queue ~scripts ~init ?try_enqueue ?enqueue_batch
+      ?try_enqueue_batch ?dequeue_batch ?capacity ?step_bound ?extra_check
+      ~max_fiber_steps ()
   in
   let schedules, exhausted, raw_failure =
     match mode with

@@ -4,11 +4,30 @@
     linearizability ({!Wfq_lincheck}), and optionally a per-fiber step
     bound (wait-freedom certification). Failures arrive pre-shrunk. *)
 
-type script = [ `Enq of int | `Try_enq of int | `Deq ] list
+type script =
+  [ `Enq of int
+  | `Try_enq of int
+  | `Deq
+  | `Enq_batch of int list
+  | `Try_enq_batch of int list
+  | `Deq_batch of int ]
+  list
 (** [`Try_enq] is the bounded-queue insert: it records [Done] when the
     queue accepted the element and [Rejected] when it reported full,
     and requires [~try_enqueue] (and normally [~capacity]) to be passed
-    to {!run}/{!make_scenario}. *)
+    to {!run}/{!make_scenario}.
+
+    The batch ops require the corresponding [~enqueue_batch] /
+    [~try_enqueue_batch] / [~dequeue_batch] implementation. Each
+    expands into one history sub-op per element — invoked together
+    before the batch runs, answered together after — so each element
+    linearizes inside its interval and the checker's per-thread
+    program-order constraint certifies intra-batch FIFO.
+    [`Try_enq_batch] records [Done] for the accepted prefix and
+    [Rejected] for the remainder (bounded queues stop at their first
+    full observation); a short [`Deq_batch] answers [Empty] for its
+    unserved suffix. The expanded element count is what the checker's
+    62-op limit bounds. *)
 
 type 'q ops = {
   create : num_threads:int -> 'q;
@@ -44,6 +63,9 @@ val make_scenario :
   scripts:script list ->
   init:int list ->
   ?try_enqueue:('q -> tid:int -> int -> bool) ->
+  ?enqueue_batch:('q -> tid:int -> int list -> unit) ->
+  ?try_enqueue_batch:('q -> tid:int -> int list -> int) ->
+  ?dequeue_batch:('q -> tid:int -> n:int -> int list) ->
   ?capacity:int ->
   ?step_bound:int ->
   ?extra_check:('q -> (unit, string) result) ->
@@ -63,6 +85,9 @@ val run :
   ?shrink:bool ->
   ?init:int list ->
   ?try_enqueue:('q -> tid:int -> int -> bool) ->
+  ?enqueue_batch:('q -> tid:int -> int list -> unit) ->
+  ?try_enqueue_batch:('q -> tid:int -> int list -> int) ->
+  ?dequeue_batch:('q -> tid:int -> n:int -> int list) ->
   ?capacity:int ->
   ?extra_check:('q -> (unit, string) result) ->
   queue:'q ops ->

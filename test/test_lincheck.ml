@@ -239,6 +239,144 @@ let test_history_recorder_errors () =
     (Invalid_argument "History.return: no pending call for thread")
     (fun () -> H.return h ~thread:3 H.Done)
 
+(* -------------------------- batch spec -------------------------- *)
+
+(* Batch operations are recorded as per-element sub-ops sharing the
+   batch's real-time window: increasing call ticks (the intra-batch
+   order) and one shared return tick. The checker's per-thread
+   program-order constraint is what pins intra-batch FIFO — these
+   histories would all be linearizable under the interval rule alone. *)
+
+let batch_enq thread ~call ~return vs =
+  List.mapi
+    (fun i v -> op ~thread ~call:(call + i) ~return (H.Enq v) H.Done)
+    vs
+
+let test_batch_fifo_accepted () =
+  (* enqueue_batch [1;2] then dequeues observing batch order *)
+  let h =
+    batch_enq 0 ~call:0 ~return:2 [ 1; 2 ]
+    @ [
+        op ~thread:1 ~call:3 ~return:4 H.Deq (H.Got 1);
+        op ~thread:1 ~call:5 ~return:6 H.Deq (H.Got 2);
+      ]
+  in
+  Alcotest.(check bool) "batch order observed" true (lin h)
+
+let test_batch_fifo_violation_rejected () =
+  (* Same window, dequeues observing the batch in REVERSE order: the
+     sub-ops overlap in real time, so only the program-order constraint
+     can reject this. *)
+  let h =
+    batch_enq 0 ~call:0 ~return:2 [ 1; 2 ]
+    @ [
+        op ~thread:1 ~call:3 ~return:4 H.Deq (H.Got 2);
+        op ~thread:1 ~call:5 ~return:6 H.Deq (H.Got 1);
+      ]
+  in
+  Alcotest.(check bool) "intra-batch reorder rejected" false (lin h)
+
+let test_batch_exactly_once () =
+  (* One batch element delivered twice: conservation inside the spec. *)
+  let h =
+    batch_enq 0 ~call:0 ~return:2 [ 1; 2 ]
+    @ [
+        op ~thread:1 ~call:3 ~return:4 H.Deq (H.Got 1);
+        op ~thread:1 ~call:5 ~return:6 H.Deq (H.Got 1);
+      ]
+  in
+  Alcotest.(check bool) "duplicate batch element rejected" false (lin h)
+
+let test_batches_interleave_across_threads () =
+  (* Two concurrent batches may interleave with each other at batch
+     granularity — only the order WITHIN each batch is pinned. *)
+  let deqs got =
+    List.mapi
+      (fun i v ->
+        op ~thread:2 ~call:(10 + (2 * i)) ~return:(11 + (2 * i)) H.Deq
+          (H.Got v))
+      got
+  in
+  let both =
+    batch_enq 0 ~call:0 ~return:4 [ 1; 2 ] @ batch_enq 1 ~call:1 ~return:4 [ 3; 4 ]
+  in
+  Alcotest.(check bool) "interleaved batches ok" true
+    (lin (both @ deqs [ 1; 3; 2; 4 ]));
+  Alcotest.(check bool) "intra-batch order still pinned" false
+    (lin (both @ deqs [ 2; 3; 1; 4 ]))
+
+let test_batch_partial_reject_on_full () =
+  (* A bounded batch accepts a prefix and rejects the rest at one full
+     observation: Done then Rejected is legal exactly at capacity 1. *)
+  let h =
+    [
+      op ~thread:0 ~call:0 ~return:2 (H.Enq 1) H.Done;
+      op ~thread:0 ~call:1 ~return:2 (H.Enq 2) H.Rejected;
+    ]
+  in
+  Alcotest.(check bool) "partial batch at capacity 1" true
+    (lin ~capacity:1 h);
+  Alcotest.(check bool) "rejection below capacity 2 rejected" false
+    (lin ~capacity:2 h);
+  Alcotest.(check bool) "rejection under unbounded spec rejected" false
+    (lin h)
+
+let test_batch_short_dequeue_empty_suffix () =
+  (* A short batch dequeue answers Empty for its unserved suffix; all
+     the Empties can share the one observed-empty point. *)
+  let h =
+    batch_enq 0 ~call:0 ~return:2 [ 1; 2 ]
+    @ [
+        op ~thread:1 ~call:3 ~return:7 H.Deq (H.Got 1);
+        op ~thread:1 ~call:4 ~return:7 H.Deq (H.Got 2);
+        op ~thread:1 ~call:5 ~return:7 H.Deq H.Empty;
+        op ~thread:1 ~call:6 ~return:7 H.Deq H.Empty;
+      ]
+  in
+  Alcotest.(check bool) "short batch Empty suffix ok" true (lin h);
+  (* An Empty BEFORE a Got in the same batch is a FIFO violation of the
+     batch dequeue itself: the suffix observed empty, then a later
+     sub-op got a value that was already there. *)
+  let bad =
+    batch_enq 0 ~call:0 ~return:2 [ 1 ]
+    @ [
+        op ~thread:1 ~call:3 ~return:5 H.Deq H.Empty;
+        op ~thread:1 ~call:4 ~return:5 H.Deq (H.Got 1);
+      ]
+  in
+  Alcotest.(check bool) "Empty before Got within batch rejected" false
+    (lin bad)
+
+let test_batch_recorder () =
+  let h = H.create () in
+  H.call_batch h ~thread:0 [ H.Enq 1; H.Enq 2; H.Enq 3 ];
+  Alcotest.(check bool) "batch pending" true (H.has_pending h);
+  H.return_batch h ~thread:0 [ H.Done; H.Done; H.Done ];
+  H.call_batch h ~thread:1 [ H.Deq; H.Deq ];
+  H.return_batch h ~thread:1 [ H.Got 1; H.Got 2 ];
+  let completed = H.completed h in
+  Alcotest.(check int) "five sub-ops" 5 (List.length completed);
+  Alcotest.(check bool) "no pending left" false (H.has_pending h);
+  Alcotest.(check bool) "recorded batch history linearizable" true
+    (lin completed);
+  (* Sub-ops of one batch share a return tick and carry increasing call
+     ticks (their intra-batch order). *)
+  let enqs =
+    List.filter (fun (c : H.completed) -> c.thread = 0) completed
+  in
+  (match enqs with
+  | [ a; b; c ] ->
+      Alcotest.(check bool) "calls increase" true
+        (a.call < b.call && b.call < c.call);
+      Alcotest.(check bool) "returns shared" true
+        (a.return = b.return && b.return = c.return)
+  | _ -> Alcotest.fail "expected three enqueue sub-ops");
+  Alcotest.check_raises "response count mismatch"
+    (Invalid_argument "History.return_batch: response count mismatch")
+    (fun () ->
+      H.call_batch h ~thread:2 [ H.Deq; H.Deq ];
+      H.return_batch h ~thread:2 [ H.Empty ])
+
 (* ---------------------- qcheck properties ----------------------- *)
 
 (* Independent oracle: enumerate ALL permutations of the operations
@@ -299,13 +437,22 @@ let history_gen =
     in
     (* Assign ops to threads round-robin; give thread t's k-th op the
        interval [base, base + 1 + gap] with bases spread so intervals
-       overlap across threads but stay sequential within one. *)
+       overlap across threads but stay sequential within one. The
+       per-thread clamp enforces the sequentiality: a thread's next
+       call strictly follows its previous return, as in any history
+       the recorder can produce — the checker's per-thread
+       program-order constraint (which restores intra-batch order)
+       assumes exactly this well-formedness. *)
+    let last_return = Array.make threads (-1) in
     let ops =
       List.mapi
         (fun i (kind, v, gap) ->
           let thread = i mod threads in
-          let call = (i * 2) + (gap mod 3) in
+          let call =
+            max ((i * 2) + (gap mod 3)) (last_return.(thread) + 1)
+          in
           let return = call + 1 + gap in
+          last_return.(thread) <- return;
           match kind with
           | 0 -> { H.thread; op = H.Enq v; response = H.Done; call; return }
           | 1 ->
@@ -435,6 +582,22 @@ let () =
             test_rejected_without_capacity;
           Alcotest.test_case "Rejected dequeue malformed" `Quick
             test_rejected_dequeue_malformed;
+        ] );
+      ( "batch spec",
+        [
+          Alcotest.test_case "intra-batch FIFO accepted" `Quick
+            test_batch_fifo_accepted;
+          Alcotest.test_case "intra-batch reorder rejected" `Quick
+            test_batch_fifo_violation_rejected;
+          Alcotest.test_case "exactly-once per element" `Quick
+            test_batch_exactly_once;
+          Alcotest.test_case "batches interleave across threads" `Quick
+            test_batches_interleave_across_threads;
+          Alcotest.test_case "partial batch Rejected on full" `Quick
+            test_batch_partial_reject_on_full;
+          Alcotest.test_case "short batch Empty suffix" `Quick
+            test_batch_short_dequeue_empty_suffix;
+          Alcotest.test_case "batch recorder" `Quick test_batch_recorder;
         ] );
       ( "recorder",
         [

@@ -167,15 +167,18 @@ let test_singleton_always_found (policy, _) shards () =
 let test_batch_round_robin_spread () =
   let t = Sh.create ~policy:P.Round_robin ~shards:4 ~num_threads:1 () in
   Sh.enqueue_batch t ~tid:0 [ 10; 20; 30; 40; 50; 60 ];
-  (* Ticket 0 starts the batch at shard 0; item i lands on shard i mod 4. *)
+  (* A batch of k >= N spreads as N contiguous sub-batches over
+     consecutive ticket-selected shards (docs/BATCHING.md): ticket 0
+     starts at shard 0, which gets [10;20], shard 1 [30;40], then the
+     two singleton remainders. *)
   Alcotest.(check (list int))
     "per-shard placement" [ 2; 2; 1; 1 ]
     (List.init 4 (Sh.shard_length t));
   Alcotest.(check (list int))
-    "shard-major contents" [ 10; 50; 20; 60; 30; 40 ] (Sh.to_list t);
+    "shard-major contents" [ 10; 20; 30; 40; 50; 60 ] (Sh.to_list t);
   (* dequeue_batch drains shard by shard, preserving per-shard order. *)
   let got = Sh.dequeue_batch t ~tid:0 ~n:6 in
-  Alcotest.(check (list int)) "batch drain" [ 10; 50; 20; 60; 30; 40 ] got;
+  Alcotest.(check (list int)) "batch drain" [ 10; 20; 30; 40; 50; 60 ] got;
   Alcotest.(check bool) "empty" true (Sh.is_empty t);
   check_invariants t
 
