@@ -273,8 +273,11 @@ let run_alloc paper threads iters runs sizes csv json =
    time, words/op and minor collections from one interleaved
    collection. The words/op series is the ring-smoke CI guard's data
    source: the ring's steady state allocates nothing, so its words/op
-   must sit strictly below "opt WF (1+2) pooled" (the BENCH_alloc
-   floor) at every thread count. *)
+   must stay flat and sit strictly below "opt WF (1+2) pooled" (the
+   BENCH_alloc floor) at every thread count, and below "WF fps pooled"
+   once domains contend (the fps fast path's uncontended allocation
+   dropped under the ring's ABA-proofing floor when its retry-loop
+   closures were lifted — see EXPERIMENTS.md). *)
 let run_ring paper threads iters runs sizes csv json =
   let minor_words = (Gc.get ()).Gc.minor_heap_size in
   if minor_words < canonical_minor_heap_words then
@@ -317,6 +320,217 @@ let run_ring paper threads iters runs sizes csv json =
       @ prefix_labels "minor_gcs" r.F.ring_minor_gcs);
     print_endline "wrote BENCH_ring.json"
   end
+
+(* Polylog crossover (Polylog_queue vs the KP family): the measured
+   half is the usual interleaved pairs sweep over polylog_series; the
+   asymptotic half is a certified step-bound-vs-p table built from
+   Wfq_sim.Check.certify on the simulator plane.
+
+   The certification scenario is one active enq+deq fiber among p
+   registered threads — deterministic, so DPOR certifies it from a
+   single schedule, and it isolates exactly the structural
+   p-dependence the paper's bounds are about: the base KP queue scans
+   all p state slots per operation (Phase_scan + Help_all) even with
+   nobody else running, so its certified bound is Theta(p) (measured:
+   43 + 4p), while the polylog tree only grows by one level per
+   doubling of p (one +~71-step propagate stage), i.e. Theta(log p)
+   with large constants. The table runs p up to 128, past their
+   crossover. kp-opt12 and fps appear as flat reference rows: their
+   optimizations amortize the helping scan off the solo path (the
+   adversarial O(p) cost remains, but needs p concurrently pending
+   ops, which no tractable exhaustive exploration reaches — the
+   contended p=2 certificates live in wfq_check's litmus library and
+   test_polylog instead).
+
+   The growth guard — polylog's certified bound must grow strictly
+   slower from the smallest to the largest p than kp-base's — is the
+   polylog-smoke CI gate. *)
+module Qi = Wfq_core.Queue_intf
+module Bks = Wfq_core.Backends
+module Ck = Wfq_sim.Check
+module Sim_kp = Wfq_core.Kp_queue.Make (Wfq_sim.Sim_atomic)
+
+let cert_sim_ops (module Bk : Qi.BACKEND) : int Qi.instance Ck.ops =
+  {
+    Ck.create =
+      (fun ~num_threads ->
+        Bks.instantiate_with
+          (module Wfq_sim.Sim_atomic)
+          (module Bk)
+          ~num_threads ());
+    enqueue = (fun i ~tid v -> i.Qi.enq ~tid v);
+    dequeue = (fun i ~tid -> i.Qi.deq ~tid);
+    contents = (fun i -> i.Qi.dump ());
+  }
+
+(* The paper's base configuration is where the Theta(p) scans live; it
+   is deliberately not in the registry (its Help_all slow path has
+   million-trace DPOR scenarios that would sink every registry-driven
+   battery), so the bench builds it directly. *)
+let kp_base_sim_ops : int Sim_kp.t Ck.ops =
+  {
+    Ck.create = (fun ~num_threads -> Sim_kp.create ~num_threads ());
+    enqueue = (fun q ~tid v -> Sim_kp.enqueue q ~tid v);
+    dequeue = (fun q ~tid -> Sim_kp.dequeue q ~tid);
+    contents = Sim_kp.to_list;
+  }
+
+let certified_bound (type q) name (queue : q Ck.ops) ~p =
+  let scripts = [ `Enq 1; `Deq ] :: List.init (p - 1) (fun _ -> []) in
+  match
+    Ck.certify ~mode:Ck.Dpor ~max_schedules:10_000 ~bound:1_000_000 ~queue
+      ~scripts ()
+  with
+  | Ok c -> c.Ck.observed_bound
+  | Error msg ->
+      Printf.eprintf "certify %s at p=%d failed: %s\n%!" name p msg;
+      exit 2
+
+let cert_ps = [ 2; 4; 8; 16; 32; 64; 128 ]
+
+let cert_rows : (string * (int -> int)) list =
+  [
+    ("kp-base", fun p -> certified_bound "kp-base" kp_base_sim_ops ~p);
+    ( "kp-opt12",
+      fun p ->
+        certified_bound "kp-opt12" (cert_sim_ops (Bks.find "kp-opt12")) ~p );
+    ( "fps-pooled",
+      fun p ->
+        certified_bound "fps-pooled"
+          (cert_sim_ops (Bks.find "fps-pooled"))
+          ~p );
+    ( "polylog",
+      fun p ->
+        certified_bound "polylog" (cert_sim_ops (Bks.find "polylog")) ~p );
+  ]
+
+let cert_table () =
+  List.map
+    (fun (label, bound_at) ->
+      {
+        R.label;
+        points =
+          List.map
+            (fun p -> (float_of_int p, float_of_int (bound_at p)))
+            cert_ps;
+      })
+    cert_rows
+
+let cert_bound_at series id p =
+  let s = List.find (fun s -> s.R.label = id) series in
+  List.assoc (float_of_int p) s.R.points
+
+(* growth of the certified bound from the smallest to the largest p *)
+let cert_growth series id =
+  cert_bound_at series id (List.fold_left max 0 cert_ps)
+  -. cert_bound_at series id (List.fold_left min max_int cert_ps)
+
+let run_polylog paper threads iters runs sizes csv json =
+  let minor_words = (Gc.get ()).Gc.minor_heap_size in
+  if minor_words < canonical_minor_heap_words then
+    Printf.eprintf
+      "note: minor heap is %d words; the canonical polylog-bench \
+       environment is OCAMLRUNPARAM='s=8M' (see EXPERIMENTS.md).\n%!"
+      minor_words;
+  let scale = build_scale paper threads iters runs sizes in
+  let scale =
+    if threads = None && not paper then
+      { scale with threads = [ 1; 2; 4; 8 ] }
+    else scale
+  in
+  let title = "Polylog crossover: enqueue-dequeue pairs" in
+  let { F.time; minor_gcs } = F.polylog_crossover_gc ~scale () in
+  emit ~csv ~title ~y_label:"seconds" time;
+  emit ~csv ~title:"Polylog crossover: minor collections per run"
+    ~y_label:"minor gcs" minor_gcs;
+  Printf.printf
+    "\ncertified per-fiber step bounds (simulator, one active enq+deq \
+     fiber among p registered threads, DPOR-exhaustive):\n%!";
+  let cert = cert_table () in
+  R.print_table ~title:"Certified step bound vs p" ~x_label:"p"
+    ~y_label:"max steps/fiber" cert;
+  if csv then R.print_csv ~title:"cert_steps" cert;
+  let poly_growth = cert_growth cert "polylog" in
+  let kp_growth = cert_growth cert "kp-base" in
+  let guard_ok = poly_growth < kp_growth in
+  let p_lo = List.fold_left min max_int cert_ps in
+  let p_hi = List.fold_left max 0 cert_ps in
+  Printf.printf
+    "growth guard (p=%d -> p=%d): polylog +%.0f steps vs kp-base \
+     +%.0f steps — %s\n%!"
+    p_lo p_hi poly_growth kp_growth
+    (if guard_ok then "OK (polylog grows strictly slower)"
+     else "** GUARD FAILED **");
+  (match
+     List.find_opt
+       (fun p -> cert_bound_at cert "polylog" p < cert_bound_at cert "kp-base" p)
+       cert_ps
+   with
+  | Some p ->
+      Printf.printf
+        "crossover: polylog's certified bound drops below kp-base's at \
+         p=%d (%.0f vs %.0f steps)\n%!"
+        p
+        (cert_bound_at cert "polylog" p)
+        (cert_bound_at cert "kp-base" p)
+  | None ->
+      Printf.printf
+        "crossover: not reached by p=%d (polylog %.0f vs kp-base %.0f \
+         steps)\n%!"
+        p_hi
+        (cert_bound_at cert "polylog" p_hi)
+        (cert_bound_at cert "kp-base" p_hi));
+  if json then begin
+    let meta =
+      [
+        ("workload", "pairs; cert_steps: series are certified bounds");
+        ("threads",
+         String.concat "," (List.map string_of_int scale.threads));
+        ("iters", string_of_int scale.iters);
+        ("runs", string_of_int scale.runs);
+        ("aggregation", "median, interleaved run order");
+        ("minor_heap_words", string_of_int minor_words);
+        ("cert_scenario",
+         "one active enq+deq fiber among p registered threads \
+          (structural per-op p-dependence; contended p=2 certificates \
+          live in wfq_check dpor --queue polylog)");
+        ("cert_mode", "Dpor, exhaustive (deterministic scenario)");
+        ("cert_growth_guard",
+         Printf.sprintf
+           "polylog +%.0f vs kp-base +%.0f steps (p=%d->%d): %s"
+           poly_growth kp_growth p_lo p_hi
+           (if guard_ok then "ok" else "FAILED"));
+        ("y",
+         "seconds; minor-gcs: collections per run; cert_steps: max \
+          certified steps/fiber vs p");
+      ]
+    in
+    R.write_json ~path:"BENCH_polylog.json" ~title ~meta
+      (time
+      @ prefix_labels "minor-gcs" minor_gcs
+      @ prefix_labels "cert_steps" cert);
+    print_endline "wrote BENCH_polylog.json"
+  end;
+  if not guard_ok then exit 1
+
+let polylog_cmd =
+  let term =
+    Term.(
+      const run_polylog
+      $ paper_arg $ threads_arg $ iters_arg $ runs_arg $ sizes_arg
+      $ csv_arg $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "polylog"
+       ~doc:
+         "Helping-cost crossover: the polylog tournament-tree queue \
+          (Polylog_queue, O(log^2 p) steps/op) vs opt WF (1+2) and WF \
+          fps pooled on the pairs workload, plus the certified \
+          step-bound-vs-p table (Wfq_sim.Check.certify, solo fiber \
+          among p threads, up to p=128) with the growth guard \
+          (polylog must grow strictly slower than base KP); --json \
+          writes BENCH_polylog.json. Exits 1 on guard failure.")
+    term
 
 (* Observability snapshot: instrumented multi-domain runs populating the
    Wfq_obsv metric registry (phase lag, slow-path rate, pool hit rate,
@@ -675,12 +889,46 @@ let cmds =
     shard_cmd;
     sched_cmd;
     fps_cmd;
+    polylog_cmd;
     ring_cmd;
     alloc_cmd;
     stats_cmd;
     figures_cmd;
     figure_cmd `All "all" "Every figure in sequence.";
   ]
+
+(* wfq_bench --list-backends: the registry, one row per backend — the
+   single source of truth the benches, the conformance battery, the
+   shard front-end and the scheduler all instantiate from. *)
+let print_backends () =
+  Printf.printf "%-16s %-22s %-8s %-10s %s\n" "id" "label" "family"
+    "capacity" "sim";
+  List.iter
+    (fun (module B : Wfq_core.Queue_intf.BACKEND) ->
+      Printf.printf "%-16s %-22s %-8s %-10s %s\n" B.id B.label B.family
+        (match B.capacity with
+        | None -> "unbounded"
+        | Some c -> string_of_int c)
+        (if B.sim_safe then "yes" else "no"))
+    (Wfq_core.Backends.all ())
+
+let list_backends_arg =
+  let doc =
+    "List every backend registered in Wfq_core.Backends (id, label, \
+     family, capacity, simulator-safety) and exit."
+  in
+  Arg.(value & flag & info [ "list-backends" ] ~doc)
+
+let default =
+  Term.(
+    ret
+      (const (fun list ->
+           if list then begin
+             print_backends ();
+             `Ok ()
+           end
+           else `Help (`Pager, None))
+      $ list_backends_arg))
 
 let () =
   let info =
@@ -689,4 +937,4 @@ let () =
         "Benchmarks for the Kogan-Petrank wait-free queue reproduction \
          (PPoPP 2011)."
   in
-  exit (Cmd.eval (Cmd.group info cmds))
+  exit (Cmd.eval (Cmd.group ~default info cmds))

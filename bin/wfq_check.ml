@@ -26,6 +26,7 @@ module Kp_hp = Wfq_core.Kp_queue_hp.Make (SA)
 
 module Fps = Wfq_core.Kp_queue_fps.Make (SA)
 module Ring = Wfq_core.Ring_queue.Make (SA)
+module Poly = Wfq_core.Polylog_queue.Make (SA)
 
 type script = Ck.script
 
@@ -43,6 +44,9 @@ type 'q sim_queue = {
   deq_batch : ('q -> tid:int -> n:int -> int list) option;
       (* backends with native batch operations run the batch litmus
          library ([`Enq_batch] and friends) on top of these *)
+  extra_check : ('q -> (unit, string) result) option;
+      (* structural invariant check run per explored schedule at
+         quiescence (e.g. the polylog tree's monotonicity audit) *)
 }
 
 type packed = Q : 'q sim_queue -> packed
@@ -60,6 +64,7 @@ let rec queue_of_name = function
           enq_batch = None;
           try_enq_batch = None;
           deq_batch = None;
+          extra_check = None;
         }
   | "kp-base" ->
       Q
@@ -76,6 +81,7 @@ let rec queue_of_name = function
           enq_batch = Some (fun q ~tid vs -> Kp.enqueue_batch q ~tid vs);
           try_enq_batch = None;
           deq_batch = Some (fun q ~tid ~n -> Kp.dequeue_batch q ~tid ~n);
+          extra_check = None;
         }
   | "kp-opt12" ->
       Q
@@ -92,6 +98,7 @@ let rec queue_of_name = function
           enq_batch = Some (fun q ~tid vs -> Kp.enqueue_batch q ~tid vs);
           try_enq_batch = None;
           deq_batch = Some (fun q ~tid ~n -> Kp.dequeue_batch q ~tid ~n);
+          extra_check = None;
         }
   | "kp-fps" ->
       (* max_failures 1 so DPOR explores one fast round plus the
@@ -112,6 +119,7 @@ let rec queue_of_name = function
           enq_batch = Some (fun q ~tid vs -> Fps.enqueue_batch q ~tid vs);
           try_enq_batch = None;
           deq_batch = Some (fun q ~tid ~n -> Fps.dequeue_batch q ~tid ~n);
+          extra_check = None;
         }
   | "kp-hp" ->
       Q
@@ -128,12 +136,30 @@ let rec queue_of_name = function
           enq_batch = None;
           try_enq_batch = None;
           deq_batch = None;
+          extra_check = None;
         }
   | "ring" ->
       (* capacity 2 so the standard scenarios (<= 2 values in flight)
          never overflow; max_failures 1 so DPOR explores one fast round
          plus the helping slow path in every operation *)
       ring_packed ~capacity:2 ~max_failures:1
+  | "polylog" ->
+      (* the tournament-tree queue: every explored schedule also runs
+         the quiescent structural audit (block-log monotonicity, size
+         recurrence) on top of lincheck *)
+      Q
+        {
+          make = (fun ~num_threads -> Poly.create ~num_threads ());
+          enq = (fun q ~tid v -> Poly.enqueue q ~tid v);
+          deq = (fun q ~tid -> Poly.dequeue q ~tid);
+          contents = Poly.to_list;
+          try_enq = None;
+          capacity = None;
+          enq_batch = Some (fun q ~tid vs -> Poly.enqueue_batch q ~tid vs);
+          try_enq_batch = None;
+          deq_batch = Some (fun q ~tid ~n -> Poly.dequeue_batch q ~tid ~n);
+          extra_check = Some Poly.check_quiescent_invariants;
+        }
   | other -> failwith ("unknown queue: " ^ other)
 
 and ring_packed ~capacity ~max_failures =
@@ -150,6 +176,7 @@ and ring_packed ~capacity ~max_failures =
       enq_batch = Some (fun q ~tid vs -> Ring.enqueue_batch q ~tid vs);
       try_enq_batch = Some (fun q ~tid vs -> Ring.try_enqueue_batch q ~tid vs);
       deq_batch = Some (fun q ~tid ~n -> Ring.dequeue_batch q ~tid ~n);
+      extra_check = None;
     }
 
 let scenarios : (string * script list) list =
@@ -192,6 +219,51 @@ let ring_scenarios :
       1,
       [],
       [ [ `Try_enq 1; `Try_enq 2; `Try_enq 3 ]; [ `Deq; `Deq; `Deq ] ] );
+  ]
+
+(* The polylog tournament tree's litmus library: each row targets one
+   of the protocol's hand-off points. The tree for two simulated
+   threads is one root over two leaves, so a two-thread script already
+   exercises the full propagate path (leaf announce -> parent
+   double-refresh merge -> root block install). Step bounds are sharp
+   DPOR-exhaustive maxima; the three-op rows stay within the default
+   schedule cap because each polylog operation, though ~50 accesses
+   long, races on only a handful of them. *)
+let polylog_scenarios :
+    (string * int list * script list * int option * int option) list =
+  [
+    (* name, init, scripts, step bound, schedule floor *)
+    (* two leaf announces race the parent merge: whichever refresh CAS
+       loses must still find its block propagated (the double-refresh
+       guarantee the seeded No_double_refresh fault breaks) *)
+    ("leaf-merge", [], [ [ `Enq 1 ]; [ `Enq 2 ] ], Some 54, None);
+    (* an enqueue's root install racing a dequeue that must either see
+       the fresh root block or linearize its Empty before it *)
+    ("root-handoff", [], [ [ `Enq 1 ]; [ `Deq ] ], Some 96, None);
+    (* two dequeues resolve adjacent root indices down the tree
+       (lift/find_value): they must land on distinct elements in FIFO
+       order, never both on the head *)
+    ("deq-index", [ 1; 2 ], [ [ `Deq ]; [ `Deq ] ], Some 100, None);
+  ]
+
+(* The polylog batch litmuses: a batch enqueue is one leaf block
+   carrying the whole batch (one announce, one propagate), so the
+   corners are a multi-element block crossing the merge while single
+   dequeues chase its elements, and a block-granular dequeue racing a
+   fresh append. *)
+let polylog_batch_scenarios :
+    (string * int list * script list * int option * int option) list =
+  [
+    ( "b-block-vs-deq",
+      [],
+      [ [ `Enq_batch [ 1; 2 ] ]; [ `Deq; `Deq ] ],
+      Some 170,
+      None );
+    ( "b-deq-vs-enq",
+      [ 1 ],
+      [ [ `Deq_batch 2 ]; [ `Enq 2 ] ],
+      Some 115,
+      None );
   ]
 
 (* Batch litmuses for the KP-family queues (run under DPOR with the
@@ -409,7 +481,9 @@ let make_scenario (Q ops as q) scripts () =
   (fibers, check)
 
 let queue_arg =
-  let doc = "Queue to check: ms, kp-base, kp-opt12, kp-fps, kp-hp, ring." in
+  let doc =
+    "Queue to check: ms, kp-base, kp-opt12, kp-fps, kp-hp, ring, polylog."
+  in
   Arg.(value & opt string "kp-base" & info [ "queue" ] ~docv:"NAME" ~doc)
 
 let budget_arg =
@@ -480,7 +554,7 @@ let check_run (Q ops) ~max_schedules ?init ?step_bound ~scripts () =
   Ck.run ~mode:Ck.Dpor ~max_schedules ?init ?step_bound
     ?try_enqueue:ops.try_enq ?enqueue_batch:ops.enq_batch
     ?try_enqueue_batch:ops.try_enq_batch ?dequeue_batch:ops.deq_batch
-    ?capacity:ops.capacity ~queue ~scripts ()
+    ?capacity:ops.capacity ?extra_check:ops.extra_check ~queue ~scripts ()
 
 let write_counterexample ~out_dir ~queue_name ~scenario_name ?pp_extra
     (f : Ck.failure) =
@@ -552,6 +626,22 @@ let run_dpor_clean queue max_schedules out_dir batch_only =
               bound,
               floor ))
           ring_batch_scenarios
+    else if queue = "polylog" then
+      (* the tournament tree runs its own litmus library: the shared
+         pairs/three-way rows have four+ ~50-step operations, which
+         puts full DPOR past any practical trace cap (the conformance
+         battery covers them under a preemption budget instead) *)
+      let q = queue_of_name queue in
+      (if batch_only then []
+       else
+         List.map
+           (fun (name, init, scripts, bound, floor) ->
+             (name, q, init, scripts, bound, floor))
+           polylog_scenarios)
+      @ List.map
+          (fun (name, init, scripts, bound, floor) ->
+            (name, q, init, scripts, bound, floor))
+          polylog_batch_scenarios
     else
       let (Q ops as q) = queue_of_name queue in
       (if batch_only then []
@@ -667,8 +757,35 @@ let report_fault_result ~queue_name ~scenario_name out_dir (r : Ck.report) =
         r.Ck.schedules;
       exit 1
 
+(* The polylog queue's seeded bug: a leaf announce skips the second
+   refresh of the double-refresh pair, so a block whose first refresh
+   CAS lost can stay unpropagated — the appender then spins on its own
+   propagation forever (a livelock the step limit catches) or the tree
+   serves elements out of announce order. *)
+let polylog_faulted_ops : _ Ck.ops =
+  {
+    Ck.create =
+      (fun ~num_threads ->
+        Poly.create_with ~fault:Wfq_core.Polylog_queue.No_double_refresh
+          ~num_threads ());
+    enqueue = (fun q ~tid v -> Poly.enqueue q ~tid v);
+    dequeue = (fun q ~tid -> Poly.dequeue q ~tid);
+    contents = Poly.to_list;
+  }
+
 let run_dpor_fault fname max_schedules out_dir =
   match fname with
+  | "no-double-refresh" ->
+      Printf.printf
+        "DPOR vs seeded bug 'no-double-refresh' in the polylog queue (a \
+         counterexample MUST be found)\n";
+      let r =
+        Ck.run ~mode:Ck.Dpor ~max_schedules ~queue:polylog_faulted_ops
+          ~scripts:[ [ `Enq 1 ]; [ `Enq 2; `Deq ] ]
+          ()
+      in
+      report_fault_result ~queue_name:"polylog"
+        ~scenario_name:"no-double-refresh" out_dir r
   | "rollback-skipped" ->
       Printf.printf
         "DPOR vs seeded bug 'rollback-skipped' in the ring (a counterexample \
@@ -839,13 +956,16 @@ let seeds_arg =
 
 let dpor_queue_arg =
   let doc =
-    "Queue to check: ms, kp-base, kp-opt12, kp-fps, kp-hp, ring. \
-     kp-base's Help_all slow path has million-trace scenarios; expect \
-     the cap. ring runs its own litmus library (claim rollback, \
-     full/empty races, wraparound, batch claimed-run hand-off) against \
-     the bounded-queue specification. Batch-capable queues append the \
-     batch litmuses, each certified against a per-fiber step bound; \
-     kp-fps runs its own batch rows (prefix grab, chain link)."
+    "Queue to check: ms, kp-base, kp-opt12, kp-fps, kp-hp, ring, \
+     polylog. kp-base's Help_all slow path has million-trace \
+     scenarios; expect the cap. ring runs its own litmus library \
+     (claim rollback, full/empty races, wraparound, batch claimed-run \
+     hand-off) against the bounded-queue specification. polylog runs \
+     its tournament-tree litmuses (leaf announce/merge race, root \
+     hand-off, dequeue-index race) with the quiescent structural audit \
+     on every schedule. Batch-capable queues append the batch \
+     litmuses, each certified against a per-fiber step bound; kp-fps \
+     runs its own batch rows (prefix grab, chain link)."
   in
   Arg.(value & opt string "kp-opt12" & info [ "queue" ] ~docv:"NAME" ~doc)
 
@@ -864,8 +984,9 @@ let fault_arg =
   let doc =
     "Check a queue with the named seeded bug reinstated (no-claim, \
      stale-helper or batch-partial in the fast-path/slow-path queue, \
-     rollback-skipped in the ring); the run succeeds only if a \
-     counterexample is found, shrunk, and written to --out."
+     rollback-skipped in the ring, no-double-refresh in the polylog \
+     queue); the run succeeds only if a counterexample is found, \
+     shrunk, and written to --out."
   in
   Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"BUG" ~doc)
 

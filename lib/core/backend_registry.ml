@@ -1,0 +1,33 @@
+(** The backend registry (ROADMAP item 5, docs/BACKENDS.md): the single
+    list every generic driver iterates. [Backends] registers the
+    in-tree configurations at module initialization; adding a backend
+    to the whole test/bench/observability battery is one {!register}
+    call there.
+
+    Registration is construction-time only (no locking: OCaml module
+    initialization is sequential), and the registry is append-only —
+    [all] returns entries in registration order so benchmark and test
+    output stays stable. *)
+
+type t = (module Queue_intf.BACKEND)
+
+let registered : t list ref = ref []
+
+let id (module B : Queue_intf.BACKEND) = B.id
+
+let register (module B : Queue_intf.BACKEND) =
+  if List.exists (fun b -> id b = B.id) !registered then
+    invalid_arg (Printf.sprintf "Backend_registry.register: duplicate %S" B.id);
+  registered := (module B : Queue_intf.BACKEND) :: !registered
+
+let all () = List.rev !registered
+let ids () = List.map id (all ())
+
+let find key =
+  match List.find_opt (fun b -> id b = key) !registered with
+  | Some b -> b
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Backend_registry.find: unknown backend %S (known: %s)"
+           key
+           (String.concat ", " (ids ())))

@@ -809,6 +809,38 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   (* Public operations: bounded Michael-Scott rounds, then fall back    *)
   (* ------------------------------------------------------------------ *)
 
+  (* The fast-path retry loops live at functor level with every datum
+     passed as an argument. Written as nested [let rec attempt] closures
+     they allocate a closure environment per operation — measured at ~9
+     words/pair on the pairs workload, which dominated the pooled fast
+     path's residual allocation (see EXPERIMENTS.md, fps words/op
+     decomposition). Functor-level recursion allocates nothing. *)
+  let rec fast_enqueue t ~tid node failures =
+    if failures >= t.max_failures then begin
+      note_fast_rounds t ~tid failures;
+      slow_enqueue t ~tid node
+    end
+    else
+      let last = A.get t.tail in
+      let next = A.get last.next in
+      if last == A.get t.tail then
+        match next with
+        | None ->
+            if A.compare_and_set last.next None (Some node) then begin
+              (* Linearized; fix tail lazily, MS-style (failure means
+                 someone helped us). *)
+              ignore (A.compare_and_set t.tail last node);
+              if failures > 0 then note_fast_rounds t ~tid (failures + 1);
+              Wfq_obsv.Counter.incr t.fast_hits ~slot:tid
+            end
+            else fast_enqueue t ~tid node (failures + 1)
+        | Some _ ->
+            (* Tail lagging behind a fast or slow append: finish it
+               (either kind) and retry. *)
+            help_finish_enq t ~self:tid;
+            fast_enqueue t ~tid node (failures + 1)
+      else fast_enqueue t ~tid node (failures + 1)
+
   let enqueue t ~tid value =
     op_enter t ~tid;
     maybe_help t ~tid;
@@ -816,44 +848,15 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
        carry a real tid, a slow-path helper would wait forever for a
        descriptor that was never published (see help_finish_enq). *)
     let node = alloc_node t ~self:tid ~enq_tid:(-1) value in
-    let rec attempt failures =
-      if failures >= t.max_failures then begin
-        note_fast_rounds t ~tid failures;
-        slow_enqueue t ~tid node
-      end
-      else
-        let last = A.get t.tail in
-        let next = A.get last.next in
-        if last == A.get t.tail then
-          match next with
-          | None ->
-              if A.compare_and_set last.next None (Some node) then begin
-                (* Linearized; fix tail lazily, MS-style (failure means
-                   someone helped us). *)
-                ignore (A.compare_and_set t.tail last node);
-                if failures > 0 then note_fast_rounds t ~tid (failures + 1);
-                Wfq_obsv.Counter.incr t.fast_hits ~slot:tid
-              end
-              else attempt (failures + 1)
-          | Some _ ->
-              (* Tail lagging behind a fast or slow append: finish it
-                 (either kind) and retry. *)
-              help_finish_enq t ~self:tid;
-              attempt (failures + 1)
-        else attempt (failures + 1)
-    in
-    attempt 0;
+    fast_enqueue t ~tid node 0;
     op_exit t ~tid
 
-  let dequeue t ~tid =
-    op_enter t ~tid;
-    maybe_help t ~tid;
-    let rec attempt failures =
-      if failures >= t.max_failures then begin
-        note_fast_rounds t ~tid failures;
-        slow_dequeue t ~tid
-      end
-      else
+  let rec fast_dequeue t ~tid failures =
+    if failures >= t.max_failures then begin
+      note_fast_rounds t ~tid failures;
+      slow_dequeue t ~tid
+    end
+    else
         let first = A.get t.head in
         (* Claim word captured with the head reference (epoch ABA
            defense; see Kp_internals.try_claim). *)
@@ -871,10 +874,10 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
                 None
             | Some _ ->
                 help_finish_enq t ~self:tid;
-                attempt (failures + 1)
+                fast_dequeue t ~tid (failures + 1)
           else
             match next with
-            | None -> attempt (failures + 1) (* transient view *)
+            | None -> fast_dequeue t ~tid (failures + 1) (* transient view *)
             | Some n ->
                 if t.fault = Some Fast_deq_no_claim then
                   (* Seeded bug: pure MS dequeue, no deq_tid claim — can
@@ -883,7 +886,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
                     Wfq_obsv.Counter.incr t.fast_hits ~slot:tid;
                     n.value
                   end
-                  else attempt (failures + 1)
+                  else fast_dequeue t ~tid (failures + 1)
                 else if
                   (* Claim the sentinel with the fast-path marker; the
                      successful CAS is the linearization point — shared
@@ -904,11 +907,14 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
                      sentinel; finish it and retry. *)
                   note_claim_handoff t ~tid;
                   help_finish_deq t ~self:tid;
-                  attempt (failures + 1)
+                  fast_dequeue t ~tid (failures + 1)
                 end
-        else attempt (failures + 1)
-    in
-    let result = attempt 0 in
+        else fast_dequeue t ~tid (failures + 1)
+
+  let dequeue t ~tid =
+    op_enter t ~tid;
+    maybe_help t ~tid;
+    let result = fast_dequeue t ~tid 0 in
     op_exit t ~tid;
     result
 

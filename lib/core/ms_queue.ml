@@ -85,62 +85,65 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
         n
     | None -> fresh_node' (Some value)
 
+  (* Retry loops at functor level with explicit arguments: a nested
+     [let rec loop] capturing [t]/[node] allocates its closure
+     environment on every operation (~9 words/pair on the pairs
+     workload — see EXPERIMENTS.md, fps words/op decomposition). *)
+  let rec enq_loop t node =
+    let last = A.get t.tail in
+    let next = A.get last.next in
+    if last == A.get t.tail then
+      match next with
+      | None ->
+          if A.compare_and_set last.next None (Some node) then
+            (* Lazily fix tail; failure means someone helped us. *)
+            ignore (A.compare_and_set t.tail last node)
+          else enq_loop t node
+      | Some n ->
+          (* Tail is lagging: help the in-progress enqueue, then retry. *)
+          ignore (A.compare_and_set t.tail last n);
+          enq_loop t node
+    else enq_loop t node
+
   let enqueue t ~tid value =
     op_enter t ~tid;
-    let node = alloc_node t ~tid value in
-    let rec loop () =
-      let last = A.get t.tail in
-      let next = A.get last.next in
-      if last == A.get t.tail then
+    enq_loop t (alloc_node t ~tid value);
+    op_exit t ~tid
+
+  let rec deq_loop t ~tid =
+    let first = A.get t.head in
+    let last = A.get t.tail in
+    let next = A.get first.next in
+    if first == A.get t.head then
+      if first == last then
+        match next with
+        | None -> None
+        | Some n ->
+            ignore (A.compare_and_set t.tail last n);
+            deq_loop t ~tid
+      else
         match next with
         | None ->
-            if A.compare_and_set last.next None (Some node) then
-              (* Lazily fix tail; failure means someone helped us. *)
-              ignore (A.compare_and_set t.tail last node)
-            else loop ()
+            (* head trails tail yet has no successor: transient view,
+               retry. *)
+            deq_loop t ~tid
         | Some n ->
-            (* Tail is lagging: help the in-progress enqueue, then retry. *)
-            ignore (A.compare_and_set t.tail last n);
-            loop ()
-      else loop ()
-    in
-    loop ();
-    op_exit t ~tid
+            let v = n.value in
+            if A.compare_and_set t.head first n then begin
+              (* Unique head winner retires the old sentinel; the
+                 quarantine keeps it intact for every operation that
+                 started before this point. *)
+              (match t.pool with
+              | Some p -> Pool.release p ~tid first
+              | None -> ());
+              v
+            end
+            else deq_loop t ~tid
+    else deq_loop t ~tid
 
   let dequeue t ~tid =
     op_enter t ~tid;
-    let rec loop () =
-      let first = A.get t.head in
-      let last = A.get t.tail in
-      let next = A.get first.next in
-      if first == A.get t.head then
-        if first == last then
-          match next with
-          | None -> None
-          | Some n ->
-              ignore (A.compare_and_set t.tail last n);
-              loop ()
-        else
-          match next with
-          | None ->
-              (* head trails tail yet has no successor: transient view,
-                 retry. *)
-              loop ()
-          | Some n ->
-              let v = n.value in
-              if A.compare_and_set t.head first n then begin
-                (* Unique head winner retires the old sentinel; the
-                   quarantine keeps it intact for every operation that
-                   started before this point. *)
-                (match t.pool with
-                | Some p -> Pool.release p ~tid first
-                | None -> ());
-                v
-              end
-              else loop ()
-      else loop ()
-    in
-    let result = loop () in
+    let result = deq_loop t ~tid in
     op_exit t ~tid;
     result
 

@@ -79,3 +79,104 @@ module type RUN_QUEUE = sig
       counters, pool stats, per-shard matrices). Registration is
       construction-path only; it must never add hot-path work. *)
 end
+
+(** The uniform backend signature (ROADMAP item 5, docs/BACKENDS.md):
+    one configured queue algorithm with the complete plumbing every
+    client in the tree consumes — core ops, native batches, the bounded
+    insert, quiescent observers, the structural audit, and the metrics
+    hookup. A module satisfying [QUEUE_BACKEND] (wrapped in a {!BACKEND}
+    and registered once in {!Backend_registry} via [Backends]) is picked
+    up by [Wfq_shard], the scheduler's run-queue adapters, the lincheck
+    and DPOR conformance batteries, and [wfq_bench] with zero
+    per-backend edits anywhere outside [lib/core].
+
+    Configuration (helping policy, capacity, fast-path budget, …) is
+    baked into the module: a registry entry is one {e configured}
+    algorithm, so clients never thread backend-specific arguments. *)
+module type QUEUE_BACKEND = sig
+  type 'a t
+
+  val name : string
+
+  val create :
+    ?obsv:Wfq_obsv.Metrics.t * string ->
+    ?pool:bool ->
+    num_threads:int ->
+    unit ->
+    'a t
+  (** [?obsv:(registry, prefix)] attaches the backend's hot-path
+      instrumentation (and the {!RUN_QUEUE} [.depth] gauge contract) at
+      construction; [?pool] requests node/descriptor recycling where the
+      backend supports it and is ignored where it is meaningless (the
+      ring and other flat-array structures allocate nothing per op). *)
+
+  val enqueue : 'a t -> tid:int -> 'a -> unit
+  (** Unconditional insert; bounded backends raise their full-queue
+      exception. *)
+
+  val try_enqueue : 'a t -> tid:int -> 'a -> bool
+  (** Bounded-aware insert: [false] iff the queue was full at the
+      linearization point. Unbounded backends always return [true]. *)
+
+  val dequeue : 'a t -> tid:int -> 'a option
+  val enqueue_batch : 'a t -> tid:int -> 'a list -> unit
+  val dequeue_batch : 'a t -> tid:int -> n:int -> 'a list
+
+  (** Quiescent observers, as in {!QUEUE}. *)
+
+  val is_empty : 'a t -> bool
+  val length : 'a t -> int
+  val to_list : 'a t -> 'a list
+
+  val check_quiescent_invariants : 'a t -> (unit, string) result
+  (** Structural audit at quiescence; the conformance battery and the
+      DPOR litmuses run it after every schedule. *)
+
+  val register_metrics : 'a t -> Wfq_obsv.Metrics.t -> prefix:string -> unit
+  (** {!RUN_QUEUE} metrics contract: at minimum [prefix ^ ".depth"]. *)
+end
+
+(** A registrable backend: {!QUEUE_BACKEND} behind the [ATOMIC] functor
+    (so the same text runs on [Real_atomic] domains and on
+    [Wfq_sim.Sim_atomic] under the model checker) plus the metadata the
+    generic drivers need to treat it correctly. *)
+module type BACKEND = sig
+  val id : string
+  (** Registry key, kebab-case ("kp-opt12", "fps-pooled", "polylog"). *)
+
+  val label : string
+  (** Display name used in benchmark legends ("opt WF (1+2)"). *)
+
+  val family : string
+  (** Algorithm family ("kp", "fps", "ring", "polylog"). *)
+
+  val capacity : int option
+  (** [Some c] for bounded backends: the conformance battery switches to
+      the bounded-queue lincheck spec and uses [try_enqueue]. *)
+
+  val sim_safe : bool
+  (** Whether the backend may run under [Sim_atomic] (every shared
+      mutable cell goes through the functor argument); [false] opts out
+      of the DPOR/lincheck battery, keeping the real-domain suites. *)
+
+  module Make (_ : Wfq_primitives.Atomic_intf.ATOMIC) : QUEUE_BACKEND
+end
+
+(** One live queue as a record of closures — the runtime-polymorphic
+    view of a {!BACKEND} that lets heterogeneous clients ([Wfq_shard]'s
+    shard array, the registry-driven test and bench drivers) hold any
+    backend without a per-backend variant. Built by
+    [Backends.instantiate]. *)
+type 'a instance = {
+  i_name : string;
+  enq : tid:int -> 'a -> unit;
+  try_enq : tid:int -> 'a -> bool;
+  deq : tid:int -> 'a option;
+  enq_batch : tid:int -> 'a list -> unit;
+  deq_batch : tid:int -> n:int -> 'a list;
+  size : unit -> int;
+  empty : unit -> bool;
+  dump : unit -> 'a list;
+  check : unit -> (unit, string) result;
+  metrics : Wfq_obsv.Metrics.t -> prefix:string -> unit;
+}

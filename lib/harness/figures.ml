@@ -211,6 +211,20 @@ let fps_scaling_gc ?(scale = quick) () =
 
 let fps_scaling ?scale () = (fps_scaling_gc ?scale ()).time
 
+(** Extension (Polylog_queue, [wfq_bench polylog]): the helping-cost
+    crossover — the KP family's headliners (O(p)-step helping scans)
+    vs the polylog tournament-tree queue (O(log² p) steps per op) on
+    the strict enqueue-dequeue-pairs workload. Interleaved repetitions,
+    as for {!shard_scaling}. The asymptotic half of the crossover story
+    (the certified step-bound-vs-p table) comes from
+    [Wfq_sim.Check.certify] in the bench driver — the harness itself
+    never loads the simulator. *)
+let polylog_crossover_gc ?(scale = quick) () =
+  interleaved_series_gc ~scale
+    ~workload:(fun impl ~threads ~iters () ->
+      Workload.pairs impl ~threads ~iters ())
+    Impls.polylog_series
+
 (** Allocation-rate decomposition (the [wfq_bench alloc] dataset): each
     family's headline member next to its pooled counterpart on the
     enqueue-dequeue-pairs workload, interleaved repetitions, per-series

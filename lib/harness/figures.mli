@@ -105,6 +105,14 @@ val batch_decomposition : ?scale:scale -> batch:int -> unit -> batch_report
     so time ratios are amortization factors; "WF fps per-item" over
     "WF fps batch" is the CI guard's ratio (>= 2 at [batch] = 64). *)
 
+val polylog_crossover_gc : ?scale:scale -> unit -> with_gc
+(** Extension ([wfq_bench polylog]): the helping-cost crossover — opt
+    WF (1+2) and WF fps pooled (O(p)-step helping scans) vs the
+    polylog tournament-tree queue (O(log{^ 2} p) steps/op) on the
+    strict pairs workload. The matching certified step-bound-vs-p
+    table is built by the bench driver from {!Wfq_sim.Check.certify}
+    certificates, not here (the harness stays simulator-free). *)
+
 val all_figures : ?scale:scale -> unit -> Report.series list
 (** Every paper figure in one dataset, labels prefixed "figN:". Fig. 10
     points use queue size as x; the rest use threads. *)

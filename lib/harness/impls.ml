@@ -240,6 +240,35 @@ let wf_ring =
    its pairs throughput against "WF fps pooled" at 1 domain. *)
 let ring_series = [ wf_opt12; wf_pooled; wf_fps_pooled; wf_ring ]
 
+(* The registry route: any {!Wfq_core.Queue_intf.BACKEND} as a bench
+   impl through its uniform instance — no per-backend plumbing. The
+   display name defaults to the backend's registered label (kept
+   distinct from the hand-tuned rows above, which pin non-default
+   configurations the registry does not carry). *)
+let of_backend ?label (module B : Wfq_core.Queue_intf.BACKEND) : impl =
+  (module struct
+    type t = int Wfq_core.Queue_intf.instance
+
+    let name = Option.value label ~default:B.label
+
+    let create ~num_threads =
+      Wfq_core.Backends.instantiate (module B) ~num_threads ()
+
+    let enqueue q ~tid v = q.Wfq_core.Queue_intf.enq ~tid v
+    let dequeue q ~tid = q.Wfq_core.Queue_intf.deq ~tid
+  end)
+
+let registry_impls () = List.map (fun b -> of_backend b) (Wfq_core.Backends.all ())
+
+(* The polylog tournament tree (Naderibeni & Ruppert): O(log^2 p) steps
+   per operation against the KP family's O(p) helping scans. *)
+let wf_polylog = of_backend (Wfq_core.Backends.find "polylog")
+
+(* Series for the crossover bench (wfq_bench polylog): the paper's
+   fastest O(p) queue, the lowest-allocation O(p) variant, and the
+   O(log^2 p) tree whose step bound grows slower with p. *)
+let polylog_series = [ wf_opt12; wf_fps_pooled; wf_polylog ]
+
 let wf_hp : impl =
   (module struct
     type t = int Kp_hp.t
@@ -292,8 +321,8 @@ let mutex : impl =
 
 let all =
   [ lf; lf_pooled; lms; wf_base; wf_opt1; wf_opt2; wf_opt12; wf_pooled;
-    wf_fps; wf_fps_pooled; wf_ring; wf_hp; wf_universal; flat_combining;
-    two_lock; mutex ]
+    wf_fps; wf_fps_pooled; wf_ring; wf_polylog; wf_hp; wf_universal;
+    flat_combining; two_lock; mutex ]
 
 (* Variants for the ablation bench: helping-chunk size sweep plus the
    tuning enhancements. *)

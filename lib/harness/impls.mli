@@ -105,6 +105,25 @@ val ring_series : impl list
     pooled counterpart (the words/op floor the ring must beat), WF fps
     pooled (the throughput baseline) and the ring. *)
 
+val of_backend : ?label:string -> (module Wfq_core.Queue_intf.BACKEND) -> impl
+(** Any registered backend ({!Wfq_core.Backends}) as a bench impl
+    through its uniform instance; display name defaults to the
+    backend's registered label. *)
+
+val registry_impls : unit -> impl list
+(** One {!of_backend} impl per registered backend, registry order. *)
+
+val wf_polylog : impl
+(** Polylog-step tournament-tree queue ({!Wfq_core.Polylog_queue},
+    "WF polylog"): O(log{^ 2} p) steps per operation vs the KP
+    family's O(p) helping scans. Unbounded, strict FIFO — safe with
+    {!Workload.pairs}. Append-only block logs (no reclamation), so
+    sized runs only. *)
+
+val polylog_series : impl list
+(** Series for the crossover bench ([wfq_bench polylog]): opt WF (1+2),
+    WF fps pooled, WF polylog. *)
+
 val wf_hp : impl
 (** Wait-free queue with hazard-pointer reclamation (§3.4). *)
 

@@ -547,3 +547,17 @@ module Rq_ring (A : Wfq_primitives.Atomic_intf.ATOMIC) : RUN_QUEUE = struct
      live fibers, far below this in every workload here. *)
   let create ~num_threads () = Rg.create_with ~capacity:4096 ~num_threads ()
 end
+
+(* The registry route: any {!Wfq_core.Queue_intf.BACKEND} as a
+   run-queue. A QUEUE_BACKEND's [create] carries the optional [?obsv] /
+   [?pool] configuration hooks, so the only adaptation needed is
+   pinning [create] to the plain RUN_QUEUE arity — the backend's
+   registered default configuration applies. *)
+module Rq_of
+    (B : Wfq_core.Queue_intf.BACKEND)
+    (A : Wfq_primitives.Atomic_intf.ATOMIC) : RUN_QUEUE = struct
+  module Q = B.Make (A)
+  include Q
+
+  let create ~num_threads () = Q.create ~num_threads ()
+end

@@ -187,3 +187,11 @@ module Rq_ring (A : Wfq_primitives.Atomic_intf.ATOMIC) : RUN_QUEUE
     zero allocation per task hand-off. A worker exceeding 4096 queued
     slices sees [Wfq_core.Ring_queue.Ring_full] — a bound no workload
     here approaches. *)
+
+module Rq_of
+    (B : Wfq_core.Queue_intf.BACKEND)
+    (A : Wfq_primitives.Atomic_intf.ATOMIC) : RUN_QUEUE
+(** Any registered backend as a run-queue, in its registered default
+    configuration: [Make (A) (Rq_of (B) (A))] builds a scheduler on
+    backend [B] with no per-backend adapter — e.g.
+    [Rq_of ((val Wfq_core.Backends.find "polylog")) (A)]. *)

@@ -34,6 +34,7 @@ type backend =
   | Kp_opt12
   | Fps of { max_failures : int }
   | Ring of { capacity : int; max_failures : int }
+  | Registered of string
 
 type shard_stats = {
   enqueues : int;
@@ -42,68 +43,87 @@ type shard_stats = {
   empty_sweeps : int;
 }
 
+module Qi = Wfq_core.Queue_intf
+
 module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   module Kp = Wfq_core.Kp_queue.Make (A)
   module Fq = Wfq_core.Kp_queue_fps.Make (A)
   module Rg = Wfq_core.Ring_queue.Make (A)
 
-  (* Per-shard queue: the base KP queue, the fast-path/slow-path
-     variant, or the bounded ring. All three are wait-free strict
-     FIFOs, so the front-end's ordering and progress contracts are
-     backend-independent (the ring additionally bounds each shard — see
-     the interface); the dispatch below is a predictable branch,
-     negligible next to the atomic traffic of the operation itself. *)
-  type 'a shard_q = Kp_q of 'a Kp.t | Fps_q of 'a Fq.t | Ring_q of 'a Rg.t
+  (* Per-shard queue: any {!Wfq_core.Queue_intf.instance} — all
+     registered backends are wait-free strict FIFOs, so the front-end's
+     ordering and progress contracts are backend-independent (bounded
+     backends additionally bound each shard — see the interface). The
+     closure-record indirection replaces the closed per-backend variant
+     this file used to dispatch on: one indirect call, negligible next
+     to the atomic traffic of the operation itself, and a new backend
+     needs no edit here at all ([Registered id] reaches it through
+     {!Wfq_core.Backends}). The three legacy constructors carry their
+     tuning parameters, so their instances are built directly on the
+     family functors. *)
 
-  let q_enqueue q ~tid v =
-    match q with
-    | Kp_q q -> Kp.enqueue q ~tid v
-    | Fps_q q -> Fq.enqueue q ~tid v
-    | Ring_q q -> Rg.enqueue q ~tid v
+  let kp_instance ~num_threads () : _ Qi.instance =
+    let q =
+      Kp.create_with ~help:Wfq_core.Kp_queue.Help_one_cyclic
+        ~phase:Wfq_core.Kp_queue.Phase_counter ~num_threads ()
+    in
+    {
+      Qi.i_name = Kp.name;
+      enq = (fun ~tid v -> Kp.enqueue q ~tid v);
+      try_enq =
+        (fun ~tid v ->
+          Kp.enqueue q ~tid v;
+          true);
+      deq = (fun ~tid -> Kp.dequeue q ~tid);
+      enq_batch = (fun ~tid vs -> Kp.enqueue_batch q ~tid vs);
+      deq_batch = (fun ~tid ~n -> Kp.dequeue_batch q ~tid ~n);
+      size = (fun () -> Kp.length q);
+      empty = (fun () -> Kp.is_empty q);
+      dump = (fun () -> Kp.to_list q);
+      check = (fun () -> Kp.check_quiescent_invariants q);
+      metrics = (fun r ~prefix -> Kp.register_metrics q r ~prefix);
+    }
 
-  let q_dequeue q ~tid =
-    match q with
-    | Kp_q q -> Kp.dequeue q ~tid
-    | Fps_q q -> Fq.dequeue q ~tid
-    | Ring_q q -> Rg.dequeue q ~tid
+  let fps_instance ~max_failures ~num_threads () : _ Qi.instance =
+    let q =
+      Fq.create_with ~max_failures ~help:Wfq_core.Kp_queue_fps.Help_one_cyclic
+        ~phase:Wfq_core.Kp_queue_fps.Phase_counter ~num_threads ()
+    in
+    {
+      Qi.i_name = Fq.name;
+      enq = (fun ~tid v -> Fq.enqueue q ~tid v);
+      try_enq =
+        (fun ~tid v ->
+          Fq.enqueue q ~tid v;
+          true);
+      deq = (fun ~tid -> Fq.dequeue q ~tid);
+      enq_batch = (fun ~tid vs -> Fq.enqueue_batch q ~tid vs);
+      deq_batch = (fun ~tid ~n -> Fq.dequeue_batch q ~tid ~n);
+      size = (fun () -> Fq.length q);
+      empty = (fun () -> Fq.is_empty q);
+      dump = (fun () -> Fq.to_list q);
+      check = (fun () -> Fq.check_quiescent_invariants q);
+      metrics = (fun r ~prefix -> Fq.register_metrics q r ~prefix);
+    }
 
-  (* Backend-native batches (docs/BATCHING.md): one descriptor/claim
-     cycle amortized over the run instead of a per-element protocol
-     round trip. *)
-  let q_enqueue_batch q ~tid vs =
-    match q with
-    | Kp_q q -> Kp.enqueue_batch q ~tid vs
-    | Fps_q q -> Fq.enqueue_batch q ~tid vs
-    | Ring_q q -> Rg.enqueue_batch q ~tid vs
-
-  let q_dequeue_batch q ~tid ~n =
-    match q with
-    | Kp_q q -> Kp.dequeue_batch q ~tid ~n
-    | Fps_q q -> Fq.dequeue_batch q ~tid ~n
-    | Ring_q q -> Rg.dequeue_batch q ~tid ~n
-
-  let q_is_empty = function
-    | Kp_q q -> Kp.is_empty q
-    | Fps_q q -> Fq.is_empty q
-    | Ring_q q -> Rg.is_empty q
-
-  let q_length = function
-    | Kp_q q -> Kp.length q
-    | Fps_q q -> Fq.length q
-    | Ring_q q -> Rg.length q
-
-  let q_to_list = function
-    | Kp_q q -> Kp.to_list q
-    | Fps_q q -> Fq.to_list q
-    | Ring_q q -> Rg.to_list q
-
-  let q_check = function
-    | Kp_q q -> Kp.check_quiescent_invariants q
-    | Fps_q q -> Fq.check_quiescent_invariants q
-    | Ring_q q -> Rg.check_quiescent_invariants q
+  let ring_instance ~capacity ~max_failures ~num_threads () : _ Qi.instance =
+    let q = Rg.create_with ~capacity ~max_failures ~num_threads () in
+    {
+      Qi.i_name = Rg.name;
+      enq = (fun ~tid v -> Rg.enqueue q ~tid v);
+      try_enq = (fun ~tid v -> Rg.try_enqueue q ~tid v);
+      deq = (fun ~tid -> Rg.dequeue q ~tid);
+      enq_batch = (fun ~tid vs -> Rg.enqueue_batch q ~tid vs);
+      deq_batch = (fun ~tid ~n -> Rg.dequeue_batch q ~tid ~n);
+      size = (fun () -> Rg.length q);
+      empty = (fun () -> Rg.is_empty q);
+      dump = (fun () -> Rg.to_list q);
+      check = (fun () -> Rg.check_quiescent_invariants q);
+      metrics = (fun r ~prefix -> Rg.register_metrics q r ~prefix);
+    }
 
   type 'a t = {
-    shards : 'a shard_q array;
+    shards : 'a Qi.instance array;
     n : int;
     policy : policy;
     backend : backend;
@@ -153,7 +173,15 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
         if max_failures < 0 then
           invalid_arg
             "Shard.create: invalid backend configuration (Ring: negative \
-             max_failures)");
+             max_failures)"
+    | Registered id ->
+        if not (List.mem id (Wfq_core.Backends.ids ())) then
+          invalid_arg
+            (Printf.sprintf
+               "Shard.create: invalid backend configuration (Registered: \
+                unknown backend %S; known: %s)"
+               id
+               (String.concat ", " (Wfq_core.Backends.ids ()))));
     let per_shard_tids () =
       Array.init shards (fun _ ->
           Wfq_obsv.Counter.create ~slots:num_threads ())
@@ -165,17 +193,15 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
        EXPERIMENTS.md). *)
     let make_shard () =
       match backend with
-      | Kp_opt12 ->
-          Kp_q
-            (Kp.create_with ~help:Wfq_core.Kp_queue.Help_one_cyclic
-               ~phase:Wfq_core.Kp_queue.Phase_counter ~num_threads ())
-      | Fps { max_failures } ->
-          Fps_q
-            (Fq.create_with ~max_failures
-               ~help:Wfq_core.Kp_queue_fps.Help_one_cyclic
-               ~phase:Wfq_core.Kp_queue_fps.Phase_counter ~num_threads ())
+      | Kp_opt12 -> kp_instance ~num_threads ()
+      | Fps { max_failures } -> fps_instance ~max_failures ~num_threads ()
       | Ring { capacity; max_failures } ->
-          Ring_q (Rg.create_with ~capacity ~max_failures ~num_threads ())
+          ring_instance ~capacity ~max_failures ~num_threads ()
+      | Registered id ->
+          Wfq_core.Backends.instantiate_with
+            (module A)
+            (Wfq_core.Backends.find id)
+            ~num_threads ()
     in
     {
       shards = Array.init shards (fun _ -> make_shard ());
@@ -238,7 +264,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   let seq_exit t ~tid = Wfq_obsv.Counter.incr t.op_seq ~slot:tid
 
   let enqueue_to t ~tid s v =
-    q_enqueue t.shards.(s) ~tid v;
+    t.shards.(s).Qi.enq ~tid v;
     if t.track_sizes then Atomic.incr t.sizes.(s);
     Wfq_obsv.Counter.incr t.s_enq.(s) ~slot:tid;
     t.last_enq_shard.(tid) <- s
@@ -251,7 +277,7 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
   (* Batch counterpart of [enqueue_to]: one backend-native batch op,
      counters bumped by the batch size. *)
   let enqueue_batch_to t ~tid s vs ~k =
-    q_enqueue_batch t.shards.(s) ~tid vs;
+    t.shards.(s).Qi.enq_batch ~tid vs;
     t.last_enq_batch_calls.(tid) <- t.last_enq_batch_calls.(tid) + 1;
     if t.track_sizes then ignore (Atomic.fetch_and_add t.sizes.(s) k : int);
     Wfq_obsv.Counter.add t.s_enq.(s) ~slot:tid k;
@@ -286,9 +312,9 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
     end
     else
       let s = Steal_order.visit ~n:t.n ~start:s0 i in
-      if i > 0 && q_is_empty t.shards.(s) then sweep t ~tid s0 (i + 1)
+      if i > 0 && t.shards.(s).Qi.empty () then sweep t ~tid s0 (i + 1)
       else
-        match q_dequeue t.shards.(s) ~tid with
+        match t.shards.(s).Qi.deq ~tid with
         | Some _ as r ->
             took t ~tid ~stolen:(i > 0) s;
             r
@@ -378,9 +404,9 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
       if got = n || i = t.n then acc
       else
         let s = Steal_order.visit ~n:t.n ~start:s0 i in
-        if i > 0 && q_is_empty t.shards.(s) then go acc got (i + 1)
+        if i > 0 && t.shards.(s).Qi.empty () then go acc got (i + 1)
         else
-          let xs = q_dequeue_batch t.shards.(s) ~tid ~n:(n - got) in
+          let xs = t.shards.(s).Qi.deq_batch ~tid ~n:(n - got) in
           t.last_deq_batch_calls.(tid) <- t.last_deq_batch_calls.(tid) + 1;
           let k = List.length xs in
           if k > 0 then took_batch t ~tid ~stolen:(i > 0) s ~k;
@@ -396,13 +422,13 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
 
   (* --- quiescent observers --------------------------------------- *)
 
-  let is_empty t = Array.for_all q_is_empty t.shards
-  let length t = Array.fold_left (fun acc q -> acc + q_length q) 0 t.shards
-  let to_list t = List.concat_map q_to_list (Array.to_list t.shards)
+  let is_empty t = Array.for_all (fun sh -> sh.Qi.empty ()) t.shards
+  let length t = Array.fold_left (fun acc sh -> acc + sh.Qi.size ()) 0 t.shards
+  let to_list t = List.concat_map (fun sh -> sh.Qi.dump ()) (Array.to_list t.shards)
 
   let shard_length t s =
     if s < 0 || s >= t.n then invalid_arg "Shard.shard_length: shard";
-    q_length t.shards.(s)
+    t.shards.(s).Qi.size ()
 
   let stats t =
     Array.init t.n (fun s ->
@@ -431,10 +457,10 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
       let rec shards_ok s =
         if s = t.n then Ok ()
         else
-          match q_check t.shards.(s) with
+          match t.shards.(s).Qi.check () with
           | Error e -> Error (Printf.sprintf "shard %d: %s" s e)
           | Ok () ->
-              let len = q_length t.shards.(s) in
+              let len = t.shards.(s).Qi.size () in
               if st.(s).enqueues - st.(s).dequeues <> len then
                 Error
                   (Printf.sprintf
@@ -477,6 +503,6 @@ module Make (A : Wfq_primitives.Atomic_intf.ATOMIC) = struct
       Metrics.register registry (p ^ ".empty_sweeps")
         (Metrics.Counter t.s_sweep.(s));
       Metrics.gauge registry ~name:(p ^ ".depth") (fun () ->
-          q_length t.shards.(s))
+          t.shards.(s).Qi.size ())
     done
 end

@@ -85,6 +85,13 @@ type backend =
           shard holds at most [capacity] elements and [enqueue] raises
           [Wfq_core.Ring_queue.Ring_full] on a full shard (total
           front-end capacity = [shards * capacity]) *)
+  | Registered of string
+      (** any backend registered in {!Wfq_core.Backends}, by id (e.g.
+          ["polylog"]), in its registered default configuration — the
+          uniform QUEUE_BACKEND route: a backend added to the registry
+          is usable as a shard with no edit to this subsystem. The
+          three constructors above remain for configurations that need
+          per-shard tuning parameters. *)
 
 (** Per-shard operation counters (monotonic, snapshot via {!Make.stats};
     exact at quiescence, indicative under concurrency). *)

@@ -293,6 +293,36 @@ let run ?(mode = Dpor) ?max_schedules ?step_limit ?step_bound
   in
   { schedules; exhausted; max_fiber_steps = !max_fiber_steps; failure }
 
+(* --- wait-freedom certification ----------------------------------- *)
+
+type certificate = { observed_bound : int; schedules : int }
+
+let certify ?mode ?max_schedules ?step_limit ?init ?try_enqueue
+    ?enqueue_batch ?try_enqueue_batch ?dequeue_batch ?capacity ?extra_check
+    ~bound ~queue ~scripts () =
+  let r =
+    run ?mode ?max_schedules ?step_limit ~step_bound:bound ?init
+      ?try_enqueue ?enqueue_batch ?try_enqueue_batch ?dequeue_batch
+      ?capacity ?extra_check ~queue ~scripts ()
+  in
+  match r.failure with
+  | Some f ->
+      Error
+        (Format.asprintf "certification failed:@ %a"
+           (fun ppf f ->
+             match f.shrunk with
+             | Some s -> Shrink.pp ppf s
+             | None -> Format.pp_print_string ppf f.message)
+           f)
+  | None ->
+      if not r.exhausted then
+        Error
+          (Printf.sprintf
+             "certification incomplete: schedule space not exhausted \
+              after %d schedules (raise max_schedules)"
+             r.schedules)
+      else Ok { observed_bound = r.max_fiber_steps; schedules = r.schedules }
+
 let pp_failure ppf f =
   match f.shrunk with
   | Some s -> Shrink.pp ppf s

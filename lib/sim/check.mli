@@ -113,3 +113,40 @@ val run :
 
 val pp_failure : Format.formatter -> failure -> unit
 (** The shrunk schedule when available, otherwise the raw message. *)
+
+type certificate = {
+  observed_bound : int;
+      (** the scenario's empirical per-fiber step bound: the largest
+          per-fiber step count over every explored schedule *)
+  schedules : int;
+}
+
+val certify :
+  ?mode:mode ->
+  ?max_schedules:int ->
+  ?step_limit:int ->
+  ?init:int list ->
+  ?try_enqueue:('q -> tid:int -> int -> bool) ->
+  ?enqueue_batch:('q -> tid:int -> int list -> unit) ->
+  ?try_enqueue_batch:('q -> tid:int -> int list -> int) ->
+  ?dequeue_batch:('q -> tid:int -> n:int -> int list) ->
+  ?capacity:int ->
+  ?extra_check:('q -> (unit, string) result) ->
+  bound:int ->
+  queue:'q ops ->
+  scripts:script list ->
+  unit ->
+  (certificate, string) result
+(** The per-fiber step-bound wait-freedom certifier, as a first-class
+    entry point (extracted from the [test_kp_variants] bound-64
+    machinery so backends and benches can certify too — the crossover
+    table of [wfq_bench polylog] is built from these certificates).
+
+    Runs {!run} with [step_bound:bound] and demands a {e complete}
+    verdict: [Ok] means the exploration exhausted its schedule space
+    (under [mode]'s coverage — DPOR exhausts Mazurkiewicz traces;
+    [Preemption_bounded] certifies only up to its preemption budget)
+    with no linearizability/conservation failure and no fiber
+    exceeding [bound] steps; the certificate carries the largest count
+    actually observed. [Error] reports the shrunk counterexample, or
+    incompleteness if the exploration was cut off by [max_schedules]. *)

@@ -150,21 +150,19 @@ let test_variant_certified (name, help, phase, tuning) () =
     | Help_all -> Ck.Preemption_bounded 3
     | Help_one_cyclic | Help_chunk _ -> Ck.Dpor
   in
-  let r =
-    Ck.run ~mode ~max_schedules:100_000 ~step_bound:certified_step_bound
+  match
+    Ck.certify ~mode ~max_schedules:100_000 ~bound:certified_step_bound
       ~queue:(variant_sim_ops (help, phase, tuning))
       ~scripts:[ [ `Enq 1 ]; [ `Deq ] ]
       ()
-  in
-  (match r.Ck.failure with
-  | None -> ()
-  | Some f -> Alcotest.failf "%s: %a" name Ck.pp_failure f);
-  Alcotest.(check bool) (name ^ ": every trace explored") true r.Ck.exhausted;
-  Alcotest.(check bool)
-    (Printf.sprintf "%s: certified bound %d covers the observed max %d" name
-       certified_step_bound r.Ck.max_fiber_steps)
-    true
-    (r.Ck.max_fiber_steps <= certified_step_bound)
+  with
+  | Error m -> Alcotest.failf "%s: %s" name m
+  | Ok c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: certified bound %d covers the observed max %d"
+           name certified_step_bound c.Ck.observed_bound)
+        true
+        (c.Ck.observed_bound <= certified_step_bound)
 
 (* gc_friendly semantics: the descriptor drops its node reference as soon
    as the operation returns. *)

@@ -50,17 +50,6 @@ let queues =
           len = Kp.length;
         } );
     Q
-      ( "kp-opt12",
-        {
-          make =
-            (fun ~num_threads ->
-              Kp.create_with ~help:Wfq_core.Kp_queue.Help_one_cyclic
-                ~phase:Wfq_core.Kp_queue.Phase_counter ~num_threads ());
-          enq = (fun q ~tid v -> Kp.enqueue q ~tid v);
-          deq = (fun q ~tid -> Kp.dequeue q ~tid);
-          len = Kp.length;
-        } );
-    Q
       ( "kp-hp (tiny pool)",
         {
           make =
@@ -71,9 +60,10 @@ let queues =
           deq = (fun q ~tid -> Kp_hp.dequeue q ~tid);
           len = Kp_hp.length;
         } );
-    (* Fast-path/slow-path variant at the two interesting budgets: mf=1
+    (* Fast-path/slow-path variant at the adversarial budget: mf=1
        keeps falling back under contention (both paths and their
-       interaction run constantly); mf=64 stays mostly fast. *)
+       interaction run constantly). The mostly-fast default budget is
+       exercised by the registry-driven rows below. *)
     Q
       ( "kp-fps mf=1",
         {
@@ -86,39 +76,16 @@ let queues =
           deq = (fun q ~tid -> Fps.dequeue q ~tid);
           len = Fps.length;
         } );
-    Q
-      ( "kp-fps mf=64",
-        {
-          make =
-            (fun ~num_threads ->
-              Fps.create_with ~max_failures:64
-                ~help:Wfq_core.Kp_queue_fps.Help_one_cyclic
-                ~phase:Wfq_core.Kp_queue_fps.Phase_counter ~num_threads ());
-          enq = (fun q ~tid v -> Fps.enqueue q ~tid v);
-          deq = (fun q ~tid -> Fps.dequeue q ~tid);
-          len = Fps.length;
-        } );
-    (* Bounded ring at the same two budgets as kp-fps. The capacity is
-       sized above every workload's peak occupancy (burst-then-drain
-       holds 8_000 live elements), so [enqueue] never meets a full ring
-       and the unbounded-FIFO invariants apply unchanged. *)
+    (* Bounded ring at the same adversarial budget, capacity sized
+       above every workload's peak occupancy (burst-then-drain holds
+       8_000 live elements) so [enqueue] never meets a full ring and
+       the unbounded-FIFO invariants apply unchanged. *)
     Q
       ( "ring mf=1",
         {
           make =
             (fun ~num_threads ->
               Ring.create_with ~capacity:16_384 ~max_failures:1 ~num_threads
-                ());
-          enq = (fun q ~tid v -> Ring.enqueue q ~tid v);
-          deq = (fun q ~tid -> Ring.dequeue q ~tid);
-          len = Ring.length;
-        } );
-    Q
-      ( "ring mf=64",
-        {
-          make =
-            (fun ~num_threads ->
-              Ring.create_with ~capacity:16_384 ~max_failures:64 ~num_threads
                 ());
           enq = (fun q ~tid v -> Ring.enqueue q ~tid v);
           deq = (fun q ~tid -> Ring.dequeue q ~tid);
@@ -232,10 +199,10 @@ let test_pairs_never_empty (Q (name, ops)) ~threads ~iters () =
     0 (Atomic.get empties);
   Alcotest.(check int) "balanced" 0 (ops.len q)
 
-let test_all_enqueue_then_drain (Q (name, ops)) () =
+let test_all_enqueue_then_drain ?(per = 2_000) (Q (name, ops)) () =
   (* Phase 1: everyone enqueues concurrently. Phase 2: sequential drain
      must deliver exactly the enqueued multiset, per-producer ordered. *)
-  let threads = 4 and per = 2_000 in
+  let threads = 4 in
   let q = ops.make ~num_threads:threads in
   let domains =
     List.init threads (fun tid ->
@@ -263,25 +230,53 @@ let test_all_enqueue_then_drain (Q (name, ops)) () =
   drain ();
   Alcotest.(check int) "all present" (threads * per) !count
 
-let cases =
+let row_cases ?cap (Q (name, _) as q) =
+  (* [cap] is the backend's capacity bound when it has one: workload
+     sizes are clamped so peak occupancy never reaches it and the
+     unbounded-FIFO invariants apply unchanged. *)
+  let live = match cap with None -> max_int | Some c -> c in
+  [
+    Alcotest.test_case (name ^ " 2p/2c") `Quick
+      (test_producers_consumers q ~producers:2 ~consumers:2
+         ~per_producer:(min 3_000 (live / 2)));
+    Alcotest.test_case (name ^ " 4p/1c") `Quick
+      (test_producers_consumers q ~producers:4 ~consumers:1
+         ~per_producer:(min 2_000 (live / 4)));
+    Alcotest.test_case (name ^ " 1p/4c") `Quick
+      (test_producers_consumers q ~producers:1 ~consumers:4
+         ~per_producer:(min 6_000 live));
+    Alcotest.test_case (name ^ " pairs x4") `Quick
+      (test_pairs_never_empty q ~threads:4 ~iters:3_000);
+    Alcotest.test_case (name ^ " enqueue burst then drain") `Quick
+      (test_all_enqueue_then_drain ~per:(min 2_000 (live / 4)) q);
+  ]
+
+let cases = List.concat_map row_cases queues
+
+(* Registry-driven rows: every backend registered in Wfq_core.Backends
+   runs the same five workloads through its uniform instance — the
+   QUEUE_BACKEND contract replaces the per-backend plumbing the rows
+   above used to hand-maintain for the wait-free backends. A new
+   backend joins this battery by registering; nothing here names one. *)
+module Bks = Wfq_core.Backends
+module Qi = Wfq_core.Queue_intf
+
+let registry_cases =
   List.concat_map
-    (fun (Q (name, _) as q) ->
-      [
-        Alcotest.test_case (name ^ " 2p/2c") `Quick
-          (test_producers_consumers q ~producers:2 ~consumers:2
-             ~per_producer:3_000);
-        Alcotest.test_case (name ^ " 4p/1c") `Quick
-          (test_producers_consumers q ~producers:4 ~consumers:1
-             ~per_producer:2_000);
-        Alcotest.test_case (name ^ " 1p/4c") `Quick
-          (test_producers_consumers q ~producers:1 ~consumers:4
-             ~per_producer:6_000);
-        Alcotest.test_case (name ^ " pairs x4") `Quick
-          (test_pairs_never_empty q ~threads:4 ~iters:3_000);
-        Alcotest.test_case (name ^ " enqueue burst then drain") `Quick
-          (test_all_enqueue_then_drain q);
-      ])
-    queues
+    (fun (module Bk : Qi.BACKEND) ->
+      let row =
+        Q
+          ( Bk.id ^ " (registry)",
+            {
+              make =
+                (fun ~num_threads -> Bks.instantiate (module Bk) ~num_threads ());
+              enq = (fun i ~tid v -> i.Qi.enq ~tid v);
+              deq = (fun i ~tid -> i.Qi.deq ~tid);
+              len = (fun i -> i.Qi.size ());
+            } )
+      in
+      row_cases ?cap:Bk.capacity row)
+    (Bks.all ())
 
 (* Sim-based linearizability rows for the hazard-pointer variant: the
    recycling protocol mutates node fields, so a protocol race corrupts
@@ -789,6 +784,7 @@ let () =
   Alcotest.run "queues-concurrent"
     [
       ("domains", cases);
+      ("domains (registry)", registry_cases);
       ("sim-lincheck (kp-hp)", hp_sim_cases);
       ("sim-lincheck (ring)", ring_sim_cases);
       ("differential batch fuzzer", diff_cases);

@@ -27,6 +27,11 @@ module Fps_sched = Sched.Make (A) (Sched.Rq_fps_pooled (A))
 module Shard_sched = Sched.Make (A) (Sched.Rq_shard (A))
 module Sim_sched = Sched.Make (SA) (Sched.Rq_kp (SA))
 
+(* The registry route: any registered backend as a run-queue through
+   the uniform Rq_of adapter — here the polylog tournament tree. *)
+module Poly_backend = (val Wfq_core.Backends.find "polylog")
+module Poly_sched = Sched.Make (A) (Sched.Rq_of (Poly_backend) (A))
+
 exception Boom
 
 (* ------------------------------------------------------------------ *)
@@ -165,6 +170,21 @@ let test_run_reraises () =
   let t = Kp_sched.create ~num_workers:1 () in
   Alcotest.check_raises "main's exception escapes run" Boom (fun () ->
       Kp_sched.run t (fun () -> raise Boom))
+
+(* Same spawn/await tree on the Rq_of-adapted polylog run-queue: the
+   registry backend drives the scheduler with no per-backend adapter. *)
+let test_run_rq_of_polylog () =
+  let t = Poly_sched.create ~num_workers:1 () in
+  let module K = Poly_sched in
+  let rec tree d =
+    if d = 0 then 1
+    else
+      let a = K.spawn (fun () -> tree (d - 1)) in
+      let b = K.spawn (fun () -> tree (d - 1)) in
+      K.await a + K.await b
+  in
+  Alcotest.(check int) "run returns main's value" 8 (K.run t (fun () -> tree 3));
+  Alcotest.(check int) "conservation" 0 (K.pending_fibers t)
 
 (* ------------------------------------------------------------------ *)
 (* Stealing                                                           *)
@@ -428,6 +448,8 @@ let () =
           Alcotest.test_case "await re-raises child failure" `Quick
             test_await_failed_child;
           Alcotest.test_case "run at 1 domain" `Quick test_run_single_domain;
+          Alcotest.test_case "run on Rq_of polylog run-queue" `Quick
+            test_run_rq_of_polylog;
           Alcotest.test_case "run re-raises main's exception" `Quick
             test_run_reraises;
         ] );

@@ -40,6 +40,37 @@ let test_create_validation () =
   let s : int Sh.t = Sh.create_strict ~num_threads:2 () in
   Alcotest.(check int) "strict is single-shard" 1 (Sh.shards s)
 
+(* The [Registered id] constructor: every backend in the
+   Wfq_core.Backends registry must work as a shard with no edit to the
+   front-end — the QUEUE_BACKEND uniformity contract. *)
+let test_registered_backends () =
+  List.iter
+    (fun id ->
+      let t : int Sh.t =
+        Sh.create ~backend:(P.Registered id) ~shards:2 ~num_threads:2 ()
+      in
+      Alcotest.(check bool)
+        (id ^ ": backend recorded") true
+        (Sh.backend t = P.Registered id);
+      Sh.enqueue t ~tid:0 1;
+      Sh.enqueue t ~tid:1 2;
+      Alcotest.(check int) (id ^ ": length") 2 (Sh.length t);
+      let a = Sh.dequeue t ~tid:0 in
+      let b = Sh.dequeue t ~tid:1 in
+      Alcotest.(check bool)
+        (id ^ ": both elements served") true
+        (a <> None && b <> None && a <> b);
+      Alcotest.(check (option int)) (id ^ ": drained") None (Sh.dequeue t ~tid:0);
+      check_invariants t)
+    (Wfq_core.Backends.ids ());
+  match Sh.create ~backend:(P.Registered "no-such") ~num_threads:1 () with
+  | (_ : int Sh.t) -> Alcotest.fail "unknown registered id must be rejected"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool)
+        "rejection names the id" true
+        (String.length msg > 0
+        && String.sub msg 0 12 = "Shard.create")
+
 (* ---------------------------------------------------------------- *)
 (* Sequential semantics vs a per-shard FIFO model                    *)
 (* ---------------------------------------------------------------- *)
@@ -552,6 +583,8 @@ let seq_cases =
   test_create_validation
   |> fun f ->
   Alcotest.test_case "create validation / defaults" `Quick f
+  :: Alcotest.test_case "registered backends as shards" `Quick
+       test_registered_backends
   :: (List.concat_map
         (fun p ->
           List.map
