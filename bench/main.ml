@@ -63,6 +63,10 @@ let micro_groups =
 
 let run_micro () =
   print_endline "== Bechamel micro-benchmarks (single-thread per-op cost) ==";
+  (* Bechamel's monotonic_clock instance reads the same CLOCK_MONOTONIC
+     source as Wfq_harness.Clock, so per-op estimates here and the
+     harness's latency samples (Latency, Open_loop) are directly
+     comparable — no wall-clock/monotonic mismatch between stages. *)
   let clock = Toolkit.Instance.monotonic_clock in
   let alloc = Toolkit.Instance.minor_allocated in
   let cfg =
@@ -223,6 +227,11 @@ let () =
     "wait-free queue benchmarks (Kogan-Petrank PPoPP'11 reproduction)\n\
      host: %d recommended domain(s)\n"
     (Domain.recommended_domain_count ());
+  (* Total wall time on the shared monotonic clock — immune to NTP
+     steps mid-run, unlike the Unix.gettimeofday this used to read. *)
+  let t0 = Wfq_harness.Clock.now_s () in
   if not (has "--skip-micro") then run_micro ();
   run_profiles ();
-  if not (has "--skip-figures") then run_figures ~scale ~csv:(has "--csv") ()
+  if not (has "--skip-figures") then run_figures ~scale ~csv:(has "--csv") ();
+  Printf.printf "\ntotal bench time: %.1f s (monotonic)\n"
+    (Wfq_harness.Clock.now_s () -. t0)

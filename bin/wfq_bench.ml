@@ -878,6 +878,286 @@ let figure_cmd which name doc =
   in
   Cmd.v (Cmd.info name ~doc) term
 
+(* Open-loop latency sweep (docs/LATENCY.md): seeded arrival schedules
+   drive every registry backend at fixed offered loads, and every
+   latency is measured from the event's intended send time on the
+   monotonic clock — a saturated or stalled queue shows the queueing
+   delay it caused instead of silently throttling the load generator
+   (coordinated omission). The sojourn-p99-vs-load curve's saturation
+   knee is the headline SLO statistic and the CI gate's input. *)
+module OL = Wfq_harness.Open_loop
+module Arr = Wfq_harness.Arrivals
+
+let floats_of_string s =
+  String.split_on_char ',' s
+  |> List.filter (fun x -> x <> "")
+  |> List.map float_of_string
+
+let rates_arg =
+  let doc = "Comma-separated offered loads in events/second (x axis)." in
+  Arg.(
+    value
+    & opt string "2000,4000,8000,16000"
+    & info [ "rates" ] ~docv:"LIST" ~doc)
+
+let events_arg =
+  let doc = "Events per (backend, rate) point." in
+  Arg.(value & opt int 4000 & info [ "events" ] ~docv:"N" ~doc)
+
+let producers_arg =
+  let doc = "Producer domains following the arrival schedule." in
+  Arg.(value & opt int 1 & info [ "producers" ] ~docv:"N" ~doc)
+
+let consumers_arg =
+  let doc = "Consumer domains." in
+  Arg.(value & opt int 1 & info [ "consumers" ] ~docv:"N" ~doc)
+
+let pattern_arg =
+  let doc =
+    "Arrival pattern: $(b,poisson) (exponential interarrivals) or \
+     $(b,burst) (on/off Markov-modulated; see --duty, --burst-len)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("poisson", `Poisson); ("burst", `Burst) ]) `Poisson
+    & info [ "pattern" ] ~docv:"NAME" ~doc)
+
+let duty_arg =
+  let doc = "Burst pattern: fraction of time spent in the ON state." in
+  Arg.(value & opt float 0.2 & info [ "duty" ] ~docv:"F" ~doc)
+
+let burst_len_arg =
+  let doc = "Burst pattern: mean events per ON burst." in
+  Arg.(value & opt int 32 & info [ "burst-len" ] ~docv:"N" ~doc)
+
+let skew_arg =
+  let doc =
+    "Producer-affinity skew: events are assigned to producers with \
+     Zipf-like weights (i+1)^-skew; 0 is uniform."
+  in
+  Arg.(value & opt float 0.0 & info [ "skew" ] ~docv:"F" ~doc)
+
+let seed_arg =
+  let doc = "Schedule seed (deterministic arrivals per seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+
+let stall_us_arg =
+  let doc =
+    "Inject a slow consumer: consumer 0 goes dark for this many \
+     microseconds after its --stall-after-th dequeue (0 disables)."
+  in
+  Arg.(value & opt int 0 & info [ "stall-us" ] ~docv:"US" ~doc)
+
+let stall_after_arg =
+  let doc = "Dequeues by consumer 0 before the injected stall." in
+  Arg.(value & opt int 100 & info [ "stall-after" ] ~docv:"N" ~doc)
+
+let knee_mult_arg =
+  let doc =
+    "Saturation-knee multiplier: the knee is the first offered load \
+     whose sojourn p99 exceeds this multiple of the lowest load's p99."
+  in
+  Arg.(value & opt float 4.0 & info [ "knee-mult" ] ~docv:"F" ~doc)
+
+let knee_floor_arg =
+  let doc =
+    "Regression gate: exit 3 if any backend's saturation knee falls \
+     below this offered load (events/s). A backend whose tail never \
+     crosses the knee threshold passes."
+  in
+  Arg.(value & opt (some float) None & info [ "knee-floor" ] ~docv:"RATE" ~doc)
+
+let backends_arg =
+  let doc =
+    "Comma-separated registry backend ids to sweep (default: all; see \
+     --list-backends)."
+  in
+  Arg.(value & opt (some string) None & info [ "backends" ] ~docv:"LIST" ~doc)
+
+let run_openloop rates events producers consumers pattern duty burst_len skew
+    seed stall_us stall_after knee_mult knee_floor backends json =
+  let rates = List.sort_uniq compare (floats_of_string rates) in
+  if rates = [] then begin
+    prerr_endline "latency-openloop: --rates must name at least one load";
+    exit 2
+  end;
+  let pattern =
+    match pattern with
+    | `Poisson -> Arr.Poisson
+    | `Burst -> Arr.Burst { duty; burst_len }
+  in
+  let stall =
+    if stall_us > 0 then
+      Some { OL.victim = 0; after = stall_after; duration_ns = stall_us * 1000 }
+    else None
+  in
+  let selected =
+    match backends with
+    | None -> Bks.all ()
+    | Some ids ->
+        String.split_on_char ',' ids
+        |> List.filter (fun x -> x <> "")
+        |> List.map Bks.find
+  in
+  Printf.printf
+    "open-loop sweep: %s arrivals, %d events/point, %dP/%dC, skew %g, \
+     seed %d%s\n\n"
+    (Arr.pattern_name pattern) events producers consumers skew seed
+    (match stall with
+    | None -> ""
+    | Some s ->
+        Printf.sprintf ", stall %dus after %d dequeues"
+          (s.OL.duration_ns / 1000) s.OL.after);
+  Printf.printf "%-16s %10s %10s %12s %12s %12s %12s\n" "backend" "offered"
+    "achieved" "enq p99 ns" "soj p50 ns" "soj p99 ns" "soj p999 ns";
+  let results =
+    List.map
+      (fun (module B : Qi.BACKEND) ->
+        let impl = OL.impl_of_backend (module B) in
+        let pts =
+          List.map
+            (fun rate ->
+              let cfg =
+                {
+                  OL.producers;
+                  consumers;
+                  rate;
+                  events;
+                  pattern;
+                  skew;
+                  seed;
+                  stall;
+                }
+              in
+              let r = OL.run cfg impl in
+              Printf.printf
+                "%-16s %10.0f %10.0f %12.0f %12.0f %12.0f %12.0f\n%!" B.id
+                rate r.OL.achieved_rate r.OL.enq.OL.p99 r.OL.sojourn.OL.p50
+                r.OL.sojourn.OL.p99 r.OL.sojourn.OL.p999;
+              (rate, r))
+            rates
+        in
+        (B.id, pts))
+      selected
+  in
+  let knees =
+    List.map
+      (fun (id, pts) ->
+        ( id,
+          OL.knee ~mult:knee_mult
+            (List.map (fun (rate, r) -> (rate, r.OL.sojourn.OL.p99)) pts) ))
+      results
+  in
+  Printf.printf
+    "\nsaturation knees (first load with sojourn p99 > %gx the lowest \
+     load's):\n"
+    knee_mult;
+  List.iter
+    (fun (id, knee) ->
+      match knee with
+      | Some k -> Printf.printf "  %-16s %10.0f events/s\n" id k
+      | None -> Printf.printf "  %-16s %10s\n" id "not reached")
+    knees;
+  if json then begin
+    let series =
+      List.concat_map
+        (fun (id, pts) ->
+          let line name proj =
+            {
+              R.label = name ^ ":" ^ id;
+              points = List.map (fun (rate, r) -> (rate, proj r)) pts;
+            }
+          in
+          [
+            line "enq_p50" (fun r -> r.OL.enq.OL.p50);
+            line "enq_p99" (fun r -> r.OL.enq.OL.p99);
+            line "enq_p999" (fun r -> r.OL.enq.OL.p999);
+            line "sojourn_p50" (fun r -> r.OL.sojourn.OL.p50);
+            line "sojourn_p99" (fun r -> r.OL.sojourn.OL.p99);
+            line "sojourn_p999" (fun r -> r.OL.sojourn.OL.p999);
+            line "achieved_rate" (fun r -> r.OL.achieved_rate);
+          ])
+        results
+    in
+    let meta =
+      [
+        ("workload", "open-loop arrivals; latency from intended send time");
+        ("pattern", Arr.pattern_name pattern);
+        ("rates", String.concat "," (List.map string_of_float rates));
+        ("events", string_of_int events);
+        ("producers", string_of_int producers);
+        ("consumers", string_of_int consumers);
+        ("skew", string_of_float skew);
+        ("seed", string_of_int seed);
+        ("stall",
+         (match stall with
+         | None -> "none"
+         | Some s ->
+             Printf.sprintf "victim 0, %d ns after %d dequeues"
+               s.OL.duration_ns s.OL.after));
+        ("knee_mult", string_of_float knee_mult);
+        ("knee",
+         String.concat "; "
+           (List.map
+              (fun (id, knee) ->
+                Printf.sprintf "%s=%s" id
+                  (match knee with
+                  | Some k -> Printf.sprintf "%.0f" k
+                  | None -> "none"))
+              knees));
+        ("minor_heap_words", string_of_int (Gc.get ()).Gc.minor_heap_size);
+        ("x", "offered load, events/s");
+        ("y",
+         "per series-label prefix: enq_* (enqueue completion - intended \
+          send, ns), sojourn_* (dequeue completion - intended send, \
+          ns), achieved_rate (events/s)");
+      ]
+    in
+    R.write_json ~path:"BENCH_latency_openloop.json"
+      ~title:"Open-loop latency vs offered load" ~meta series;
+    print_endline "wrote BENCH_latency_openloop.json"
+  end;
+  match knee_floor with
+  | None -> ()
+  | Some floor ->
+      let regressed =
+        List.filter_map
+          (fun (id, knee) ->
+            match knee with Some k when k < floor -> Some (id, k) | _ -> None)
+          knees
+      in
+      if regressed <> [] then begin
+        List.iter
+          (fun (id, k) ->
+            Printf.eprintf
+              "knee regression: %s saturates at %.0f events/s (floor \
+               %.0f)\n%!"
+              id k floor)
+          regressed;
+        exit 3
+      end
+
+let openloop_cmd =
+  let term =
+    Term.(
+      const run_openloop
+      $ rates_arg $ events_arg $ producers_arg $ consumers_arg $ pattern_arg
+      $ duty_arg $ burst_len_arg $ skew_arg $ seed_arg $ stall_us_arg
+      $ stall_after_arg $ knee_mult_arg $ knee_floor_arg $ backends_arg
+      $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "latency-openloop"
+       ~doc:
+         "Open-loop SLO latency sweep: seeded Poisson or burst arrivals \
+          drive each registry backend at fixed offered loads; p50/p99/p999 \
+          of enqueue latency and end-to-end sojourn are measured from the \
+          intended send time (coordinated-omission-safe, docs/LATENCY.md) \
+          and the sojourn-p99 saturation knee is reported per backend. \
+          --json writes BENCH_latency_openloop.json; --knee-floor RATE \
+          exits 3 if any backend's knee regresses below RATE.")
+    term
+
 let cmds =
   [
     figure_cmd `Fig7 "fig7" "Enqueue-dequeue pairs benchmark (paper Fig. 7).";
@@ -888,6 +1168,7 @@ let cmds =
       "All implementations on the pairs benchmark (extension).";
     shard_cmd;
     sched_cmd;
+    openloop_cmd;
     fps_cmd;
     polylog_cmd;
     ring_cmd;

@@ -22,15 +22,20 @@ let iters = 20_000
 
 let () =
   Printf.printf
-    "per-operation-pair latency, %d domains x %d pairs (microseconds)\n\n"
+    "per-operation latency, %d domains x %d pairs (microseconds; \
+     enqueue / dequeue timed separately)\n\n"
     threads iters;
-  Printf.printf "%-16s %10s %10s %10s %12s\n" "queue" "p50" "p99" "p99.9"
-    "max";
+  Printf.printf "%-16s %-4s %10s %10s %10s %12s\n" "queue" "op" "p50" "p99"
+    "p99.9" "max";
   List.iter
     (fun impl ->
       let s = L.measure ~threads ~iters impl in
-      Printf.printf "%-16s %10.2f %10.2f %10.2f %12.2f\n" (I.name impl)
-        s.L.p50 s.L.p99 s.L.p999 s.L.max)
+      let row op (d : L.dist) =
+        Printf.printf "%-16s %-4s %10.2f %10.2f %10.2f %12.2f\n"
+          (I.name impl) op d.L.p50 d.L.p99 d.L.p999 d.L.max
+      in
+      row "enq" s.L.enqueue;
+      row "deq" s.L.dequeue)
     [ I.lf; I.wf_base; I.wf_opt12; I.two_lock; I.mutex ];
   print_newline ();
   if Domain.recommended_domain_count () <= 1 then

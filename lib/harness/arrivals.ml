@@ -1,0 +1,117 @@
+(** Deterministic open-loop arrival schedules.
+
+    A closed-loop benchmark fires its next operation the instant the
+    previous one returns, so a stalled queue throttles its own load and
+    queueing delay never reaches the recorded numbers (coordinated
+    omission). An open-loop schedule fixes every operation's {e
+    intended} send time up front from a seeded process; the engine
+    ({!Open_loop}) then timestamps latency from the intended time, so a
+    stall shows up as the queueing delay it actually caused.
+
+    Two processes, both reproducible from [seed] alone:
+
+    - {!Poisson}: i.i.d. exponential interarrival gaps at the offered
+      rate — the memoryless baseline of every queueing model.
+    - {!Burst}: a two-state on/off Markov modulated Poisson process.
+      ON periods arrive at [rate / duty] (so the long-run mean rate is
+      still the offered rate); each arrival ends the ON period with
+      probability [1 / burst_len] (geometric bursts with mean
+      [burst_len]); OFF gaps are exponential with mean chosen to give
+      the configured duty cycle. Bursts are where tails live: the same
+      mean load with duty 0.1 hits the queue with 10x spikes. *)
+
+module Rng = Wfq_primitives.Rng
+
+type pattern =
+  | Poisson
+  | Burst of { duty : float; burst_len : int }
+
+let pattern_name = function
+  | Poisson -> "poisson"
+  | Burst { duty; burst_len } ->
+      Printf.sprintf "burst(duty=%g,len=%d)" duty burst_len
+
+(* Exponential variate with the given mean, in ns (>= 1).
+   [Rng.float] is in [0, 1), so [1 - u] is in (0, 1] and [log] is
+   finite. *)
+let exp_gap rng ~mean_ns =
+  let u = Rng.float rng in
+  let g = -.mean_ns *. log (1.0 -. u) in
+  max 1 (int_of_float g)
+
+let validate ~rate ~n =
+  if not (Float.is_finite rate) || rate <= 0.0 then
+    invalid_arg "Arrivals.generate: rate must be positive";
+  if n <= 0 then invalid_arg "Arrivals.generate: n must be positive"
+
+(* Absolute intended send times (ns from schedule start), sorted
+   ascending, [n] events at long-run mean [rate] events/s. *)
+let generate pattern ~seed ~rate ~n =
+  validate ~rate ~n;
+  let rng = Rng.create ~seed in
+  let mean_ns = 1e9 /. rate in
+  let out = Array.make n 0 in
+  (match pattern with
+  | Poisson ->
+      let t = ref 0 in
+      for i = 0 to n - 1 do
+        t := !t + exp_gap rng ~mean_ns;
+        out.(i) <- !t
+      done
+  | Burst { duty; burst_len } ->
+      if not (Float.is_finite duty) || duty <= 0.0 || duty > 1.0 then
+        invalid_arg "Arrivals.generate: duty must be in (0, 1]";
+      if burst_len <= 0 then
+        invalid_arg "Arrivals.generate: burst_len must be positive";
+      (* ON gaps at rate/duty; mean OFF time balances the duty cycle:
+         one OFF period follows [burst_len] ON arrivals on average, so
+         off_mean = burst_len * on_mean * (1 - duty) / duty. *)
+      let on_mean_ns = mean_ns *. duty in
+      let off_mean_ns =
+        float_of_int burst_len *. on_mean_ns *. (1.0 -. duty) /. duty
+      in
+      let t = ref 0 in
+      for i = 0 to n - 1 do
+        t := !t + exp_gap rng ~mean_ns:on_mean_ns;
+        out.(i) <- !t;
+        (* End of a geometric burst: insert an exponential OFF gap
+           (skipped entirely at duty = 1, where off_mean is 0). *)
+        if off_mean_ns > 0.0 && Rng.below rng burst_len = 0 then
+          t := !t + exp_gap rng ~mean_ns:off_mean_ns
+      done);
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Assignment: which producer sends each event                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Zipf-like producer weights: producer [i] gets weight (i+1)^-skew.
+   skew = 0 is uniform; skew ~ 1 sends roughly half the stream through
+   producer 0 at 4 workers — the "hot shard" scenario for affinity
+   routing. *)
+let weights ~workers ~skew =
+  if workers <= 0 then invalid_arg "Arrivals.split: workers must be positive";
+  if not (Float.is_finite skew) || skew < 0.0 then
+    invalid_arg "Arrivals.split: skew must be non-negative";
+  let w =
+    Array.init workers (fun i -> (float_of_int (i + 1)) ** -.skew)
+  in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  Array.map (fun x -> x /. total) w
+
+let split schedule ~workers ~skew ~seed =
+  let w = weights ~workers ~skew in
+  let rng = Rng.create ~seed in
+  let buckets = Array.make workers [] in
+  Array.iter
+    (fun t ->
+      let u = Rng.float rng in
+      let rec pick i acc =
+        let acc = acc +. w.(i) in
+        if u < acc || i = workers - 1 then i else pick (i + 1) acc
+      in
+      let i = pick 0 0.0 in
+      buckets.(i) <- t :: buckets.(i))
+    schedule;
+  (* Each producer's sub-schedule keeps the global (sorted) order. *)
+  Array.map (fun l -> Array.of_list (List.rev l)) buckets

@@ -1,0 +1,37 @@
+(** Deterministic open-loop arrival schedules (seeded Poisson and
+    on/off-burst processes) with skewed producer assignment — the load
+    half of the coordinated-omission-safe latency harness
+    ({!Open_loop} is the measurement half, docs/LATENCY.md the
+    methodology). *)
+
+type pattern =
+  | Poisson
+      (** I.i.d. exponential interarrival gaps at the offered rate. *)
+  | Burst of { duty : float; burst_len : int }
+      (** On/off Markov modulated Poisson: ON periods at [rate / duty]
+          (long-run mean stays at the offered rate), geometric bursts
+          with mean [burst_len] arrivals, exponential OFF gaps sized so
+          the ON fraction is [duty]. [duty] in (0, 1]; [duty = 1]
+          degenerates to {!Poisson}. *)
+
+val pattern_name : pattern -> string
+
+val generate : pattern -> seed:int -> rate:float -> n:int -> int array
+(** [generate p ~seed ~rate ~n] is the absolute intended send times, in
+    nanoseconds from schedule start, of [n] events at long-run mean
+    [rate] events/s — sorted ascending, gaps >= 1 ns, byte-for-byte
+    reproducible from [seed]. Raises [Invalid_argument] on
+    non-positive [rate]/[n] or malformed burst parameters. *)
+
+val weights : workers:int -> skew:float -> float array
+(** Zipf-like producer weights: producer [i] has probability
+    proportional to [(i+1)^-skew]; [skew = 0.] is uniform. Normalized
+    to sum to 1. Exposed for tests. *)
+
+val split :
+  int array -> workers:int -> skew:float -> seed:int -> int array array
+(** Assign each event of a schedule to one of [workers] producers by
+    seeded weighted choice ({!weights}); the result's row [i] is
+    producer [i]'s sub-schedule in global order. With [skew > 0.] the
+    low-numbered producers carry disproportionate load — the skewed
+    shard-affinity scenario. *)

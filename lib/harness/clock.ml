@@ -1,0 +1,37 @@
+(** The harness's single monotonic nanosecond clock.
+
+    Every timed path in the harness (workload completion times,
+    per-operation latency sampling, the open-loop arrival engine) reads
+    this module, which wraps bechamel's raw [@noalloc]
+    [Monotonic_clock.now] — the same CLOCK_MONOTONIC source behind
+    [Bechamel.Toolkit.Instance.monotonic_clock] in [bench/main.ml], so
+    micro-benchmarks and harness measurements are never compared across
+    clock domains.
+
+    Why not [Unix.gettimeofday]: wall clocks are steppable (NTP slews
+    and jumps move CLOCK_REALTIME backwards), have microsecond
+    granularity, and a backwards step inside a timed window produces a
+    negative "latency". CLOCK_MONOTONIC is non-decreasing by contract,
+    so [now_ns] deltas are always >= 0. *)
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+let now_s () = float_of_int (now_ns ()) *. 1e-9
+
+(* Wait until the monotonic clock reads at least [until_ns].
+
+   Hybrid wait: nanosleep down to [spin_budget_ns] before the deadline,
+   then spin on the clock. Pure spinning would be more precise on a
+   dedicated core, but on shared (and single-core) hosts a spinning
+   waiter steals the quantum from the very consumer it is generating
+   load for; sleeping releases the core and the short final spin
+   absorbs the wakeup jitter. *)
+let spin_budget_ns = 150_000
+
+let wait_until ns =
+  let remaining = ns - now_ns () in
+  if remaining > spin_budget_ns then
+    Unix.sleepf (float_of_int (remaining - spin_budget_ns) *. 1e-9);
+  while now_ns () < ns do
+    Domain.cpu_relax ()
+  done

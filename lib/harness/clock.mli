@@ -1,0 +1,21 @@
+(** The harness's single monotonic nanosecond clock — bechamel's raw
+    [@noalloc] [Monotonic_clock.now] (CLOCK_MONOTONIC), the same source
+    as [Bechamel.Toolkit.Instance.monotonic_clock] in [bench/main.ml].
+
+    All harness timing goes through this module: monotonic by contract,
+    nanosecond granularity, so timestamp deltas are non-negative even
+    across NTP steps that move the wall clock backwards (a
+    [Unix.gettimeofday] delta has neither guarantee). *)
+
+val now_ns : unit -> int
+(** Current monotonic time in nanoseconds. Only deltas are meaningful;
+    the epoch is unspecified (typically boot time). *)
+
+val now_s : unit -> float
+(** [now_ns] scaled to seconds, for duration arithmetic in float. *)
+
+val wait_until : int -> unit
+(** [wait_until ns] returns once [now_ns () >= ns]: sleeps most of the
+    wait, then spins the final stretch so the release edge is sharp.
+    Used by the open-loop engine to hit intended send times without
+    monopolizing a core. *)

@@ -3,9 +3,10 @@
     backend), and the disabled-vs-enabled overhead guard that keeps the
     instrumentation honest about its "low-overhead" claim.
 
-    Latency histograms use [Monotonic_clock] (bechamel's raw [@noalloc]
-    ns clock) so per-op sampling does not itself allocate. Timing runs
-    use wall-clock seconds around a barrier release, like {!Workload}.
+    Latency histograms and timing runs use the shared monotonic clock
+    ({!Clock}, bechamel's raw [@noalloc] ns source) so per-op sampling
+    does not allocate and durations survive wall-clock steps; runs are
+    timed around a barrier release, like {!Workload}.
 
     Overhead methodology (docs/OBSERVABILITY.md): for each guarded
     queue, the {e same} benchmark loop runs over a plain queue and over
@@ -23,7 +24,7 @@ module Fq = Wfq_core.Kp_queue_fps.Make (RA)
 module Sh = Wfq_shard.Shard.Make (RA)
 module Obsv = Wfq_obsv
 
-let now_ns () = Int64.to_int (Monotonic_clock.now ())
+let now_ns = Clock.now_ns
 
 (* ------------------------------------------------------------------ *)
 (* Instrumented collection runs                                       *)
@@ -65,9 +66,9 @@ let timed_pairs ~relaxed ~threads ~iters ~enq ~deq ~h_enq ~h_deq =
             done))
   in
   Barrier.wait barrier;
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now_s () in
   Array.iter Domain.join domains;
-  Unix.gettimeofday () -. t0
+  Clock.now_s () -. t0
 
 let collect ~threads ~iters () =
   if threads <= 0 || iters <= 0 then invalid_arg "Obsv_bench.collect";

@@ -23,7 +23,7 @@ module Fps_sched = Sched.Make (RA) (Sched.Rq_fps_pooled (RA))
 module Shard_sched = Sched.Make (RA) (Sched.Rq_shard (RA))
 module Ring_sched = Sched.Make (RA) (Sched.Rq_ring (RA))
 
-let now_ns () = Int64.to_int (Monotonic_clock.now ())
+let now_ns = Clock.now_ns
 
 type scale = {
   domains : int list;
@@ -73,7 +73,7 @@ let service_once (module Sch : Sched.S) ~backend ~domains ~requests ~fanout
   let t = Sch.create ~obsv ~clock:now_ns ~num_workers:domains () in
   Sch.register_metrics t reg ~prefix:"sched";
   Gc.full_major ();
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now_s () in
   let total =
     Sch.run t (fun () ->
         let handle () =
@@ -92,7 +92,7 @@ let service_once (module Sch : Sched.S) ~backend ~domains ~requests ~fanout
         let reqs = List.init requests (fun _ -> Sch.spawn handle) in
         List.fold_left (fun a p -> a + Sch.await p) 0 reqs)
   in
-  let seconds = Unix.gettimeofday () -. t0 in
+  let seconds = Clock.now_s () -. t0 in
   let expected = requests * (fanout * (fanout - 1) / 2) in
   if total <> expected then
     failwith

@@ -34,7 +34,11 @@ type run_result = {
   gc : gc_stats;
 }
 
-let now = Unix.gettimeofday
+(* Completion times read the shared monotonic clock (Clock, same
+   CLOCK_MONOTONIC source as bench/main.ml's bechamel instance): an NTP
+   step inside a run would silently stretch or shrink a wall-clock
+   measurement. *)
+let now = Clock.now_s
 
 let spawn_and_time ~threads worker =
   (* Settle the GC first: garbage left by earlier benchmarks would

@@ -68,6 +68,8 @@ type summary = {
    reported as its geometric representative (1.5 * 2^b; bucket 0 as 1),
    i.e. within 1.5x of any sample it contains. *)
 let percentile_from merged total p =
+  if p < 0.0 || p > 100.0 then
+    invalid_arg "Obsv.Histogram.percentile: p out of range";
   if total = 0 then 0.0
   else begin
     let rank =
@@ -84,6 +86,10 @@ let percentile_from merged total p =
     in
     walk 0 0
   end
+
+let percentile t p =
+  let m = merged t in
+  percentile_from m (Array.fold_left ( + ) 0 m) p
 
 let summary t =
   let m = merged t in

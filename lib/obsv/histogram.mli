@@ -23,6 +23,13 @@ val record : t -> slot:int -> int -> unit
 val merged : t -> int array
 (** Racy merged bucket counts, index = bucket. *)
 
+val percentile : t -> float -> float
+(** Nearest-rank quantile over the racy merged counts, reported as the
+    bucket's geometric representative (within 1.5x). Any [p] in
+    [0, 100] — the open-loop latency engine reads p50/p99/p99.9 from
+    the same recording the metrics registry snapshots. [0.] when the
+    histogram is empty; raises [Invalid_argument] outside [0, 100]. *)
+
 type summary = {
   count : int;
   p50 : float;  (** bucket representative: within 1.5x *)

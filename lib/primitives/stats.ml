@@ -27,18 +27,47 @@ let maximum xs =
   | [] -> invalid_arg "Stats.maximum: empty list"
   | x :: rest -> List.fold_left max x rest
 
-(* Nearest-rank percentile on a sorted copy. *)
+(* Nearest-rank index for percentile [p] over [n] sorted samples.
+   [p /. 100.0 *. n] can land a hair above the exact rational rank
+   (99.9/100*1000 = 999.0000000000001), and a raw [ceil] would then
+   overshoot by a whole rank; shave one ulp-scale relative epsilon
+   before ceiling so exact ranks stay exact. *)
+let rank_index n p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let x = p /. 100.0 *. float_of_int n in
+  let rank = int_of_float (ceil (x *. (1.0 -. 1e-12))) in
+  max 0 (min (n - 1) (rank - 1))
+
+(* NaN compares false against everything, so a single NaN silently
+   corrupts a sort-based percentile (it parks wherever the sort leaves
+   it and shifts every rank). Latency pipelines can only produce NaN
+   through an upstream bug — divide-by-zero rates, uninitialized
+   samples — so surface it instead of reporting a poisoned quantile. *)
+let reject_nan ~what arr =
+  for i = 0 to Array.length arr - 1 do
+    if Float.is_nan arr.(i) then
+      invalid_arg (Printf.sprintf "%s: NaN sample at index %d" what i)
+  done
+
+let sort_in_place ~what arr =
+  if Array.length arr = 0 then invalid_arg (Printf.sprintf "%s: empty" what);
+  reject_nan ~what arr;
+  Array.sort Float.compare arr
+
+let percentile_in_place arr p =
+  sort_in_place ~what:"Stats.percentile_in_place" arr;
+  arr.(rank_index (Array.length arr) p)
+
+let percentiles_in_place arr ps =
+  sort_in_place ~what:"Stats.percentiles_in_place" arr;
+  List.map (fun p -> arr.(rank_index (Array.length arr) p)) ps
+
+(* Nearest-rank percentile: one unboxed array copy, sorted in place
+   with the total float order (never polymorphic [compare], which boxes
+   every element comparison on float arrays). *)
 let percentile xs p =
   match xs with
   | [] -> invalid_arg "Stats.percentile: empty list"
-  | _ ->
-      if p < 0.0 || p > 100.0 then
-        invalid_arg "Stats.percentile: p out of range";
-      let sorted = List.sort compare xs in
-      let arr = Array.of_list sorted in
-      let n = Array.length arr in
-      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
-      let idx = max 0 (min (n - 1) (rank - 1)) in
-      arr.(idx)
+  | _ -> percentile_in_place (Array.of_list xs) p
 
 let median xs = percentile xs 50.0

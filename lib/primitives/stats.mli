@@ -1,7 +1,7 @@
 (** Descriptive statistics for benchmark results. The paper reports
     ten-run averages and notes negligible standard deviations; these
     helpers compute both, plus the percentiles used by the latency
-    example. All functions raise [Invalid_argument] on an empty list. *)
+    harness. All functions raise [Invalid_argument] on empty input. *)
 
 val mean : float list -> float
 val stddev : float list -> float
@@ -12,6 +12,20 @@ val maximum : float list -> float
 
 val percentile : float list -> float -> float
 (** Nearest-rank percentile; the percentile argument must be within
-    [0, 100]. *)
+    [0, 100]. Raises [Invalid_argument] if any sample is NaN (a NaN
+    defeats sorting and silently shifts every rank, so it is treated as
+    an upstream bug, not data). *)
+
+val percentile_in_place : float array -> float -> float
+(** Nearest-rank percentile over [arr], which is sorted in place with
+    [Float.compare] (no copy, no boxing — the latency paths hold
+    millions of samples). The caller cedes the element order. Raises
+    [Invalid_argument] on an empty array, NaN samples, or a percentile
+    outside [0, 100]. *)
+
+val percentiles_in_place : float array -> float list -> float list
+(** Several quantiles from one in-place sort (e.g.
+    [[50.; 99.; 99.9]] for an SLO report). Same contract as
+    {!percentile_in_place}. *)
 
 val median : float list -> float

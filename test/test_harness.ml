@@ -163,8 +163,19 @@ let test_latency_summary () =
   let s = Wfq_harness.Latency.measure ~threads:2 ~iters:500 I.mutex in
   Alcotest.(check int) "samples" 1000 s.Wfq_harness.Latency.samples;
   let open Wfq_harness.Latency in
-  Alcotest.(check bool) "percentiles ordered" true
-    (s.p50 <= s.p99 && s.p99 <= s.p999 && s.p999 <= s.max)
+  let ordered what (d : dist) =
+    Alcotest.(check bool)
+      (what ^ " percentiles ordered")
+      true
+      (d.p50 <= d.p99 && d.p99 <= d.p999 && d.p999 <= d.max)
+  in
+  (* enqueue and dequeue are separate sides now — both must be
+     internally ordered and strictly positive at the median (a zero
+     would mean a fused or dropped sample) *)
+  ordered "enqueue" s.enqueue;
+  ordered "dequeue" s.dequeue;
+  Alcotest.(check bool) "enqueue median positive" true (s.enqueue.p50 > 0.0);
+  Alcotest.(check bool) "dequeue median positive" true (s.dequeue.p50 > 0.0)
 
 let test_by_name () =
   Alcotest.(check string) "lookup" "LF" (I.name (I.by_name "LF"));

@@ -113,6 +113,36 @@ let test_histogram_summary () =
   Alcotest.(check int) "merged sums to count" 100
     (Array.fold_left ( + ) 0 (O.Histogram.merged h))
 
+(* Direct quantile reads — the open-loop latency engine reads
+   p50/p99/p99.9 straight off the recording the metrics registry
+   snapshots, so the bucket-representative arithmetic is pinned here. *)
+let test_histogram_percentile () =
+  let h = O.Histogram.create ~slots:1 () in
+  Alcotest.(check (float 0.0)) "empty histogram" 0.0
+    (O.Histogram.percentile h 99.0);
+  (* 999 samples in bucket 9 (512..1023), 1 sample in bucket 20: p99.9
+     has rank 1000 and must walk into the outlier bucket, whose
+     representative is 1.5 * 2^20. *)
+  for _ = 1 to 999 do
+    O.Histogram.record h ~slot:0 600
+  done;
+  O.Histogram.record h ~slot:0 (1 lsl 20);
+  let repr b = 1.5 *. float_of_int (1 lsl b) in
+  Alcotest.(check (float 0.0)) "p50 bucket representative" (repr 9)
+    (O.Histogram.percentile h 50.0);
+  Alcotest.(check (float 0.0)) "p99 still in main bucket" (repr 9)
+    (O.Histogram.percentile h 99.0);
+  Alcotest.(check (float 0.0)) "p99.9 reaches the outlier" (repr 20)
+    (O.Histogram.percentile h 99.9);
+  Alcotest.(check (float 0.0)) "p100 = top occupied bucket" (repr 20)
+    (O.Histogram.percentile h 100.0);
+  (* representative is within its bucket: 1.5x-accurate for any sample *)
+  Alcotest.(check bool) "p50 within 1.5x of the exact median" true
+    (repr 9 /. 600.0 <= 1.5 && 600.0 /. repr 9 <= 1.5);
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Obsv.Histogram.percentile: p out of range")
+    (fun () -> ignore (O.Histogram.percentile h 100.5))
+
 (* ------------------------------------------------------------------ *)
 (* Metrics registry units                                             *)
 (* ------------------------------------------------------------------ *)
@@ -390,6 +420,8 @@ let () =
         [
           Alcotest.test_case "buckets" `Quick test_histogram_buckets;
           Alcotest.test_case "summary" `Quick test_histogram_summary;
+          Alcotest.test_case "direct percentile reads" `Quick
+            test_histogram_percentile;
         ] );
       ( "metrics",
         [ Alcotest.test_case "registry" `Quick test_metrics_registry ] );

@@ -133,6 +133,54 @@ let test_stats_percentiles () =
   Alcotest.check feq "median alias" (Stats.percentile xs 50.0)
     (Stats.median xs)
 
+(* Nearest-rank pins at the boundary sizes the latency harness hits:
+   a single sample answers every percentile, and at n=100 the rank
+   arithmetic must not off-by-one around p=99.9 (ceil(99.9) = 100 ->
+   the top sample, not past the end). *)
+let test_stats_nearest_rank_pins () =
+  Alcotest.check feq "n=1 p0" 7.0 (Stats.percentile [ 7.0 ] 0.0);
+  Alcotest.check feq "n=1 p50" 7.0 (Stats.percentile [ 7.0 ] 50.0);
+  Alcotest.check feq "n=1 p99.9" 7.0 (Stats.percentile [ 7.0 ] 99.9);
+  Alcotest.check feq "n=1 p100" 7.0 (Stats.percentile [ 7.0 ] 100.0);
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.check feq "n=100 p1" 1.0 (Stats.percentile xs 1.0);
+  Alcotest.check feq "n=100 p99.9" 100.0 (Stats.percentile xs 99.9);
+  (* p=0 has rank 0; nearest-rank clamps to the smallest sample *)
+  Alcotest.check feq "n=100 p0" 1.0 (Stats.percentile xs 0.0)
+
+let test_stats_percentile_validation () =
+  Alcotest.check_raises "p > 100 rejected"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile [ 1.0 ] 100.1));
+  Alcotest.check_raises "p < 0 rejected"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile [ 1.0 ] (-1.0)));
+  (* NaN defeats sorting: it must raise, never park silently in a rank *)
+  Alcotest.check_raises "NaN sample rejected"
+    (Invalid_argument "Stats.percentile_in_place: NaN sample at index 1")
+    (fun () -> ignore (Stats.percentile_in_place [| 1.0; Float.nan |] 50.0))
+
+let test_stats_in_place () =
+  let arr = [| 5.0; 1.0; 4.0; 2.0; 3.0 |] in
+  Alcotest.check feq "median via in-place sort" 3.0
+    (Stats.percentile_in_place arr 50.0);
+  (* the in-place contract: the array is now sorted ascending *)
+  Alcotest.(check (array (float 0.0)))
+    "array sorted in place"
+    [| 1.0; 2.0; 3.0; 4.0; 5.0 |]
+    arr;
+  let arr = Array.init 1000 (fun i -> float_of_int (999 - i)) in
+  (match Stats.percentiles_in_place arr [ 50.0; 99.0; 99.9; 100.0 ] with
+  | [ p50; p99; p999; p100 ] ->
+      Alcotest.check feq "batch p50" 499.0 p50;
+      Alcotest.check feq "batch p99" 989.0 p99;
+      Alcotest.check feq "batch p99.9" 998.0 p999;
+      Alcotest.check feq "batch p100" 999.0 p100
+  | _ -> Alcotest.fail "percentiles_in_place arity");
+  Alcotest.check_raises "empty array rejected"
+    (Invalid_argument "Stats.percentile_in_place: empty") (fun () ->
+      ignore (Stats.percentile_in_place [||] 50.0))
+
 let test_stats_empty () =
   Alcotest.check_raises "mean of empty"
     (Invalid_argument "Stats.mean: empty list") (fun () ->
@@ -217,6 +265,12 @@ let () =
           Alcotest.test_case "mean/stddev/min/max" `Quick
             test_stats_mean_stddev;
           Alcotest.test_case "percentiles" `Quick test_stats_percentiles;
+          Alcotest.test_case "nearest-rank pins (n=1, n=100, p=99.9)" `Quick
+            test_stats_nearest_rank_pins;
+          Alcotest.test_case "range and NaN validation" `Quick
+            test_stats_percentile_validation;
+          Alcotest.test_case "in-place percentiles" `Quick
+            test_stats_in_place;
           Alcotest.test_case "empty input rejected" `Quick test_stats_empty;
           QCheck_alcotest.to_alcotest stats_mean_bounds;
         ] );
